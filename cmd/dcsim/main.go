@@ -1,0 +1,150 @@
+// Command dcsim runs the large-scale data-center simulation of Section
+// VI-B / VII-B and prints the Figure 6 comparison: energy per VM over the
+// trace horizon for IPAC and pMapper (and optional ablations) across
+// data-center sizes. Runs fan out over a worker pool.
+//
+// Usage:
+//
+//	dcsim -sizes 30,430,1030,2030,3030,4030,5415 -days 7
+//	dcsim -trace trace.gob -sizes 1030 -ablations -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/dcsim"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/report"
+	"vdcpower/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcsim: ")
+	var (
+		tracePath = flag.String("trace", "", "trace file (.gob or .csv); generated if empty")
+		sizesStr  = flag.String("sizes", "30,230,1030,2030,3030,4030,5415", "comma-separated data-center sizes (number of VMs)")
+		days      = flag.Int("days", 7, "days to generate when no trace file is given")
+		vms       = flag.Int("vms", 5415, "VMs to generate when no trace file is given")
+		seed      = flag.Int64("seed", 2008, "generator seed")
+		ablations = flag.Bool("ablations", false, "also run IPAC-noDVFS and static+DVFS")
+		workers   = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		format    = flag.String("format", "text", "output format: text, csv, or markdown")
+		series    = flag.Int("series", 0, "instead of the sweep, dump a per-step power/active/demand series for a run with this many VMs")
+		snapshot  = flag.String("snapshot", "", "with -series: write the final data-center state as JSON to this file")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad size %q: %v", s, err)
+		}
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+
+	tr, err := loadOrGenerate(*tracePath, *vms, *days, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d VMs × %d steps (%.0f s/step), peak/mean load %.2f\n\n",
+		tr.NumVMs(), tr.NumSteps(), tr.StepSeconds, tr.PeakToMean())
+
+	if *series > 0 {
+		t := report.New("per-step series (IPAC)", "step", "hour", "power_W", "active_servers", "demand_GHz")
+		cfg := dcsim.DefaultConfig(tr, *series, optimizer.NewIPAC())
+		cfg.OnStep = func(k int, powerW float64, active int, demand float64) {
+			t.AddRow(k, fmt.Sprintf("%.2f", float64(k)*tr.StepSeconds/3600),
+				fmt.Sprintf("%.1f", powerW), active, fmt.Sprintf("%.1f", demand))
+		}
+		if *snapshot != "" {
+			cfg.OnDone = func(dc *cluster.DataCenter) {
+				f, err := os.Create(*snapshot)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				if err := dc.Snapshot().WriteJSON(f); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote final state to %s\n", *snapshot)
+			}
+		}
+		if _, err := dcsim.Run(cfg); err != nil {
+			log.Fatal(err)
+		}
+		if err := t.Format(os.Stdout, *format); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	policies := []func() optimizer.Consolidator{
+		func() optimizer.Consolidator { return optimizer.NewIPAC() },
+		func() optimizer.Consolidator { return optimizer.NewPMapper() },
+	}
+	if *ablations {
+		policies = append(policies,
+			func() optimizer.Consolidator { return optimizer.WithoutDVFS{Inner: optimizer.NewIPAC()} },
+			func() optimizer.Consolidator { return optimizer.NoOp{DVFS: true} },
+		)
+	}
+	var names []string
+	for _, mk := range policies {
+		names = append(names, mk().Name())
+	}
+
+	points, err := dcsim.Fig6Parallel(tr, sizes, policies, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	headers := append([]string{"VMs"}, names...)
+	headers = append(headers, "IPAC_saving_pct")
+	t := report.New("Figure 6: energy per VM (Wh) over the trace horizon", headers...)
+	var savings []float64
+	for _, p := range points {
+		row := []any{p.NumVMs}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.1f", p.PerVMWh[n]))
+		}
+		s := 1 - p.PerVMWh["IPAC"]/p.PerVMWh["pMapper"]
+		savings = append(savings, s)
+		row = append(row, fmt.Sprintf("%.1f", 100*s))
+		t.AddRow(row...)
+	}
+	if err := t.Format(os.Stdout, *format); err != nil {
+		log.Fatal(err)
+	}
+	mean := 0.0
+	for _, s := range savings {
+		mean += s
+	}
+	mean /= float64(len(savings))
+	fmt.Printf("\naverage IPAC saving vs pMapper: %.1f%% (paper reports 40.7%%)\n", mean*100)
+}
+
+func loadOrGenerate(path string, vms, days int, seed int64) (*workload.Trace, error) {
+	if path == "" {
+		fmt.Printf("generating synthetic trace (%d VMs, %d days, seed %d)...\n", vms, days, seed)
+		return workload.Generate(workload.GenConfig{NumVMs: vms, Days: days, StepsPerHour: 4, Seed: seed})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return workload.ReadCSV(f)
+	}
+	return workload.ReadGob(f)
+}

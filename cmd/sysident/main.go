@@ -1,0 +1,104 @@
+// Command sysident runs the system identification experiment of Section
+// IV-B against the simulated two-tier application: it excites the CPU
+// allocations pseudo-randomly, records the 90-percentile response time
+// each control period, fits the ARX(1,2) model of Eq. (1), and reports
+// the model with its fit quality.
+//
+// Usage:
+//
+//	sysident -concurrency 40 -periods 200 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"vdcpower/internal/appsim"
+	"vdcpower/internal/devs"
+	"vdcpower/internal/mat"
+	"vdcpower/internal/stats"
+	"vdcpower/internal/sysid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sysident: ")
+	var (
+		concurrency = flag.Int("concurrency", 40, "client concurrency level (ab -c)")
+		periods     = flag.Int("periods", 200, "identification length in control periods")
+		period      = flag.Float64("period", 4.0, "control period T in seconds")
+		seed        = flag.Int64("seed", 1, "random seed")
+		cmin        = flag.Float64("cmin", 0.3, "minimum excitation allocation (GHz)")
+		cmax        = flag.Float64("cmax", 2.2, "maximum excitation allocation (GHz)")
+		out         = flag.String("out", "", "write the identified model as JSON to this file")
+	)
+	flag.Parse()
+
+	sim := devs.NewSimulator()
+	app := appsim.New(sim, appsim.Config{
+		Name: "rubbos",
+		Tiers: []appsim.TierConfig{
+			{DemandMean: 0.025, DemandCV: 1.0, InitialAllocation: 1.0},
+			{DemandMean: 0.040, DemandCV: 1.0, InitialAllocation: 1.0},
+		},
+		Concurrency: *concurrency,
+		ThinkTime:   1.0,
+		Seed:        *seed,
+	})
+	app.Start()
+	sim.RunUntil(40) // warm-up
+	app.DrainResponseTimes()
+
+	rng := rand.New(rand.NewSource(*seed + 99))
+	ds := &sysid.Dataset{}
+	fmt.Printf("exciting 2 tiers over [%.2f, %.2f] GHz for %d periods of %.1fs...\n",
+		*cmin, *cmax, *periods, *period)
+	for k := 0; k < *periods; k++ {
+		c := mat.Vec{
+			*cmin + (*cmax-*cmin)*rng.Float64(),
+			*cmin + (*cmax-*cmin)*rng.Float64(),
+		}
+		t90 := stats.Percentile(app.DrainResponseTimes(), 90)
+		if math.IsNaN(t90) {
+			t90 = 0
+		}
+		ds.Append(t90, c)
+		app.SetAllocation(0, c[0])
+		app.SetAllocation(1, c[1])
+		sim.RunUntil(sim.Now() + *period)
+	}
+
+	model, err := sysid.Identify(ds, 1, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit, err := sysid.Evaluate(model, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nidentified model (Eq. 1 form):")
+	fmt.Printf("  %s\n", model)
+	fmt.Printf("\nfit: R²=%.3f fit%%=%.1f RMSE=%.3fs\n", fit.R2, fit.FitPct, fit.RMSE)
+	fmt.Printf("stable (Σ|a|<1): %v\n", model.Stable())
+	for i := 0; i < model.NumInputs; i++ {
+		fmt.Printf("DC gain of tier %d allocation: %.3f s per GHz\n", i+1, model.DCGain(i))
+	}
+	if !model.Stable() {
+		log.Fatal("identified model is unstable; increase -periods or widen excitation")
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := model.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote model to %s\n", *out)
+	}
+}

@@ -1,0 +1,136 @@
+// Command testbed runs the hardware-testbed experiments of Section VII-A
+// on the simulated substrate and prints the series behind Figures 2–5.
+//
+// Usage:
+//
+//	testbed -fig 2               # response time of all 8 apps
+//	testbed -fig 3               # workload-step run: controlled vs static
+//	testbed -fig 4               # concurrency sweep 30..80
+//	testbed -fig 5               # set point sweep 600..1300 ms
+//	testbed -fig all -format csv # everything, machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vdcpower/internal/report"
+	"vdcpower/internal/testbed"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("testbed: ")
+	var (
+		fig    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, or all")
+		apps   = flag.Int("apps", 8, "number of two-tier applications")
+		srv    = flag.Int("servers", 4, "number of physical servers")
+		conc   = flag.Int("concurrency", 40, "baseline concurrency level")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "text", "output format: text, csv, or markdown")
+	)
+	flag.Parse()
+
+	cfg := testbed.DefaultConfig()
+	cfg.NumApps = *apps
+	cfg.NumServers = *srv
+	cfg.Concurrency = *conc
+	cfg.Seed = *seed
+
+	emit := func(t *report.Table) {
+		if err := t.Format(os.Stdout, *format); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("2") {
+		rows, err := testbed.Fig2(cfg)
+		if err != nil {
+			log.Fatalf("figure 2: %v", err)
+		}
+		t := report.New("Figure 2: response time of all applications (set point 1000 ms)",
+			"app", "mean_ms", "std_ms")
+		for _, r := range rows {
+			t.AddRow(r.Label, r.Mean*1000, r.Std*1000)
+		}
+		emit(t)
+	}
+	if want("3") {
+		controlled, err := testbed.Fig3(cfg)
+		if err != nil {
+			log.Fatalf("figure 3: %v", err)
+		}
+		static, err := testbed.Fig3Static(cfg)
+		if err != nil {
+			log.Fatalf("figure 3 baseline: %v", err)
+		}
+		t := report.New(
+			fmt.Sprintf("Figure 3: %s under a workload step (concurrency %d→%d during 600–1200 s)",
+				controlled.AppLabel, cfg.Concurrency, 2*cfg.Concurrency),
+			"time_s", "controlled_resp_ms", "static_resp_ms", "controlled_power_W")
+		for i := range controlled.ResponseTime {
+			if i%5 != 0 { // decimate for readability
+				continue
+			}
+			staticMS := ""
+			if i < len(static.ResponseTime) {
+				staticMS = fmt.Sprintf("%.0f", static.ResponseTime[i].Value*1000)
+			}
+			t.AddRow(
+				fmt.Sprintf("%.0f", controlled.ResponseTime[i].Time),
+				fmt.Sprintf("%.0f", controlled.ResponseTime[i].Value*1000),
+				staticMS,
+				fmt.Sprintf("%.1f", controlled.Power[i].Value),
+			)
+		}
+		emit(t)
+		fmt.Printf("surge-window violation rate (>1.5× set point, t∈[800,1200)): controlled %.0f%%, static %.0f%%\n\n",
+			100*violRate(controlled, cfg.Setpoint), 100*violRate(static, cfg.Setpoint))
+	}
+	if want("4") {
+		rows, err := testbed.Fig4(cfg, []int{30, 40, 50, 60, 70, 80})
+		if err != nil {
+			log.Fatalf("figure 4: %v", err)
+		}
+		t := report.New("Figure 4: response time of App5 under different workloads",
+			"workload", "mean_ms", "std_ms")
+		for _, r := range rows {
+			t.AddRow(r.Label, r.Mean*1000, r.Std*1000)
+		}
+		emit(t)
+	}
+	if want("5") {
+		rows, err := testbed.Fig5(cfg, []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3})
+		if err != nil {
+			log.Fatalf("figure 5: %v", err)
+		}
+		t := report.New("Figure 5: response time of App5 under different set points",
+			"set_point", "mean_ms", "std_ms")
+		for _, r := range rows {
+			t.AddRow(r.Label, r.Mean*1000, r.Std*1000)
+		}
+		emit(t)
+	}
+}
+
+// violRate computes the fraction of late-surge samples above 1.5× the
+// set point.
+func violRate(res *testbed.Fig3Result, setpoint float64) float64 {
+	viol, n := 0, 0
+	for _, p := range res.ResponseTime {
+		if p.Time >= 800 && p.Time < 1200 {
+			n++
+			if p.Value > setpoint*1.5 {
+				viol++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(viol) / float64(n)
+}

@@ -1,0 +1,12 @@
+// Package vdcpower reproduces "Power Optimization with Performance
+// Assurance for Multi-tier Applications in Virtualized Data Centers"
+// (Wang & Wang, ICPP 2010): a two-level power management solution that
+// combines per-application MIMO model-predictive response time control
+// (CPU allocation + DVFS, short time scale) with data-center-wide
+// power-aware VM consolidation (Minimum Slack packing, long time scale).
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// runnable entry points are under cmd/ and examples/. The benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation
+// section; EXPERIMENTS.md records paper-versus-measured outcomes.
+package vdcpower

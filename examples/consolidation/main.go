@@ -1,0 +1,54 @@
+// Consolidation: compare IPAC against the pMapper baseline on a small
+// data center replaying a diurnal utilization trace, and print the
+// energy-per-VM outcome — a miniature Figure 6.
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdcpower/internal/dcsim"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Two days of 15-minute utilization samples for 150 VMs across the
+	// four industry sectors.
+	trace, err := workload.Generate(workload.GenConfig{
+		NumVMs: 150, Days: 2, StepsPerHour: 4, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d VMs × %d steps of trace\n\n", trace.NumVMs(), trace.NumSteps())
+
+	type entry struct {
+		cons     optimizer.Consolidator
+		peakProv bool // static placement must provision for peak demand
+	}
+	for _, e := range []entry{
+		{cons: optimizer.NewIPAC()},
+		{cons: optimizer.NewPMapper()},
+		{cons: optimizer.WithoutDVFS{Inner: optimizer.NewIPAC()}},
+		{cons: optimizer.NoOp{DVFS: true}, peakProv: true},
+	} {
+		cfg := dcsim.DefaultConfig(trace, 150, e.cons)
+		cfg.ProvisionPeak = e.peakProv
+		res, err := dcsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s energy/VM %8.1f Wh   migrations %4d   mean active %5.1f   overloaded server-steps %d\n",
+			e.cons.Name(), res.EnergyPerVMWh, res.Migrations, res.MeanActive, res.OverloadSteps)
+	}
+
+	fmt.Println("\nIPAC packs VMs onto the most power-efficient servers with the")
+	fmt.Println("Minimum Slack search and throttles the rest with DVFS; pMapper's")
+	fmt.Println("first-fit packing and lack of DVFS leave power on the table, and")
+	fmt.Println("a static placement must provision for peak to avoid overload.")
+}

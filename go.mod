@@ -1,0 +1,3 @@
+module vdcpower
+
+go 1.22

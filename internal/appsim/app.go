@@ -1,0 +1,211 @@
+package appsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vdcpower/internal/devs"
+)
+
+// TierConfig describes one tier of a multi-tier application.
+type TierConfig struct {
+	// DemandMean is the mean per-request service demand in GHz·s
+	// (e.g. 0.03 means 30M cycles per request).
+	DemandMean float64
+	// DemandCV is the coefficient of variation of the lognormal demand
+	// distribution. Zero means deterministic demands.
+	DemandCV float64
+	// InitialAllocation is the starting CPU allocation in GHz.
+	InitialAllocation float64
+}
+
+// Config describes a complete application and its closed-loop workload.
+type Config struct {
+	Name        string
+	Tiers       []TierConfig
+	Concurrency int     // number of closed-loop clients (ab -c N)
+	ThinkTime   float64 // mean exponential think time, seconds
+	Seed        int64
+}
+
+// App is a running multi-tier application: a chain of PS-queue tiers
+// driven by a closed-loop client population.
+type App struct {
+	Name  string
+	sim   *devs.Simulator
+	cfg   Config
+	tiers []*PSQueue
+	rng   *rand.Rand
+
+	concurrency int
+	nextClient  int
+	inFlight    int
+
+	window    []float64 // response times completed in the current period
+	completed int
+	started   bool
+}
+
+// New constructs an application. Call Start to launch the clients.
+func New(sim *devs.Simulator, cfg Config) *App {
+	if len(cfg.Tiers) == 0 {
+		panic("appsim: application needs at least one tier")
+	}
+	if cfg.Concurrency < 0 {
+		panic("appsim: negative concurrency")
+	}
+	if cfg.ThinkTime <= 0 {
+		cfg.ThinkTime = 1.0
+	}
+	a := &App{
+		Name:        cfg.Name,
+		sim:         sim,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		concurrency: cfg.Concurrency,
+	}
+	for _, tc := range cfg.Tiers {
+		a.tiers = append(a.tiers, NewPSQueue(sim, tc.InitialAllocation))
+	}
+	return a
+}
+
+// NumTiers returns the number of tiers.
+func (a *App) NumTiers() int { return len(a.tiers) }
+
+// Tier exposes tier i's queue (read-mostly; used by monitors and tests).
+func (a *App) Tier(i int) *PSQueue { return a.tiers[i] }
+
+// SetAllocation sets the CPU allocation of tier i in GHz. This is the
+// control input c_ij of the paper.
+func (a *App) SetAllocation(tier int, ghz float64) { a.tiers[tier].SetCapacity(ghz) }
+
+// Allocation returns tier i's current CPU allocation in GHz.
+func (a *App) Allocation(tier int) float64 { return a.tiers[tier].Capacity() }
+
+// Allocations returns a copy of all tier allocations.
+func (a *App) Allocations() []float64 {
+	out := make([]float64, len(a.tiers))
+	for i, t := range a.tiers {
+		out[i] = t.Capacity()
+	}
+	return out
+}
+
+// Concurrency returns the current client population size.
+func (a *App) Concurrency() int { return a.concurrency }
+
+// SetConcurrency changes the client population at run time (the paper's
+// workload-increase experiments). Growth spawns clients immediately;
+// shrinkage retires clients as their in-flight requests complete.
+func (a *App) SetConcurrency(n int) {
+	if n < 0 {
+		panic("appsim: negative concurrency")
+	}
+	old := a.concurrency
+	a.concurrency = n
+	if a.started && n > old {
+		for i := old; i < n; i++ {
+			a.spawnClient(a.nextClient)
+			a.nextClient++
+		}
+	}
+}
+
+// Start launches the closed-loop clients. It is idempotent.
+func (a *App) Start() {
+	if a.started {
+		return
+	}
+	a.started = true
+	for i := 0; i < a.concurrency; i++ {
+		a.spawnClient(a.nextClient)
+		a.nextClient++
+	}
+}
+
+// spawnClient starts one client slot with an initial randomized think so
+// clients do not arrive in lockstep.
+func (a *App) spawnClient(slot int) {
+	a.sim.After(a.think(), func() { a.issue(slot) })
+}
+
+// think samples an exponential think time.
+func (a *App) think() float64 { return a.rng.ExpFloat64() * a.cfg.ThinkTime }
+
+// issue sends one request through the tier chain on behalf of slot.
+func (a *App) issue(slot int) {
+	if slot >= a.concurrency {
+		return // retired while thinking
+	}
+	start := a.sim.Now()
+	a.inFlight++
+	a.visitTier(0, func() {
+		a.inFlight--
+		a.completed++
+		a.window = append(a.window, a.sim.Now()-start)
+		if slot >= a.concurrency {
+			return // retired
+		}
+		a.sim.After(a.think(), func() { a.issue(slot) })
+	})
+}
+
+// visitTier runs one request through tier i and then the next.
+func (a *App) visitTier(i int, done func()) {
+	if i >= len(a.tiers) {
+		done()
+		return
+	}
+	a.tiers[i].Submit(a.sampleDemand(i), func() { a.visitTier(i+1, done) })
+}
+
+// sampleDemand draws a lognormal service demand for tier i.
+func (a *App) sampleDemand(i int) float64 {
+	tc := a.cfg.Tiers[i]
+	if tc.DemandCV <= 0 {
+		return tc.DemandMean
+	}
+	sigma := math.Sqrt(math.Log(1 + tc.DemandCV*tc.DemandCV))
+	mu := math.Log(tc.DemandMean) - sigma*sigma/2
+	return math.Exp(mu + sigma*a.rng.NormFloat64())
+}
+
+// PauseTier stalls tier i for the given duration — the downtime of a
+// live migration of the VM hosting that tier.
+func (a *App) PauseTier(tier int, seconds float64) { a.tiers[tier].Pause(seconds) }
+
+// SetDemandMean changes tier i's mean per-request service demand (GHz·s)
+// at run time — a workload-mix change such as a software update or a
+// shift to heavier queries, which alters the plant's gains and motivates
+// online re-identification.
+func (a *App) SetDemandMean(tier int, mean float64) {
+	if mean <= 0 {
+		panic("appsim: nonpositive demand mean")
+	}
+	a.cfg.Tiers[tier].DemandMean = mean
+}
+
+// DemandMean returns tier i's current mean per-request service demand.
+func (a *App) DemandMean(tier int) float64 { return a.cfg.Tiers[tier].DemandMean }
+
+// InFlight returns the number of requests currently inside the tiers.
+func (a *App) InFlight() int { return a.inFlight }
+
+// Completed returns the total number of completed requests.
+func (a *App) Completed() int { return a.completed }
+
+// DrainResponseTimes returns the response times (seconds) completed since
+// the previous drain and resets the window. This is the paper's
+// application-level response time monitor sampled once per control period.
+func (a *App) DrainResponseTimes() []float64 {
+	w := a.window
+	a.window = nil
+	return w
+}
+
+// String identifies the app for logs.
+func (a *App) String() string {
+	return fmt.Sprintf("app %q (%d tiers, concurrency %d)", a.Name, len(a.tiers), a.concurrency)
+}

@@ -1,0 +1,102 @@
+package appsim
+
+import (
+	"math"
+	"testing"
+
+	"vdcpower/internal/devs"
+	"vdcpower/internal/stats"
+)
+
+func TestPauseStallsService(t *testing.T) {
+	// 1 GHz·s job at 1 GHz would finish at t=1; a pause [0, 2) delays it
+	// to ≈3.
+	sim := devs.NewSimulator()
+	q := NewPSQueue(sim, 1.0)
+	var doneAt float64
+	q.Submit(1.0, func() { doneAt = sim.Now() })
+	q.Pause(2.0)
+	if !q.Paused() {
+		t.Fatal("Paused() = false during pause")
+	}
+	sim.Run()
+	// A paused queue retains the tiny minCapacity floor, so the job
+	// finishes a couple of ms early.
+	if math.Abs(doneAt-3.0) > 0.01 {
+		t.Fatalf("job finished at %v, want ≈3", doneAt)
+	}
+	if q.Paused() {
+		t.Fatal("still paused after expiry")
+	}
+}
+
+func TestPauseZeroOrNegativeIsNoop(t *testing.T) {
+	sim := devs.NewSimulator()
+	q := NewPSQueue(sim, 1.0)
+	q.Pause(0)
+	q.Pause(-1)
+	if q.Paused() {
+		t.Fatal("no-op pause left queue paused")
+	}
+	var doneAt float64
+	q.Submit(1.0, func() { doneAt = sim.Now() })
+	sim.Run()
+	if math.Abs(doneAt-1.0) > 1e-9 {
+		t.Fatalf("finished at %v, want 1", doneAt)
+	}
+}
+
+func TestOverlappingPausesNest(t *testing.T) {
+	// Pauses [0,2) and [1,3): service resumes at t=3, job done ≈4.
+	sim := devs.NewSimulator()
+	q := NewPSQueue(sim, 1.0)
+	var doneAt float64
+	q.Submit(1.0, func() { doneAt = sim.Now() })
+	q.Pause(2.0)
+	sim.Schedule(1.0, func() { q.Pause(2.0) })
+	sim.Run()
+	if math.Abs(doneAt-4.0) > 1e-2 {
+		t.Fatalf("finished at %v, want ≈4", doneAt)
+	}
+}
+
+func TestSetCapacityDuringPauseDeferred(t *testing.T) {
+	// Capacity raised mid-pause takes effect only at resume.
+	sim := devs.NewSimulator()
+	q := NewPSQueue(sim, 1.0)
+	var doneAt float64
+	q.Submit(2.0, func() { doneAt = sim.Now() })
+	q.Pause(1.0)
+	sim.Schedule(0.5, func() { q.SetCapacity(2.0) })
+	sim.Run()
+	// Resume at t=1 with 2 GHz: 2 GHz·s of work → done at 2.
+	if math.Abs(doneAt-2.0) > 1e-2 {
+		t.Fatalf("finished at %v, want ≈2", doneAt)
+	}
+	if q.Capacity() != 2.0 {
+		t.Fatalf("Capacity() = %v, want the desired 2.0", q.Capacity())
+	}
+}
+
+func TestAppPauseTierSpikesResponseTimes(t *testing.T) {
+	sim := devs.NewSimulator()
+	a := New(sim, twoTierConfig(21))
+	a.Start()
+	sim.RunUntil(60)
+	baseline := stats.Percentile(a.DrainResponseTimes(), 90)
+	// A long stall on the database tier.
+	a.PauseTier(1, 5.0)
+	sim.RunUntil(70)
+	spike := stats.Percentile(a.DrainResponseTimes(), 90)
+	if spike < baseline+3 {
+		t.Fatalf("pause did not spike response times: %v -> %v", baseline, spike)
+	}
+	// Recovery after the backlog drains.
+	sim.RunUntil(140)
+	a.DrainResponseTimes()
+	sim.RunUntil(200)
+	after := stats.Percentile(a.DrainResponseTimes(), 90)
+	if after > baseline*3 {
+		t.Fatalf("no recovery after pause: %v vs baseline %v", after, baseline)
+	}
+}

@@ -1,0 +1,177 @@
+// Package appsim simulates multi-tier web applications on the devs
+// kernel. Each tier is a processor-sharing (PS) queue whose service
+// capacity equals the CPU allocation (GHz) of the VM hosting the tier —
+// the standard model of a time-shared web or database server. Closed-loop
+// client populations reproduce the semantics of the paper's `ab -c N`
+// workload generator, and a response-time monitor yields the
+// 90-percentile SLA metric per control period.
+package appsim
+
+import (
+	"container/heap"
+	"math"
+
+	"vdcpower/internal/devs"
+)
+
+// job is one request's visit to a tier, keyed by the virtual time at
+// which it completes.
+type job struct {
+	vfinish float64 // virtual time of completion
+	done    func()
+	index   int // heap index
+}
+
+type jobHeap []*job
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return h[i].vfinish < h[j].vfinish }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *jobHeap) Push(x any)        { j := x.(*job); j.index = len(*h); *h = append(*h, j) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// PSQueue is an egalitarian processor-sharing service station with a
+// capacity that may change at any instant (the actuator of the response
+// time controller). All jobs in service receive capacity/n GHz each.
+//
+// The implementation uses the virtual-time formulation of PS: a virtual
+// clock advances at rate capacity/n, each job finishes when the clock
+// has advanced by its service demand since arrival, and the earliest
+// completion sits at the top of a min-heap. Every operation is
+// O(log n), so even a divergently overloaded queue (an open workload
+// past its stability limit) stays cheap to simulate.
+type PSQueue struct {
+	sim        *devs.Simulator
+	capacity   float64 // effective GHz (minCapacity while paused)
+	desired    float64 // capacity requested by the controller
+	paused     int     // nesting count of active pauses
+	vnow       float64 // virtual clock (GHz·s of per-job service granted)
+	jobs       jobHeap
+	lastUpdate float64
+	next       *devs.Event
+	busyCycles float64 // integrated work served, GHz·s
+}
+
+// minCapacity guards against a zero allocation stalling the queue forever;
+// it corresponds to the tiny CPU share the hypervisor always grants.
+const minCapacity = 1e-3
+
+// NewPSQueue creates a PS queue with the given capacity in GHz.
+func NewPSQueue(sim *devs.Simulator, capacityGHz float64) *PSQueue {
+	q := &PSQueue{sim: sim, lastUpdate: sim.Now()}
+	q.desired = math.Max(capacityGHz, minCapacity)
+	q.capacity = q.desired
+	return q
+}
+
+// Capacity returns the capacity requested by the controller (the
+// effective rate is near zero while paused).
+func (q *PSQueue) Capacity() float64 { return q.desired }
+
+// Paused reports whether the queue is currently stalled by a migration.
+func (q *PSQueue) Paused() bool { return q.paused > 0 }
+
+// Pause stalls service for the given duration — the stop-and-copy
+// downtime of a live migration of the VM backing this tier. Overlapping
+// pauses nest; service resumes when the last one expires.
+func (q *PSQueue) Pause(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	q.advance()
+	q.paused++
+	q.capacity = minCapacity
+	q.reschedule()
+	q.sim.After(seconds, func() {
+		q.advance()
+		q.paused--
+		if q.paused == 0 {
+			q.capacity = q.desired
+		}
+		q.reschedule()
+	})
+}
+
+// Len returns the number of jobs in service.
+func (q *PSQueue) Len() int { return len(q.jobs) }
+
+// BusyCycles returns the cumulative work served in GHz·s, for utilization
+// accounting.
+func (q *PSQueue) BusyCycles() float64 {
+	q.advance()
+	return q.busyCycles
+}
+
+// SetCapacity changes the service capacity, crediting work done so far.
+// During a pause the new capacity takes effect when service resumes.
+func (q *PSQueue) SetCapacity(capacityGHz float64) {
+	q.advance()
+	q.desired = math.Max(capacityGHz, minCapacity)
+	if q.paused == 0 {
+		q.capacity = q.desired
+	}
+	q.reschedule()
+}
+
+// Submit enqueues a request with the given service demand (GHz·s) and
+// calls done when it completes.
+func (q *PSQueue) Submit(demand float64, done func()) {
+	q.advance()
+	if demand <= 0 {
+		demand = 1e-9
+	}
+	heap.Push(&q.jobs, &job{vfinish: q.vnow + demand, done: done})
+	q.reschedule()
+}
+
+// advance moves the virtual clock forward to the present: each in-service
+// job has received (elapsed × capacity / n) further GHz·s of work.
+func (q *PSQueue) advance() {
+	now := q.sim.Now()
+	dt := now - q.lastUpdate
+	q.lastUpdate = now
+	if dt <= 0 || len(q.jobs) == 0 {
+		return
+	}
+	q.vnow += dt * q.capacity / float64(len(q.jobs))
+	q.busyCycles += dt * q.capacity
+}
+
+// reschedule cancels and re-arms the next-completion event.
+func (q *PSQueue) reschedule() {
+	if q.next != nil {
+		q.next.Cancel()
+		q.next = nil
+	}
+	if len(q.jobs) == 0 {
+		return
+	}
+	remaining := q.jobs[0].vfinish - q.vnow
+	if remaining < 0 {
+		remaining = 0
+	}
+	eta := remaining * float64(len(q.jobs)) / q.capacity
+	q.next = q.sim.After(eta, q.complete)
+}
+
+// complete retires every job whose virtual finish time has been reached.
+func (q *PSQueue) complete() {
+	q.advance()
+	q.next = nil
+	const eps = 1e-12
+	var finished []*job
+	for len(q.jobs) > 0 && q.jobs[0].vfinish <= q.vnow+eps {
+		finished = append(finished, heap.Pop(&q.jobs).(*job))
+	}
+	q.reschedule()
+	for _, j := range finished {
+		j.done()
+	}
+}

@@ -1,0 +1,413 @@
+// Package cluster models the virtualized data center of Figure 1: physical
+// servers with DVFS and sleep states, VMs with CPU-cycle demands
+// determined by the application-level controllers, placement, and live
+// migration. It is the substrate both optimizers (IPAC and pMapper)
+// operate on.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"vdcpower/internal/power"
+)
+
+// VM is a virtual machine hosting one tier of one application. Demand is
+// the CPU resource requirement in GHz decided by the application-level
+// response time controller (the paper's c_ij).
+type VM struct {
+	ID       string
+	App      string // owning application, "" if stand-alone
+	Tier     int
+	Demand   float64 // GHz
+	MemoryGB float64
+}
+
+// Validate checks VM parameters.
+func (v *VM) Validate() error {
+	if v.ID == "" {
+		return fmt.Errorf("cluster: VM with empty ID")
+	}
+	if v.Demand < 0 || v.MemoryGB < 0 {
+		return fmt.Errorf("cluster: VM %s has negative demand or memory", v.ID)
+	}
+	return nil
+}
+
+// State is a server's power state.
+type State int
+
+const (
+	// Active means the server is powered on and hosting VMs.
+	Active State = iota
+	// Sleeping means the server is suspended and consumes only PSleep.
+	Sleeping
+)
+
+func (s State) String() string {
+	if s == Sleeping {
+		return "sleeping"
+	}
+	return "active"
+}
+
+// Server is one physical machine.
+type Server struct {
+	ID       string
+	Spec     power.Spec
+	state    State
+	freq     float64 // current per-core frequency (GHz)
+	vms      []*VM
+	cordoned bool
+}
+
+// NewServer creates an active server at maximum frequency.
+func NewServer(id string, spec power.Spec) *Server {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Server{ID: id, Spec: spec, state: Active, freq: spec.MaxFreq}
+}
+
+// State returns the current power state.
+func (s *Server) State() State { return s.state }
+
+// Freq returns the current per-core frequency in GHz.
+func (s *Server) Freq() float64 { return s.freq }
+
+// SetFreq throttles the processor to the given P-state frequency. It
+// panics if f is not one of the spec's P-states.
+func (s *Server) SetFreq(f float64) {
+	for _, ps := range s.Spec.PStates {
+		if ps == f {
+			s.freq = f
+			return
+		}
+	}
+	panic(fmt.Sprintf("cluster: server %s: %v GHz is not a P-state", s.ID, f))
+}
+
+// ApplyDVFS picks the lowest P-state covering the current aggregate
+// demand and applies it — the CPU resource arbitrator's frequency
+// decision. It returns the chosen frequency.
+func (s *Server) ApplyDVFS() float64 {
+	s.freq = s.Spec.LowestFreqFor(s.TotalDemand())
+	return s.freq
+}
+
+// Sleep suspends the server. It panics if VMs are still hosted: the
+// caller must migrate them away first.
+func (s *Server) Sleep() {
+	if len(s.vms) > 0 {
+		panic(fmt.Sprintf("cluster: server %s: cannot sleep with %d VMs", s.ID, len(s.vms)))
+	}
+	s.state = Sleeping
+}
+
+// Wake powers the server back on at maximum frequency.
+func (s *Server) Wake() {
+	s.state = Active
+	s.freq = s.Spec.MaxFreq
+}
+
+// Cordon marks the server for maintenance: it accepts no new VMs (the
+// optimizer drains it with priority) but keeps serving its current ones.
+func (s *Server) Cordon() { s.cordoned = true }
+
+// Uncordon returns the server to normal scheduling.
+func (s *Server) Uncordon() { s.cordoned = false }
+
+// Cordoned reports whether the server is in maintenance mode.
+func (s *Server) Cordoned() bool { return s.cordoned }
+
+// VMs returns the hosted VMs (shared slice: do not mutate).
+func (s *Server) VMs() []*VM { return s.vms }
+
+// NumVMs returns the number of hosted VMs.
+func (s *Server) NumVMs() int { return len(s.vms) }
+
+// TotalDemand returns the sum of hosted VM CPU demands in GHz.
+func (s *Server) TotalDemand() float64 {
+	d := 0.0
+	for _, v := range s.vms {
+		d += v.Demand
+	}
+	return d
+}
+
+// TotalMemory returns the sum of hosted VM memory in GB.
+func (s *Server) TotalMemory() float64 {
+	m := 0.0
+	for _, v := range s.vms {
+		m += v.MemoryGB
+	}
+	return m
+}
+
+// Slack returns unallocated CPU capacity at maximum frequency in GHz —
+// the quantity Algorithm 1 minimizes.
+func (s *Server) Slack() float64 { return s.Spec.Capacity() - s.TotalDemand() }
+
+// Utilization returns demand relative to the capacity available at the
+// current frequency.
+func (s *Server) Utilization() float64 {
+	cap := s.Spec.CapacityAt(s.freq)
+	if cap <= 0 {
+		return 0
+	}
+	u := s.TotalDemand() / cap
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Overloaded reports whether demand exceeds capacity at max frequency.
+func (s *Server) Overloaded() bool { return s.TotalDemand() > s.Spec.Capacity()+1e-9 }
+
+// Power returns current power draw in watts.
+func (s *Server) Power() float64 {
+	if s.state == Sleeping {
+		return s.Spec.PSleep
+	}
+	return s.Spec.Power(s.freq, s.Utilization())
+}
+
+// host attaches a VM (internal; use DataCenter.Place / Migrate).
+func (s *Server) host(v *VM) { s.vms = append(s.vms, v) }
+
+// unhost detaches a VM.
+func (s *Server) unhost(v *VM) bool {
+	for i, x := range s.vms {
+		if x == v {
+			s.vms = append(s.vms[:i], s.vms[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Constraint decides whether a server may host a candidate set of
+// additional VMs. Implementations must be pure. This is the "more general
+// constraint" hook of Algorithm 1.
+type Constraint interface {
+	// Admits reports whether srv can host its current VMs plus extra.
+	Admits(srv *Server, extra []*VM) bool
+	// Name identifies the constraint for diagnostics.
+	Name() string
+}
+
+// CPUConstraint admits placements whose total demand fits the server's
+// capacity at maximum frequency, with an optional headroom fraction.
+type CPUConstraint struct {
+	// Headroom reserves a fraction of capacity (0.1 = keep 10% free) to
+	// absorb short-term growth between optimizer invocations.
+	Headroom float64
+}
+
+// Admits implements Constraint.
+func (c CPUConstraint) Admits(srv *Server, extra []*VM) bool {
+	d := srv.TotalDemand()
+	for _, v := range extra {
+		d += v.Demand
+	}
+	return d <= srv.Spec.Capacity()*(1-c.Headroom)+1e-9
+}
+
+// Name implements Constraint.
+func (c CPUConstraint) Name() string { return "cpu" }
+
+// MemoryConstraint admits placements whose total VM memory fits the
+// server's physical memory (the administrator-defined constraint used in
+// the Fig. 6 simulations).
+type MemoryConstraint struct{}
+
+// Admits implements Constraint.
+func (MemoryConstraint) Admits(srv *Server, extra []*VM) bool {
+	m := srv.TotalMemory()
+	for _, v := range extra {
+		m += v.MemoryGB
+	}
+	return m <= srv.Spec.MemoryGB+1e-9
+}
+
+// Name implements Constraint.
+func (MemoryConstraint) Name() string { return "memory" }
+
+// And combines constraints conjunctively.
+type And []Constraint
+
+// Admits implements Constraint.
+func (a And) Admits(srv *Server, extra []*VM) bool {
+	for _, c := range a {
+		if !c.Admits(srv, extra) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Constraint.
+func (a And) Name() string {
+	n := "and("
+	for i, c := range a {
+		if i > 0 {
+			n += ","
+		}
+		n += c.Name()
+	}
+	return n + ")"
+}
+
+// Migration records one VM move for cost accounting.
+type Migration struct {
+	VM   *VM
+	From *Server
+	To   *Server
+}
+
+// DataCenter is the collection of servers plus a VM→server index.
+type DataCenter struct {
+	Servers []*Server
+	index   map[string]*Server // VM ID → hosting server
+}
+
+// NewDataCenter builds a data center from servers with unique IDs.
+func NewDataCenter(servers []*Server) (*DataCenter, error) {
+	dc := &DataCenter{Servers: servers, index: make(map[string]*Server)}
+	seen := map[string]bool{}
+	for _, s := range servers {
+		if seen[s.ID] {
+			return nil, fmt.Errorf("cluster: duplicate server ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		for _, v := range s.vms {
+			dc.index[v.ID] = s
+		}
+	}
+	return dc, nil
+}
+
+// Place hosts a previously unplaced VM on srv, waking it if needed.
+func (dc *DataCenter) Place(v *VM, srv *Server) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if _, ok := dc.index[v.ID]; ok {
+		return fmt.Errorf("cluster: VM %s already placed", v.ID)
+	}
+	if srv.cordoned {
+		return fmt.Errorf("cluster: server %s is cordoned for maintenance", srv.ID)
+	}
+	if srv.state == Sleeping {
+		srv.Wake()
+	}
+	srv.host(v)
+	dc.index[v.ID] = srv
+	return nil
+}
+
+// HostOf returns the server hosting VM id, or nil.
+func (dc *DataCenter) HostOf(id string) *Server { return dc.index[id] }
+
+// Migrate moves v to target (live migration). The source server is left
+// active; the optimizer decides separately whether to sleep it.
+func (dc *DataCenter) Migrate(v *VM, target *Server) (Migration, error) {
+	src, ok := dc.index[v.ID]
+	if !ok {
+		return Migration{}, fmt.Errorf("cluster: VM %s is not placed", v.ID)
+	}
+	if src == target {
+		return Migration{}, fmt.Errorf("cluster: VM %s already on %s", v.ID, target.ID)
+	}
+	if target.cordoned {
+		return Migration{}, fmt.Errorf("cluster: server %s is cordoned for maintenance", target.ID)
+	}
+	if !src.unhost(v) {
+		return Migration{}, fmt.Errorf("cluster: index corruption for VM %s", v.ID)
+	}
+	if target.state == Sleeping {
+		target.Wake()
+	}
+	target.host(v)
+	dc.index[v.ID] = target
+	return Migration{VM: v, From: src, To: target}, nil
+}
+
+// Remove unplaces a VM entirely (application decommissioned).
+func (dc *DataCenter) Remove(v *VM) error {
+	src, ok := dc.index[v.ID]
+	if !ok {
+		return fmt.Errorf("cluster: VM %s is not placed", v.ID)
+	}
+	src.unhost(v)
+	delete(dc.index, v.ID)
+	return nil
+}
+
+// VMs returns all placed VMs in deterministic (ID) order.
+func (dc *DataCenter) VMs() []*VM {
+	var out []*VM
+	for _, s := range dc.Servers {
+		out = append(out, s.vms...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveServers returns servers currently powered on.
+func (dc *DataCenter) ActiveServers() []*Server {
+	var out []*Server
+	for _, s := range dc.Servers {
+		if s.state == Active {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NumActive returns the count of active servers.
+func (dc *DataCenter) NumActive() int { return len(dc.ActiveServers()) }
+
+// TotalPower returns the current total power draw in watts.
+func (dc *DataCenter) TotalPower() float64 {
+	p := 0.0
+	for _, s := range dc.Servers {
+		p += s.Power()
+	}
+	return p
+}
+
+// SleepIdle puts every active, empty server to sleep and returns how many
+// were suspended.
+func (dc *DataCenter) SleepIdle() int {
+	n := 0
+	for _, s := range dc.Servers {
+		if s.state == Active && len(s.vms) == 0 {
+			s.Sleep()
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies index consistency; tests call it after
+// optimizer passes.
+func (dc *DataCenter) CheckInvariants() error {
+	count := 0
+	for _, s := range dc.Servers {
+		for _, v := range s.vms {
+			count++
+			if dc.index[v.ID] != s {
+				return fmt.Errorf("cluster: VM %s hosted on %s but indexed to %v", v.ID, s.ID, dc.index[v.ID])
+			}
+		}
+		if s.state == Sleeping && len(s.vms) > 0 {
+			return fmt.Errorf("cluster: sleeping server %s hosts %d VMs", s.ID, len(s.vms))
+		}
+	}
+	if count != len(dc.index) {
+		return fmt.Errorf("cluster: index has %d entries, servers host %d VMs", len(dc.index), count)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMigrationModelValid(t *testing.T) {
+	if err := DefaultMigrationModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationModelValidate(t *testing.T) {
+	cases := map[string]MigrationModel{
+		"zero bandwidth": {BandwidthGbps: 0, DirtyFraction: 0.1, Passes: 2},
+		"dirty >= 1":     {BandwidthGbps: 1, DirtyFraction: 1.0, Passes: 2},
+		"dirty < 0":      {BandwidthGbps: 1, DirtyFraction: -0.1, Passes: 2},
+		"no passes":      {BandwidthGbps: 1, DirtyFraction: 0.1, Passes: 0},
+		"neg overhead":   {BandwidthGbps: 1, DirtyFraction: 0.1, Passes: 2, StopOverheadMS: -1},
+	}
+	for name, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMigrationDurationKnownValue(t *testing.T) {
+	// 8 GB VM over 1 Gbps (= 0.125 GB/s), no redirtying, one pass:
+	// duration = 64 s + downtime; downtime = 0 residual + 30 ms.
+	m := MigrationModel{BandwidthGbps: 1, DirtyFraction: 0, Passes: 1, StopOverheadMS: 30}
+	down := m.Downtime(8)
+	if math.Abs(down-0.03) > 1e-12 {
+		t.Fatalf("downtime = %v, want 0.03", down)
+	}
+	dur := m.Duration(8)
+	if math.Abs(dur-(64+0.03)) > 1e-9 {
+		t.Fatalf("duration = %v, want 64.03", dur)
+	}
+}
+
+func TestMigrationSecondsScale(t *testing.T) {
+	// The paper's motivation: migrations take seconds to minutes. With
+	// the default model a 2 GB VM should take on the order of 10 s total
+	// with sub-second downtime.
+	m := DefaultMigrationModel()
+	dur := m.Duration(2)
+	if dur < 5 || dur > 120 {
+		t.Fatalf("2 GB migration duration %v s implausible", dur)
+	}
+	down := m.Downtime(2)
+	if down <= 0 || down > 1 {
+		t.Fatalf("2 GB downtime %v s implausible", down)
+	}
+	if down >= dur {
+		t.Fatal("downtime must be a small part of duration")
+	}
+}
+
+func TestMigrationZeroMemory(t *testing.T) {
+	m := DefaultMigrationModel()
+	if got := m.Duration(0); math.Abs(got-0.03) > 1e-9 {
+		t.Fatalf("zero-memory duration = %v", got)
+	}
+	if m.NetworkGB(0) != 0 {
+		t.Fatal("zero-memory network traffic must be 0")
+	}
+}
+
+// Properties: duration and downtime increase with memory; more passes
+// reduce downtime but increase duration and network traffic.
+func TestMigrationModelProperties(t *testing.T) {
+	f := func(rawMem float64) bool {
+		mem := 0.1 + math.Mod(math.Abs(rawMem), 64)
+		m := DefaultMigrationModel()
+		if m.Duration(mem) <= m.Duration(mem/2) {
+			return false
+		}
+		if m.Downtime(mem) <= m.Downtime(mem/2) {
+			return false
+		}
+		more := m
+		more.Passes = m.Passes + 2
+		if more.Downtime(mem) >= m.Downtime(mem) {
+			return false
+		}
+		if more.Duration(mem) <= m.Duration(mem) {
+			return false
+		}
+		if more.NetworkGB(mem) <= m.NetworkGB(mem) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkGBAtLeastMemory(t *testing.T) {
+	m := DefaultMigrationModel()
+	if m.NetworkGB(4) < 4 {
+		t.Fatalf("network traffic %v below memory size", m.NetworkGB(4))
+	}
+}

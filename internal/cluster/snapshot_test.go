@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vdcpower/internal/power"
+)
+
+func snapshotDC(t *testing.T) *DataCenter {
+	t.Helper()
+	dc := testDC(t, 3)
+	if err := dc.Place(newVM("v1", 1.5, 2), dc.Servers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(newVM("v2", 0.5, 1), dc.Servers[0]); err != nil {
+		t.Fatal(err)
+	}
+	dc.Servers[0].SetFreq(1.2)
+	dc.Servers[2].Sleep()
+	return dc
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dc := snapshotDC(t)
+	var buf bytes.Buffer
+	if err := dc.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Servers) != 3 {
+		t.Fatalf("servers = %d", len(back.Servers))
+	}
+	if back.Servers[0].Freq() != 1.2 {
+		t.Fatalf("freq = %v", back.Servers[0].Freq())
+	}
+	if back.Servers[2].State() != Sleeping {
+		t.Fatal("sleep state lost")
+	}
+	if back.HostOf("v1") != back.Servers[0] || back.HostOf("v2") != back.Servers[0] {
+		t.Fatal("VM placement lost")
+	}
+	if got := back.Servers[0].TotalDemand(); got != 2.0 {
+		t.Fatalf("demand = %v", got)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	dc := snapshotDC(t)
+	snap := dc.Snapshot()
+	// Mutating the snapshot must not touch the live data center.
+	snap.Servers[0].VMs[0].Demand = 99
+	if dc.Servers[0].VMs()[0].Demand == 99 {
+		t.Fatal("snapshot aliases live VM state")
+	}
+	// And restoring yields independent VMs.
+	back, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Servers[0].VMs()[0].Demand = 7
+	if dc.Servers[0].VMs()[0].Demand == 7 {
+		t.Fatal("restored DC aliases live VM state")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	base := snapshotDC(t).Snapshot()
+
+	badSpec := snapshotDC(t).Snapshot()
+	badSpec.Servers[0].Spec.Cores = 0
+	if _, err := Restore(badSpec); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+
+	sleepWithVMs := snapshotDC(t).Snapshot()
+	sleepWithVMs.Servers[0].Sleeping = true
+	if _, err := Restore(sleepWithVMs); err == nil {
+		t.Fatal("sleeping server with VMs accepted")
+	}
+
+	dupVM := snapshotDC(t).Snapshot()
+	dupVM.Servers[1].VMs = append(dupVM.Servers[1].VMs, dupVM.Servers[0].VMs[0])
+	if _, err := Restore(dupVM); err == nil {
+		t.Fatal("duplicate VM accepted")
+	}
+
+	dupServer := snapshotDC(t).Snapshot()
+	dupServer.Servers[1].ID = dupServer.Servers[0].ID
+	if _, err := Restore(dupServer); err == nil {
+		t.Fatal("duplicate server accepted")
+	}
+
+	badVM := base
+	badVM.Servers[0].VMs[0].Demand = -1
+	if _, err := Restore(badVM); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{broken")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSnapshotOfEmptyDC(t *testing.T) {
+	dc, err := NewDataCenter([]*Server{NewServer("s", power.TypeMid())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(dc.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Servers) != 1 || back.Servers[0].NumVMs() != 0 {
+		t.Fatal("empty DC round trip failed")
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vdcpower/internal/power"
+)
+
+// Stateful property test: a long random sequence of data-center
+// operations must never break the structural invariants. This is the
+// kind of churn the optimizer inflicts over weeks of simulated time.
+func TestRandomOperationSequencePreservesInvariants(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		specs := power.AllTypes()
+		var servers []*Server
+		for i := 0; i < 6; i++ {
+			servers = append(servers, NewServer(fmt.Sprintf("s%d", i), specs[i%3]))
+		}
+		dc, err := NewDataCenter(servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var placed []*VM
+		nextID := 0
+		for op := 0; op < 500; op++ {
+			switch rng.Intn(6) {
+			case 0, 1: // place a new VM
+				v := &VM{
+					ID:       fmt.Sprintf("vm%d", nextID),
+					Demand:   rng.Float64() * 2,
+					MemoryGB: rng.Float64() * 2,
+				}
+				nextID++
+				if err := dc.Place(v, servers[rng.Intn(len(servers))]); err != nil {
+					t.Fatalf("seed %d op %d: place: %v", seed, op, err)
+				}
+				placed = append(placed, v)
+			case 2: // migrate a random VM
+				if len(placed) == 0 {
+					continue
+				}
+				v := placed[rng.Intn(len(placed))]
+				target := servers[rng.Intn(len(servers))]
+				if dc.HostOf(v.ID) == target {
+					continue
+				}
+				if _, err := dc.Migrate(v, target); err != nil {
+					t.Fatalf("seed %d op %d: migrate: %v", seed, op, err)
+				}
+			case 3: // remove a random VM
+				if len(placed) == 0 {
+					continue
+				}
+				i := rng.Intn(len(placed))
+				if err := dc.Remove(placed[i]); err != nil {
+					t.Fatalf("seed %d op %d: remove: %v", seed, op, err)
+				}
+				placed = append(placed[:i], placed[i+1:]...)
+			case 4: // sleep idle servers
+				dc.SleepIdle()
+			case 5: // wake a random server and adjust its frequency
+				s := servers[rng.Intn(len(servers))]
+				if s.State() == Sleeping {
+					s.Wake()
+				}
+				ps := s.Spec.PStates
+				s.SetFreq(ps[rng.Intn(len(ps))])
+			}
+			if err := dc.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+		}
+		// Final audit: every placed VM is findable and hosted exactly once.
+		for _, v := range placed {
+			host := dc.HostOf(v.ID)
+			if host == nil {
+				t.Fatalf("seed %d: VM %s lost", seed, v.ID)
+			}
+			count := 0
+			for _, hosted := range host.VMs() {
+				if hosted == v {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("seed %d: VM %s hosted %d times", seed, v.ID, count)
+			}
+		}
+		if got := len(dc.VMs()); got != len(placed) {
+			t.Fatalf("seed %d: dc has %d VMs, expected %d", seed, got, len(placed))
+		}
+	}
+}
+
+// TotalPower must always equal the sum over servers, whatever the state.
+func TestTotalPowerConsistencyUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dc := testDC(t, 4)
+	for op := 0; op < 100; op++ {
+		s := dc.Servers[rng.Intn(4)]
+		if s.State() == Active && s.NumVMs() == 0 && rng.Intn(2) == 0 {
+			s.Sleep()
+		} else if s.State() == Sleeping {
+			s.Wake()
+		}
+		sum := 0.0
+		for _, srv := range dc.Servers {
+			sum += srv.Power()
+		}
+		if got := dc.TotalPower(); got != sum {
+			t.Fatalf("op %d: TotalPower %v != sum %v", op, got, sum)
+		}
+	}
+}

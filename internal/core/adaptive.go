@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vdcpower/internal/mat"
+	"vdcpower/internal/sysid"
+)
+
+// SetModel swaps the controller's ARX model at run time, rebuilding the
+// underlying MPC with the same tuning. The new model must have the same
+// number of inputs. Online re-identification (AdaptiveController) uses
+// this when the workload drifts far from the operating point of the
+// offline identification experiment.
+func (c *ResponseTimeController) SetModel(m *sysid.Model) error {
+	if m == nil {
+		return errors.New("core: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.NumInputs != c.cfg.Model.NumInputs {
+		return fmt.Errorf("core: new model has %d inputs, want %d", m.NumInputs, c.cfg.Model.NumInputs)
+	}
+	if m.Na > c.cfg.Model.Na || m.Nb > c.cfg.Model.Nb {
+		// Histories are sized for the original orders; allow only equal
+		// or lower orders so the stored history stays sufficient.
+		return fmt.Errorf("core: new model orders (%d,%d) exceed original (%d,%d)",
+			m.Na, m.Nb, c.cfg.Model.Na, c.cfg.Model.Nb)
+	}
+	cfg := c.cfg
+	cfg.Model = m
+	rebuilt, err := NewResponseTimeController(c.app, cfg)
+	if err != nil {
+		return err
+	}
+	// Keep the live histories and counters; only the optimizer changes.
+	c.ctl = rebuilt.ctl
+	c.cfg.Model = m
+	return nil
+}
+
+// Model returns the ARX model currently steering the controller.
+func (c *ResponseTimeController) Model() *sysid.Model { return c.cfg.Model }
+
+// AdaptiveConfig parameterizes an adaptive response time controller.
+type AdaptiveConfig struct {
+	// Base is the underlying controller configuration (its Model steers
+	// until live data justifies a swap).
+	Base ControllerConfig
+	// WindowSize is the number of recent (measurement, allocation)
+	// samples kept for re-identification.
+	WindowSize int
+	// RefitEvery is the number of control periods between refit attempts.
+	RefitEvery int
+	// MinSamples is the minimum window fill before the first attempt.
+	MinSamples int
+	// Ridge is the Tikhonov parameter for the windowed re-fit: live
+	// closed-loop data is often poorly excited, where ordinary least
+	// squares is ill-posed.
+	Ridge float64
+	// ImproveFactor gates the swap: the candidate's one-step RMSE on the
+	// window must be below ImproveFactor × the current model's RMSE.
+	ImproveFactor float64
+	// Dither is the amplitude (GHz) of the persistent-excitation square
+	// waves added to the applied allocations. Closed-loop data leaves
+	// the individual tier gains unidentifiable (the controller moves all
+	// allocations together); a small orthogonal dither — each tier
+	// toggling at a different rate — restores identifiability at a
+	// negligible performance cost. 0 disables it.
+	Dither float64
+}
+
+// DefaultAdaptiveConfig wraps a controller config with standard
+// adaptation tuning.
+func DefaultAdaptiveConfig(base ControllerConfig) AdaptiveConfig {
+	return AdaptiveConfig{
+		Base:          base,
+		WindowSize:    80,
+		RefitEvery:    10,
+		MinSamples:    30,
+		Ridge:         1e-4,
+		ImproveFactor: 0.8,
+		Dither:        0.08,
+	}
+}
+
+// AdaptiveController augments the response time controller with online
+// re-identification: it keeps a rolling window of live measurements,
+// periodically fits a fresh ARX model (ridge-regularized batch least
+// squares), and swaps it into the MPC when the fresh model is credible
+// (stable, CPU increases reduce response time) and clearly explains the
+// recent data better than the current one. This addresses the robustness
+// concern of Section VII-A — "a system that is different from the one
+// used to do system identification" — beyond what feedback alone
+// corrects.
+type AdaptiveController struct {
+	Ctl *ResponseTimeController
+
+	cfg    AdaptiveConfig
+	window *sysid.Dataset
+	refits int
+}
+
+// NewAdaptiveController validates the tuning and builds the controller.
+func NewAdaptiveController(app ControlledApp, cfg AdaptiveConfig) (*AdaptiveController, error) {
+	if cfg.RefitEvery < 1 {
+		return nil, errors.New("core: RefitEvery must be >= 1")
+	}
+	if cfg.MinSamples < 1 {
+		return nil, errors.New("core: MinSamples must be >= 1")
+	}
+	if cfg.WindowSize < cfg.MinSamples {
+		return nil, errors.New("core: WindowSize must be >= MinSamples")
+	}
+	if cfg.Ridge <= 0 {
+		return nil, errors.New("core: Ridge must be positive")
+	}
+	if cfg.ImproveFactor <= 0 || cfg.ImproveFactor > 1 {
+		return nil, errors.New("core: ImproveFactor must be in (0, 1]")
+	}
+	inner, err := NewResponseTimeController(app, cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveController{Ctl: inner, cfg: cfg, window: &sysid.Dataset{}}, nil
+}
+
+// Step runs one control period, records the sample, and periodically
+// attempts a model refit.
+func (a *AdaptiveController) Step() (StepResult, error) {
+	res, err := a.Ctl.Step()
+	if err != nil {
+		return res, err
+	}
+	applied := a.dither(res.Allocations)
+	if !res.Held {
+		// Convention matches sysid.Dataset: the measurement t(k) is
+		// recorded with the allocation c(k) actually applied at the same
+		// instant (including the excitation).
+		a.window.Append(res.T90, applied)
+		if a.window.Len() > a.cfg.WindowSize {
+			a.window.T = a.window.T[1:]
+			a.window.C = a.window.C[1:]
+		}
+	}
+	if a.window.Len() >= a.cfg.MinSamples && a.Ctl.Steps()%a.cfg.RefitEvery == 0 {
+		a.tryRefit()
+	}
+	return res, nil
+}
+
+// dither superimposes per-tier square waves of amplitude cfg.Dither on
+// the controller's allocations, toggling tier i every 2^i periods so the
+// excitation signals are mutually orthogonal, and applies the result.
+// It returns the allocations actually applied.
+func (a *AdaptiveController) dither(alloc []float64) mat.Vec {
+	out := mat.Vec(alloc).Clone()
+	if a.cfg.Dither <= 0 {
+		return out
+	}
+	k := a.Ctl.Steps()
+	for i := range out {
+		sign := 1.0
+		if (k>>uint(i))&1 == 1 {
+			sign = -1
+		}
+		v := out[i] + sign*a.cfg.Dither
+		if v < a.cfg.Base.CMin[i] {
+			v = a.cfg.Base.CMin[i]
+		}
+		if v > a.cfg.Base.CMax[i] {
+			v = a.cfg.Base.CMax[i]
+		}
+		out[i] = v
+		a.Ctl.app.SetAllocation(i, v)
+	}
+	return out
+}
+
+// tryRefit fits a candidate on the window and swaps it in if it clearly
+// wins. Failures are silent: the current model keeps steering.
+func (a *AdaptiveController) tryRefit() {
+	m := a.Ctl.Model()
+	cand, err := sysid.IdentifyRidge(a.window, m.Na, m.Nb, m.NumInputs, a.cfg.Ridge)
+	if err != nil || !credible(cand) {
+		return
+	}
+	curFit, err1 := sysid.Evaluate(m, a.window)
+	candFit, err2 := sysid.Evaluate(cand, a.window)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	if candFit.RMSE >= a.cfg.ImproveFactor*curFit.RMSE {
+		return
+	}
+	if a.Ctl.SetModel(cand) == nil {
+		a.refits++
+	}
+}
+
+// Refits returns how many times the model was swapped.
+func (a *AdaptiveController) Refits() int { return a.refits }
+
+// credible accepts a re-identified model only if it is stable and every
+// input's DC gain is negative (more CPU must not slow the application) —
+// a physically wrong estimate must never steer the loop.
+func credible(m *sysid.Model) bool {
+	if err := m.Validate(); err != nil {
+		return false
+	}
+	if !m.Stable() {
+		return false
+	}
+	for i := 0; i < m.NumInputs; i++ {
+		if m.DCGain(i) >= 0 {
+			return false
+		}
+	}
+	return true
+}

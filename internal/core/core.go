@@ -1,0 +1,263 @@
+// Package core wires the paper's contribution together: a per-application
+// ResponseTimeController that drives the 90-percentile response time of a
+// multi-tier application to its SLA set point by reallocating CPU among
+// the application's VMs (Section IV), and a per-server Arbitrator that
+// aggregates VM demands, grants allocations, and throttles the processor
+// with DVFS (end of Section IV-B). The data-center-level optimizer lives
+// in package optimizer; experiment harnesses in testbed and dcsim drive
+// all three levels together as in Figure 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/mat"
+	"vdcpower/internal/mpc"
+	"vdcpower/internal/sysid"
+)
+
+// ControlledApp is the sensor/actuator surface the response time
+// controller needs from an application: in the simulated testbed it is
+// *appsim.App; in a real deployment it would wrap the hypervisor's CPU
+// credit scheduler and the application's access log.
+type ControlledApp interface {
+	// NumTiers returns the number of VMs (tiers) of the application.
+	NumTiers() int
+	// Allocations returns the current CPU allocation of each tier (GHz).
+	Allocations() []float64
+	// SetAllocation changes tier i's CPU allocation (GHz).
+	SetAllocation(tier int, ghz float64)
+	// DrainResponseTimes returns the response times (seconds) completed
+	// since the last call and resets the window.
+	DrainResponseTimes() []float64
+}
+
+// ControllerConfig parameterizes a response time controller.
+type ControllerConfig struct {
+	// Model is the identified ARX model (Eq. 1) for this application.
+	Model *sysid.Model
+	// Setpoint is the desired 90-percentile response time Ts in seconds.
+	Setpoint float64
+	// P and M are the prediction and control horizons.
+	P, M int
+	// Q is the tracking-error weight; R the per-tier control penalty.
+	Q float64
+	R mat.Vec
+	// TrefPeriods is the reference-trajectory time constant in periods.
+	TrefPeriods float64
+	// CMin and CMax bound the absolute allocation of each tier (GHz).
+	CMin, CMax mat.Vec
+	// DeltaMax optionally bounds the per-period move (GHz); 0 = unbounded.
+	DeltaMax float64
+	// LevelPenalty optionally steers the loop toward the cheapest
+	// SLA-feasible allocation (see mpc.Config.LevelPenalty); 0 keeps the
+	// paper's cost function.
+	LevelPenalty float64
+	// MinWindow is the minimum number of completed requests required to
+	// trust a window's percentile; with fewer samples the controller
+	// holds the previous measurement (a stalled app yields no samples).
+	MinWindow int
+	// Metric selects the regulated SLA statistic. The zero value is the
+	// paper's 90-percentile.
+	Metric SLAMetric
+}
+
+// DefaultControllerConfig returns the tuning used by the paper-style
+// experiments for an application with the given number of tiers.
+func DefaultControllerConfig(model *sysid.Model, setpoint float64) ControllerConfig {
+	m := model.NumInputs
+	uniform := func(x float64) mat.Vec {
+		v := make(mat.Vec, m)
+		for i := range v {
+			v[i] = x
+		}
+		return v
+	}
+	return ControllerConfig{
+		Model:       model,
+		Setpoint:    setpoint,
+		P:           8,
+		M:           2,
+		Q:           1,
+		R:           uniform(0.05),
+		TrefPeriods: 2,
+		CMin:        uniform(0.1),
+		CMax:        uniform(4.0),
+		DeltaMax:    1.0,
+		MinWindow:   5,
+	}
+}
+
+// ResponseTimeController is the application-level controller of Figure 1:
+// one per multi-tier application, invoked once per control period.
+type ResponseTimeController struct {
+	app   ControlledApp
+	ctl   *mpc.Controller
+	cfg   ControllerConfig
+	tHist []float64
+	cHist []mat.Vec
+	lastT float64
+	steps int
+}
+
+// StepResult reports one control period.
+type StepResult struct {
+	T90             float64   // measured SLA metric (90-percentile by default), seconds
+	Samples         int       // completed requests in the window
+	Held            bool      // window too small: measurement held over
+	Allocations     []float64 // allocations applied for the next period
+	TerminalRelaxed bool      // MPC had to relax the terminal constraint
+}
+
+// NewResponseTimeController validates the configuration and attaches the
+// controller to the application.
+func NewResponseTimeController(app ControlledApp, cfg ControllerConfig) (*ResponseTimeController, error) {
+	if app == nil {
+		return nil, errors.New("core: nil application")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("core: nil model")
+	}
+	if app.NumTiers() != cfg.Model.NumInputs {
+		return nil, fmt.Errorf("core: app has %d tiers, model %d inputs", app.NumTiers(), cfg.Model.NumInputs)
+	}
+	if cfg.MinWindow < 0 {
+		return nil, errors.New("core: negative MinWindow")
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("core: unknown SLA metric %d", cfg.Metric)
+	}
+	inner, err := mpc.New(mpc.Config{
+		Model:        cfg.Model,
+		P:            cfg.P,
+		M:            cfg.M,
+		Q:            cfg.Q,
+		R:            cfg.R,
+		TrefPeriods:  cfg.TrefPeriods,
+		Setpoint:     cfg.Setpoint,
+		CMin:         cfg.CMin,
+		CMax:         cfg.CMax,
+		DeltaMax:     cfg.DeltaMax,
+		LevelPenalty: cfg.LevelPenalty,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &ResponseTimeController{app: app, ctl: inner, cfg: cfg, lastT: cfg.Setpoint}
+	// Seed histories so the first Step has a full regressor: assume the
+	// loop starts at rest at the set point with the current allocations.
+	cur := mat.Vec(app.Allocations()).Clone()
+	for i := 0; i <= cfg.Model.Na; i++ {
+		c.tHist = append(c.tHist, cfg.Setpoint)
+	}
+	for j := 0; j <= cfg.Model.Nb; j++ {
+		c.cHist = append(c.cHist, cur.Clone())
+	}
+	return c, nil
+}
+
+// Setpoint returns the current response-time target.
+func (c *ResponseTimeController) Setpoint() float64 { return c.ctl.Setpoint() }
+
+// SetSetpoint retargets the controller at run time.
+func (c *ResponseTimeController) SetSetpoint(ts float64) { c.ctl.SetSetpoint(ts) }
+
+// Demands returns the CPU resource demand of each tier VM in GHz — what
+// the controller most recently requested. The server-level arbitrator and
+// the data-center optimizer consume these (Figure 1's "CPU resource
+// demands" arrows).
+func (c *ResponseTimeController) Demands() []float64 { return c.cHist[0].Clone() }
+
+// Step runs one control period: read the window's 90-percentile response
+// time, solve the MPC problem, and apply the first move to the
+// application's VMs.
+func (c *ResponseTimeController) Step() (StepResult, error) {
+	window := c.app.DrainResponseTimes()
+	res := StepResult{Samples: len(window)}
+	minW := c.cfg.MinWindow
+	if minW == 0 {
+		minW = 1
+	}
+	if len(window) >= minW {
+		c.lastT = c.cfg.Metric.Measure(window)
+	} else {
+		res.Held = true
+	}
+	res.T90 = c.lastT
+
+	// Shift measurement history.
+	c.tHist = append([]float64{c.lastT}, c.tHist...)
+	if len(c.tHist) > c.cfg.Model.Na+1 {
+		c.tHist = c.tHist[:c.cfg.Model.Na+1]
+	}
+
+	out, err := c.ctl.Compute(c.tHist, c.cHist)
+	if err != nil {
+		return res, fmt.Errorf("core: control step failed: %w", err)
+	}
+	res.TerminalRelaxed = out.TerminalRelaxed
+
+	next := c.cHist[0].Clone()
+	for i := range next {
+		next[i] += out.Delta[i]
+		// Defensive clamp: the QP already enforces the box, but floating
+		// point can graze it.
+		if next[i] < c.cfg.CMin[i] {
+			next[i] = c.cfg.CMin[i]
+		}
+		if next[i] > c.cfg.CMax[i] {
+			next[i] = c.cfg.CMax[i]
+		}
+		c.app.SetAllocation(i, next[i])
+	}
+	c.cHist = append([]mat.Vec{next}, c.cHist...)
+	if len(c.cHist) > c.cfg.Model.Nb+1 {
+		c.cHist = c.cHist[:c.cfg.Model.Nb+1]
+	}
+	res.Allocations = next.Clone()
+	c.steps++
+	return res, nil
+}
+
+// Steps returns the number of control periods executed.
+func (c *ResponseTimeController) Steps() int { return c.steps }
+
+// Arbitrator is the server-level CPU resource arbitrator: it collects the
+// CPU demands of the VMs hosted on one server, grants allocations
+// (scaling proportionally when the server is oversubscribed), and
+// throttles the processor to the lowest DVFS frequency that satisfies the
+// aggregate demand.
+type Arbitrator struct {
+	Server *cluster.Server
+	// Headroom keeps a fraction of the chosen frequency's capacity free
+	// when picking the P-state, absorbing intra-period bursts.
+	Headroom float64
+}
+
+// Grant is one VM's arbitrated allocation.
+type Grant struct {
+	VMID    string
+	Demand  float64 // requested GHz
+	Granted float64 // granted GHz (≤ demand when oversubscribed)
+}
+
+// Arbitrate performs one arbitration round and returns the grants plus
+// the chosen frequency.
+func (a *Arbitrator) Arbitrate() ([]Grant, float64) {
+	srv := a.Server
+	total := srv.TotalDemand()
+	capacity := srv.Spec.Capacity()
+	scale := 1.0
+	if total > capacity {
+		scale = capacity / total // proportional scale-down when overloaded
+	}
+	f := srv.Spec.LowestFreqFor(total * (1 + a.Headroom))
+	srv.SetFreq(f)
+	grants := make([]Grant, 0, srv.NumVMs())
+	for _, v := range srv.VMs() {
+		grants = append(grants, Grant{VMID: v.ID, Demand: v.Demand, Granted: v.Demand * scale})
+	}
+	return grants, f
+}

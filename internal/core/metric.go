@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"vdcpower/internal/stats"
+)
+
+// SLAMetric selects which statistic of the per-period response time
+// window the controller regulates. The paper controls the 90-percentile
+// "as an example SLA metric, but our management solution can be extended
+// to control other SLAs such as average or maximum response times"
+// (Section III).
+type SLAMetric int
+
+// Supported SLA metrics. The zero value is the paper's 90-percentile.
+const (
+	P90 SLAMetric = iota
+	P95
+	P99
+	Median
+	Mean
+	Max
+)
+
+// String names the metric.
+func (m SLAMetric) String() string {
+	switch m {
+	case P90:
+		return "p90"
+	case P95:
+		return "p95"
+	case P99:
+		return "p99"
+	case Median:
+		return "median"
+	case Mean:
+		return "mean"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+// Valid reports whether the metric is one of the supported values.
+func (m SLAMetric) Valid() bool { return m >= P90 && m <= Max }
+
+// Measure computes the metric over a window of response times. The
+// window must be non-empty.
+func (m SLAMetric) Measure(window []float64) float64 {
+	switch m {
+	case P95:
+		return stats.Percentile(window, 95)
+	case P99:
+		return stats.Percentile(window, 99)
+	case Median:
+		return stats.Percentile(window, 50)
+	case Mean:
+		return stats.Mean(window)
+	case Max:
+		mx := window[0]
+		for _, x := range window[1:] {
+			if x > mx {
+				mx = x
+			}
+		}
+		return mx
+	default:
+		return stats.Percentile(window, 90)
+	}
+}

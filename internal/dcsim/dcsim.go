@@ -1,0 +1,350 @@
+// Package dcsim is the large-scale data-center simulator of Section VI-B:
+// it replays a utilization trace as per-VM CPU demands over a fleet of
+// heterogeneous servers (the three CPU types of the paper), invokes a
+// consolidation policy on the optimizer's long time scale, applies DVFS
+// between invocations when the policy supports it, and accounts energy.
+// It regenerates Figure 6 and the consolidation ablations.
+package dcsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/packing"
+	"vdcpower/internal/power"
+	"vdcpower/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Trace  *workload.Trace
+	NumVMs int // VMs drawn from the head of the trace
+
+	// FleetSize is the number of physical servers available. The paper
+	// generates a fixed fleet of 3,000 servers and assumes every data
+	// center "has enough inactive servers"; the fleet does NOT scale
+	// with the VM count, which is why per-VM energy grows with data
+	// center size — the efficient servers run out.
+	FleetSize int
+	// FleetMix gives the fraction of high-end, mid and low servers.
+	// High-end servers are deliberately scarce so large data centers
+	// spill onto less efficient hardware.
+	FleetMix [3]float64
+
+	// Per-VM peak CPU requirement (GHz) and memory (GB), drawn uniformly
+	// from these ranges; trace utilization scales the peak.
+	VMPeakMin, VMPeakMax float64
+	VMMemMin, VMMemMax   float64
+
+	Seed int64
+
+	// OptimizeEverySteps is the optimizer invocation interval in trace
+	// steps (16 steps of 15 min = 4 hours — "hours to days").
+	OptimizeEverySteps int
+
+	Consolidator optimizer.Consolidator
+
+	// Headroom is the DVFS frequency-selection headroom.
+	Headroom float64
+
+	// ProvisionPeak makes the initial placement use each VM's peak
+	// demand over the whole trace instead of its first-step demand —
+	// how a static (non-consolidating) data center must be provisioned
+	// to avoid overload.
+	ProvisionPeak bool
+
+	// WatchdogEverySteps enables the on-demand overload reliever of
+	// Section III (the paper's reference [25]): every this many trace
+	// steps, VMs are moved off overloaded servers without waiting for
+	// the next full optimizer invocation. 0 disables it.
+	WatchdogEverySteps int
+
+	// CountSleepPower includes PSleep of suspended servers in the energy
+	// account. The paper treats inactive servers as powered off and
+	// unaccounted, so the default is false.
+	CountSleepPower bool
+
+	// OnStep, if set, observes every trace step: the instantaneous
+	// power, the active server count, and the aggregate VM demand. Use
+	// it to extract diurnal time series without rerunning.
+	OnStep func(step int, powerW float64, activeServers int, demandGHz float64)
+
+	// OnDone, if set, receives the final data center before Run returns —
+	// for snapshotting (cluster.Snapshot) or custom inspection.
+	OnDone func(dc *cluster.DataCenter)
+}
+
+// DefaultConfig mirrors Section VI-B for the given trace slice size.
+func DefaultConfig(trace *workload.Trace, numVMs int, cons optimizer.Consolidator) Config {
+	return Config{
+		Trace:              trace,
+		NumVMs:             numVMs,
+		FleetSize:          3000,
+		FleetMix:           [3]float64{0.08, 0.25, 0.67},
+		VMPeakMin:          1.0,
+		VMPeakMax:          3.0,
+		VMMemMin:           0.25,
+		VMMemMax:           1.5,
+		Seed:               7,
+		OptimizeEverySteps: 16,
+		Consolidator:       cons,
+		Headroom:           0.1,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy        string
+	NumVMs        int
+	NumServers    int
+	Steps         int
+	TotalEnergyWh float64
+	EnergyPerVMWh float64
+	Migrations    int
+	Vetoed        int
+	Unresolved    int
+	MeanActive    float64
+	FinalActive   int
+	// OverloadSteps counts (server, step) pairs where an active server's
+	// demand exceeded its capacity — time spent violating performance.
+	OverloadSteps int
+	// WatchdogMoves counts migrations performed by the on-demand
+	// overload reliever (included in Migrations).
+	WatchdogMoves int
+}
+
+// String renders the result on one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: vms=%d servers=%d energy/VM=%.1f Wh migrations=%d meanActive=%.1f",
+		r.Policy, r.NumVMs, r.NumServers, r.EnergyPerVMWh, r.Migrations, r.MeanActive)
+}
+
+// Run executes the simulation over the whole trace.
+func Run(cfg Config) (Result, error) {
+	if cfg.Trace == nil {
+		return Result{}, fmt.Errorf("dcsim: nil trace")
+	}
+	if cfg.Consolidator == nil {
+		return Result{}, fmt.Errorf("dcsim: nil consolidator")
+	}
+	tr, err := cfg.Trace.Slice(cfg.NumVMs)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// VM population: peak requirement and memory per VM.
+	peaks := make([]float64, cfg.NumVMs)
+	vms := make([]*cluster.VM, cfg.NumVMs)
+	for i := 0; i < cfg.NumVMs; i++ {
+		peaks[i] = cfg.VMPeakMin + (cfg.VMPeakMax-cfg.VMPeakMin)*rng.Float64()
+		vms[i] = &cluster.VM{
+			ID:       tr.Names[i],
+			Demand:   tr.At(i, 0) * peaks[i],
+			MemoryGB: cfg.VMMemMin + (cfg.VMMemMax-cfg.VMMemMin)*rng.Float64(),
+		}
+	}
+
+	// Server fleet: the three CPU types of Section VI-B with the
+	// configured mix, interleaved deterministically so the index order
+	// carries no efficiency bias.
+	nServers := cfg.FleetSize
+	if nServers < 3 {
+		return Result{}, fmt.Errorf("dcsim: fleet of %d is too small", nServers)
+	}
+	types := power.AllTypes()
+	counts := [3]int{}
+	mixSum := cfg.FleetMix[0] + cfg.FleetMix[1] + cfg.FleetMix[2]
+	if mixSum <= 0 {
+		return Result{}, fmt.Errorf("dcsim: fleet mix %v sums to zero", cfg.FleetMix)
+	}
+	for i := 0; i < 2; i++ {
+		counts[i] = int(math.Round(float64(nServers) * cfg.FleetMix[i] / mixSum))
+	}
+	counts[2] = nServers - counts[0] - counts[1]
+	if counts[2] < 0 {
+		return Result{}, fmt.Errorf("dcsim: fleet mix %v is inconsistent", cfg.FleetMix)
+	}
+	servers := make([]*cluster.Server, 0, nServers)
+	remaining := counts
+	for len(servers) < nServers {
+		for t := 0; t < 3; t++ {
+			if remaining[t] > 0 {
+				servers = append(servers, cluster.NewServer(fmt.Sprintf("srv-%04d", len(servers)), types[t]))
+				remaining[t]--
+			}
+		}
+	}
+	dc, err := cluster.NewDataCenter(servers)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Initial placement: FFD at the first step's demands — a neutral
+	// starting point shared by every policy — or at peak demands when
+	// provisioning statically.
+	placeDemand := make([]float64, cfg.NumVMs)
+	for i := range placeDemand {
+		placeDemand[i] = vms[i].Demand
+		if cfg.ProvisionPeak {
+			peakU := 0.0
+			for k := 0; k < tr.NumSteps(); k++ {
+				if u := tr.At(i, k); u > peakU {
+					peakU = u
+				}
+			}
+			placeDemand[i] = peakU * peaks[i]
+		}
+	}
+	if err := initialPlacement(dc, vms, placeDemand); err != nil {
+		return Result{}, err
+	}
+	dc.SleepIdle()
+
+	res := Result{
+		Policy:     cfg.Consolidator.Name(),
+		NumVMs:     cfg.NumVMs,
+		NumServers: nServers,
+		Steps:      tr.NumSteps(),
+	}
+	var meter power.Meter
+	activeSum := 0.0
+	for k := 0; k < tr.NumSteps(); k++ {
+		// New demands from the trace.
+		for i, v := range vms {
+			v.Demand = tr.At(i, k) * peaks[i]
+		}
+		if k%cfg.OptimizeEverySteps == 0 {
+			rep, err := cfg.Consolidator.Consolidate(dc)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Migrations += rep.Migrations
+			res.Vetoed += rep.Vetoed
+			res.Unresolved += rep.Unresolved
+		} else if cfg.WatchdogEverySteps > 0 && k%cfg.WatchdogEverySteps == 0 {
+			rep, err := optimizer.ResolveOverloads(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom},
+				packing.DefaultMinSlackConfig())
+			if err != nil {
+				return Result{}, err
+			}
+			res.Migrations += rep.Migrations
+			res.WatchdogMoves += rep.Migrations
+			res.Unresolved += rep.Unresolved
+		}
+		// Server-level frequency decision for the step, and energy
+		// accounting. Suspended servers are treated as powered off
+		// (unaccounted) unless CountSleepPower is set.
+		stepPower := 0.0
+		for _, s := range dc.Servers {
+			if s.State() != cluster.Active {
+				if cfg.CountSleepPower {
+					stepPower += s.Spec.PSleep
+				}
+				continue
+			}
+			if cfg.Consolidator.UsesDVFS() {
+				s.SetFreq(s.Spec.LowestFreqFor(s.TotalDemand() * (1 + cfg.Headroom)))
+			} else {
+				s.SetFreq(s.Spec.MaxFreq)
+			}
+			if s.Overloaded() {
+				res.OverloadSteps++
+			}
+			stepPower += s.Power()
+		}
+		meter.Accumulate(stepPower, tr.StepSeconds)
+		activeSum += float64(dc.NumActive())
+		if cfg.OnStep != nil {
+			demand := 0.0
+			for _, v := range vms {
+				demand += v.Demand
+			}
+			cfg.OnStep(k, stepPower, dc.NumActive(), demand)
+		}
+	}
+	res.TotalEnergyWh = meter.Wh()
+	res.EnergyPerVMWh = meter.Wh() / float64(cfg.NumVMs)
+	res.MeanActive = activeSum / float64(tr.NumSteps())
+	res.FinalActive = dc.NumActive()
+	if err := dc.CheckInvariants(); err != nil {
+		return Result{}, err
+	}
+	if cfg.OnDone != nil {
+		cfg.OnDone(dc)
+	}
+	return res, nil
+}
+
+// initialPlacement first-fit-decreasing places the VMs using the given
+// per-VM provisioning demands.
+func initialPlacement(dc *cluster.DataCenter, vms []*cluster.VM, demands []float64) error {
+	var bins []*packing.Bin
+	for _, s := range dc.Servers {
+		bins = append(bins, &packing.Bin{
+			ID:         s.ID,
+			CPUCap:     s.Spec.Capacity(),
+			MemCap:     s.Spec.MemoryGB,
+			Efficiency: s.Spec.Efficiency(),
+		})
+	}
+	items := make([]packing.Item, len(vms))
+	byID := map[string]*cluster.VM{}
+	for i, v := range vms {
+		items[i] = packing.Item{ID: v.ID, CPU: demands[i], Mem: v.MemoryGB}
+		byID[v.ID] = v
+	}
+	asg, unplaced := packing.FirstFitDecreasing(items, bins, packing.VectorConstraint{})
+	if len(unplaced) > 0 {
+		return fmt.Errorf("dcsim: %d VMs could not be placed initially", len(unplaced))
+	}
+	serverByID := map[string]*cluster.Server{}
+	for _, s := range dc.Servers {
+		serverByID[s.ID] = s
+	}
+	// Iterate the item slice, not the assignment map: map order is
+	// random per process and would make per-server VM order — and with
+	// it floating-point summation — nondeterministic.
+	for _, it := range items {
+		binID, ok := asg[it.ID]
+		if !ok {
+			continue
+		}
+		if err := dc.Place(byID[it.ID], serverByID[binID]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig6Point is one x-position of Figure 6: energy per VM over the whole
+// trace for each policy at a given data-center size.
+type Fig6Point struct {
+	NumVMs  int
+	PerVMWh map[string]float64 // policy name → Wh per VM
+}
+
+// Fig6 sweeps data-center sizes and runs every policy on identical
+// workloads, reproducing the paper's energy-per-VM comparison. Policies
+// are constructed fresh per run via the factory functions so no state
+// leaks between sizes.
+func Fig6(trace *workload.Trace, sizes []int, policies []func() optimizer.Consolidator) ([]Fig6Point, error) {
+	var out []Fig6Point
+	for _, n := range sizes {
+		pt := Fig6Point{NumVMs: n, PerVMWh: map[string]float64{}}
+		for _, mk := range policies {
+			cons := mk()
+			cfg := DefaultConfig(trace, n, cons)
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.PerVMWh[cons.Name()] = res.EnergyPerVMWh
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

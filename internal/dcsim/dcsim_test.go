@@ -1,0 +1,207 @@
+package dcsim
+
+import (
+	"testing"
+
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/workload"
+)
+
+// testTrace returns a small shared trace (120 VMs, 2 days) for tests.
+func testTrace(t testing.TB) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.GenConfig{NumVMs: 120, Days: 2, StepsPerHour: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := testTrace(t)
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	cfg := DefaultConfig(tr, 10, nil)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("nil consolidator accepted")
+	}
+	cfg = DefaultConfig(tr, 9999, optimizer.NewIPAC())
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("oversized slice accepted")
+	}
+}
+
+func TestRunIPACBasics(t *testing.T) {
+	tr := testTrace(t)
+	cfg := DefaultConfig(tr, 60, optimizer.NewIPAC())
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumVMs != 60 || res.Steps != tr.NumSteps() {
+		t.Fatalf("bad dims %+v", res)
+	}
+	if res.TotalEnergyWh <= 0 || res.EnergyPerVMWh <= 0 {
+		t.Fatalf("no energy accounted: %+v", res)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("IPAC never migrated on a diurnal trace")
+	}
+	if res.MeanActive <= 0 || res.MeanActive > float64(res.NumServers) {
+		t.Fatalf("implausible MeanActive %v", res.MeanActive)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := testTrace(t)
+	r1, err := Run(DefaultConfig(tr, 40, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(DefaultConfig(tr, 40, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalEnergyWh != r2.TotalEnergyWh || r1.Migrations != r2.Migrations {
+		t.Fatalf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestIPACBeatsPMapperEnergy(t *testing.T) {
+	// The headline Fig. 6 claim: IPAC consumes meaningfully less energy
+	// per VM than pMapper on the same workload.
+	tr := testTrace(t)
+	ipac, err := Run(DefaultConfig(tr, 80, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Run(DefaultConfig(tr, 80, optimizer.NewPMapper()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipac.EnergyPerVMWh >= pm.EnergyPerVMWh {
+		t.Fatalf("IPAC %.1f Wh/VM not below pMapper %.1f Wh/VM",
+			ipac.EnergyPerVMWh, pm.EnergyPerVMWh)
+	}
+	saving := 1 - ipac.EnergyPerVMWh/pm.EnergyPerVMWh
+	if saving < 0.05 {
+		t.Fatalf("saving only %.1f%%, expected a clear margin", saving*100)
+	}
+	t.Logf("IPAC saves %.1f%% vs pMapper (%.1f vs %.1f Wh/VM)",
+		saving*100, ipac.EnergyPerVMWh, pm.EnergyPerVMWh)
+}
+
+func TestConsolidationBeatsPeakProvisionedStatic(t *testing.T) {
+	// The honest static baseline must be provisioned for peak demand (or
+	// it silently violates SLAs). IPAC then wins on energy while keeping
+	// overloads resolved.
+	tr := testTrace(t)
+	ipac, err := Run(DefaultConfig(tr, 60, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticCfg := DefaultConfig(tr, 60, optimizer.NoOp{DVFS: true})
+	staticCfg.ProvisionPeak = true
+	static, err := Run(staticCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.OverloadSteps != 0 {
+		t.Fatalf("peak-provisioned static should never overload, got %d", static.OverloadSteps)
+	}
+	if ipac.EnergyPerVMWh >= static.EnergyPerVMWh {
+		t.Fatalf("IPAC %.1f not below peak-provisioned static %.1f",
+			ipac.EnergyPerVMWh, static.EnergyPerVMWh)
+	}
+}
+
+func TestStaticFirstStepPlacementOverloads(t *testing.T) {
+	// Provisioning at the midnight-Monday demand and never re-mapping
+	// leaves servers overloaded at peak hours; IPAC's overload resolution
+	// keeps violations far lower on the same workload.
+	tr := testTrace(t)
+	static, err := Run(DefaultConfig(tr, 60, optimizer.NoOp{DVFS: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.OverloadSteps == 0 {
+		t.Fatal("static first-step placement unexpectedly never overloads")
+	}
+	ipac, err := Run(DefaultConfig(tr, 60, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipac.OverloadSteps*3 >= static.OverloadSteps {
+		t.Fatalf("IPAC overload steps %d not well below static %d",
+			ipac.OverloadSteps, static.OverloadSteps)
+	}
+}
+
+func TestDVFSAblation(t *testing.T) {
+	// IPAC with DVFS must beat IPAC without DVFS: the second saving
+	// source the paper credits.
+	tr := testTrace(t)
+	with, err := Run(DefaultConfig(tr, 60, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(DefaultConfig(tr, 60, optimizer.WithoutDVFS{Inner: optimizer.NewIPAC()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.EnergyPerVMWh >= without.EnergyPerVMWh {
+		t.Fatalf("DVFS saved nothing: %.1f vs %.1f", with.EnergyPerVMWh, without.EnergyPerVMWh)
+	}
+}
+
+func TestFig6SweepShape(t *testing.T) {
+	tr := testTrace(t)
+	points, err := Fig6(tr, []int{30, 90}, []func() optimizer.Consolidator{
+		func() optimizer.Consolidator { return optimizer.NewIPAC() },
+		func() optimizer.Consolidator { return optimizer.NewPMapper() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points=%d", len(points))
+	}
+	for _, p := range points {
+		if p.PerVMWh["IPAC"] <= 0 || p.PerVMWh["pMapper"] <= 0 {
+			t.Fatalf("missing policies at n=%d: %v", p.NumVMs, p.PerVMWh)
+		}
+		if p.PerVMWh["IPAC"] >= p.PerVMWh["pMapper"] {
+			t.Fatalf("IPAC not winning at n=%d: %v", p.NumVMs, p.PerVMWh)
+		}
+	}
+}
+
+func TestCostPolicyReducesMigrations(t *testing.T) {
+	tr := testTrace(t)
+	free, err := Run(DefaultConfig(tr, 60, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	priced := optimizer.NewIPAC()
+	priced.Policy = optimizer.BandwidthPriced{WattsPerGB: 20}
+	pr, err := Run(DefaultConfig(tr, 60, priced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Migrations >= free.Migrations {
+		t.Fatalf("pricing did not reduce migrations: %d vs %d", pr.Migrations, free.Migrations)
+	}
+}
+
+func BenchmarkRunIPAC60VMs(b *testing.B) {
+	tr := testTrace(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(DefaultConfig(tr, 60, optimizer.NewIPAC())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

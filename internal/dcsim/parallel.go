@@ -1,0 +1,73 @@
+package dcsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/workload"
+)
+
+// Fig6Parallel computes the same sweep as Fig6 but fans the independent
+// (size, policy) runs out over a worker pool — each run is deterministic
+// and isolated, so the results are identical to the serial sweep while
+// the wall-clock drops by roughly the core count. workers <= 0 selects
+// GOMAXPROCS.
+func Fig6Parallel(trace *workload.Trace, sizes []int, policies []func() optimizer.Consolidator, workers int) ([]Fig6Point, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		sizeIdx, polIdx int
+	}
+	type outcome struct {
+		job
+		name  string
+		perVM float64
+		err   error
+	}
+	jobs := make(chan job)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cons := policies[j.polIdx]()
+				res, err := Run(DefaultConfig(trace, sizes[j.sizeIdx], cons))
+				results <- outcome{job: j, name: cons.Name(), perVM: res.EnergyPerVMWh, err: err}
+			}
+		}()
+	}
+	go func() {
+		for si := range sizes {
+			for pi := range policies {
+				jobs <- job{sizeIdx: si, polIdx: pi}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	points := make([]Fig6Point, len(sizes))
+	for i, n := range sizes {
+		points[i] = Fig6Point{NumVMs: n, PerVMWh: map[string]float64{}}
+	}
+	var firstErr error
+	for out := range results {
+		if out.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dcsim: size %d policy %d: %w", sizes[out.sizeIdx], out.polIdx, out.err)
+			continue
+		}
+		if out.err == nil {
+			points[out.sizeIdx].PerVMWh[out.name] = out.perVM
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return points, nil
+}

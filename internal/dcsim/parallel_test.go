@@ -1,0 +1,61 @@
+package dcsim
+
+import (
+	"testing"
+
+	"vdcpower/internal/optimizer"
+)
+
+func TestFig6ParallelMatchesSerial(t *testing.T) {
+	tr := testTrace(t)
+	sizes := []int{30, 60, 90}
+	policies := []func() optimizer.Consolidator{
+		func() optimizer.Consolidator { return optimizer.NewIPAC() },
+		func() optimizer.Consolidator { return optimizer.NewPMapper() },
+	}
+	serial, err := Fig6(tr, sizes, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig6Parallel(tr, sizes, policies, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("lengths differ: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if parallel[i].NumVMs != serial[i].NumVMs {
+			t.Fatalf("size order changed at %d", i)
+		}
+		for name, v := range serial[i].PerVMWh {
+			if parallel[i].PerVMWh[name] != v {
+				t.Fatalf("size %d policy %s: %v != %v",
+					serial[i].NumVMs, name, parallel[i].PerVMWh[name], v)
+			}
+		}
+	}
+}
+
+func TestFig6ParallelDefaultWorkers(t *testing.T) {
+	tr := testTrace(t)
+	points, err := Fig6Parallel(tr, []int{40}, []func() optimizer.Consolidator{
+		func() optimizer.Consolidator { return optimizer.NewIPAC() },
+	}, 0) // 0 → GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].PerVMWh["IPAC"] <= 0 {
+		t.Fatalf("bad points %+v", points)
+	}
+}
+
+func TestFig6ParallelPropagatesErrors(t *testing.T) {
+	tr := testTrace(t)
+	_, err := Fig6Parallel(tr, []int{99999}, []func() optimizer.Consolidator{
+		func() optimizer.Consolidator { return optimizer.NewIPAC() },
+	}, 2)
+	if err == nil {
+		t.Fatal("oversized slice did not error")
+	}
+}

@@ -1,0 +1,81 @@
+package dcsim
+
+import (
+	"sort"
+	"testing"
+
+	"vdcpower/internal/optimizer"
+)
+
+func TestOnStepObservesEveryStep(t *testing.T) {
+	tr := testTrace(t)
+	cfg := DefaultConfig(tr, 50, optimizer.NewIPAC())
+	var steps []int
+	var powerOK, demandOK = true, true
+	cfg.OnStep = func(k int, powerW float64, active int, demand float64) {
+		steps = append(steps, k)
+		if powerW <= 0 || active <= 0 {
+			powerOK = false
+		}
+		if demand <= 0 {
+			demandOK = false
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != tr.NumSteps() {
+		t.Fatalf("OnStep called %d times, want %d", len(steps), tr.NumSteps())
+	}
+	for i, k := range steps {
+		if k != i {
+			t.Fatalf("steps out of order at %d: %d", i, k)
+		}
+	}
+	if !powerOK || !demandOK {
+		t.Fatal("implausible series values")
+	}
+}
+
+func TestOnStepSeriesTracksDiurnalDemand(t *testing.T) {
+	// The power series must correlate with the demand series: higher
+	// demand steps should on average draw more power than low ones.
+	tr := testTrace(t)
+	cfg := DefaultConfig(tr, 80, optimizer.NewIPAC())
+	type pt struct{ power, demand float64 }
+	var pts []pt
+	cfg.OnStep = func(_ int, powerW float64, _ int, demand float64) {
+		pts = append(pts, pt{powerW, demand})
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Split at the median demand and compare mean powers.
+	var lo, hi, nlo, nhi float64
+	ds := make([]float64, len(pts))
+	for i, p := range pts {
+		ds[i] = p.demand
+	}
+	med := median(ds)
+	for _, p := range pts {
+		if p.demand <= med {
+			lo += p.power
+			nlo++
+		} else {
+			hi += p.power
+			nhi++
+		}
+	}
+	if nlo == 0 || nhi == 0 {
+		t.Skip("degenerate demand distribution")
+	}
+	if hi/nhi <= lo/nlo {
+		t.Fatalf("power does not track demand: high %.1f vs low %.1f", hi/nhi, lo/nlo)
+	}
+}
+
+func median(ds []float64) float64 {
+	ds = append([]float64(nil), ds...)
+	sort.Float64s(ds)
+	return ds[len(ds)/2]
+}

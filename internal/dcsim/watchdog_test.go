@@ -1,0 +1,69 @@
+package dcsim
+
+import (
+	"testing"
+
+	"vdcpower/internal/optimizer"
+)
+
+func TestWatchdogReducesOverloadSteps(t *testing.T) {
+	// IPAC every 16 steps leaves servers overloaded between invocations;
+	// the per-step watchdog should cut those violations sharply.
+	tr := testTrace(t)
+	base := DefaultConfig(tr, 80, optimizer.NewIPAC())
+	noWD, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWDCfg := DefaultConfig(tr, 80, optimizer.NewIPAC())
+	withWDCfg.WatchdogEverySteps = 1
+	withWD, err := Run(withWDCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noWD.OverloadSteps == 0 {
+		t.Skip("workload produced no overloads; nothing to relieve")
+	}
+	if withWD.OverloadSteps*2 >= noWD.OverloadSteps {
+		t.Fatalf("watchdog ineffective: %d vs %d overload steps",
+			withWD.OverloadSteps, noWD.OverloadSteps)
+	}
+	if withWD.WatchdogMoves == 0 {
+		t.Fatal("watchdog never moved a VM")
+	}
+	if withWD.Migrations <= noWD.Migrations {
+		t.Fatal("watchdog moves not reflected in total migrations")
+	}
+}
+
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	tr := testTrace(t)
+	res, err := Run(DefaultConfig(tr, 40, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WatchdogMoves != 0 {
+		t.Fatalf("watchdog ran while disabled: %d moves", res.WatchdogMoves)
+	}
+}
+
+func TestWatchdogCostsEnergyButAssuresPerformance(t *testing.T) {
+	// The performance/power trade the paper manages: relieving overloads
+	// wakes servers, so the watchdog may spend some extra energy. Verify
+	// it's bounded (not a blow-up) while violations drop.
+	tr := testTrace(t)
+	noWD, err := Run(DefaultConfig(tr, 80, optimizer.NewIPAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(tr, 80, optimizer.NewIPAC())
+	cfg.WatchdogEverySteps = 1
+	withWD, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withWD.EnergyPerVMWh > noWD.EnergyPerVMWh*1.3 {
+		t.Fatalf("watchdog energy blow-up: %.1f vs %.1f Wh/VM",
+			withWD.EnergyPerVMWh, noWD.EnergyPerVMWh)
+	}
+}

@@ -1,0 +1,123 @@
+// Package devs is a small discrete-event simulation kernel: a virtual
+// clock and a priority queue of callbacks. It underlies the multi-tier
+// application simulator that stands in for the paper's Xen/RUBBoS testbed.
+//
+// Determinism: events at equal timestamps fire in scheduling order, so a
+// simulation driven by seeded randomness is fully reproducible.
+package devs
+
+import "container/heap"
+
+// Event is a scheduled callback. The zero Event is not valid; obtain
+// events from Simulator.Schedule or Simulator.After.
+type Event struct {
+	Time      float64
+	fn        func()
+	seq       uint64
+	index     int // heap index, -1 once popped or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already fired or
+// cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns a virtual clock and the pending event queue.
+type Simulator struct {
+	now  float64
+	heap eventHeap
+	seq  uint64
+}
+
+// NewSimulator returns a simulator with the clock at zero.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Simulator) Schedule(at float64, fn func()) *Event {
+	if at < s.now {
+		panic("devs: scheduling event in the past")
+	}
+	e := &Event{Time: at, fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After queues fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if the queue is empty. Cancelled events are discarded
+// without firing.
+func (s *Simulator) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.Time
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires every event with Time <= t and then advances the clock
+// to exactly t.
+func (s *Simulator) RunUntil(t float64) {
+	for len(s.heap) > 0 && s.heap[0].Time <= t {
+		if !s.Step() {
+			break
+		}
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Run drains the queue completely.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}

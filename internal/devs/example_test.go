@@ -1,0 +1,21 @@
+package devs_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/devs"
+)
+
+func ExampleSimulator() {
+	sim := devs.NewSimulator()
+	sim.Schedule(2.0, func() { fmt.Println("second at", sim.Now()) })
+	sim.Schedule(1.0, func() {
+		fmt.Println("first at", sim.Now())
+		sim.After(0.5, func() { fmt.Println("follow-up at", sim.Now()) })
+	})
+	sim.Run()
+	// Output:
+	// first at 1
+	// follow-up at 1.5
+	// second at 2
+}

@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// maxActiveSetIters bounds the active-set loop. The MPC problems this
+// package serves have a handful of constraints, so the bound is generous.
+const maxActiveSetIters = 200
+
+// constrainedLSWithMultipliers solves the equality-constrained least
+// squares problem and additionally returns the Lagrange multipliers of
+// the constraint rows.
+func constrainedLSWithMultipliers(a *Mat, b Vec, c *Mat, d Vec) (x, lambda Vec, err error) {
+	if c == nil || c.Rows == 0 {
+		x, err = LeastSquares(a, b)
+		return x, nil, err
+	}
+	n, p := a.Cols, c.Rows
+	ata := a.T().Mul(a)
+	atb := a.T().MulVec(b)
+	kkt := NewMat(n+p, n+p)
+	rhs := make(Vec, n+p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, 2*ata.At(i, j))
+		}
+		rhs[i] = 2 * atb[i]
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(n+i, j, c.At(i, j))
+			kkt.Set(j, n+i, c.At(i, j))
+		}
+		rhs[n+i] = d[i]
+	}
+	sol, err := SolveLinear(kkt, rhs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol[:n], sol[n:], nil
+}
+
+// InequalityLS minimizes ||A·x − b||₂ subject to C·x = d and G·x ≤ h
+// using a primal active-set method. The equality constraints stay active
+// throughout; inequality rows are activated when violated and deactivated
+// when their multiplier turns negative.
+//
+// The method assumes the problem is feasible and A has full column rank
+// after the constraints are imposed, which holds for the MPC programs in
+// this repository (the control-penalty term regularizes the Hessian).
+func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
+	if g == nil || g.Rows == 0 {
+		return EqConstrainedLS(a, b, c, d)
+	}
+	if g.Cols != a.Cols {
+		return nil, fmt.Errorf("mat: InequalityLS mismatched unknowns: A has %d, G has %d", a.Cols, g.Cols)
+	}
+	if len(h) != g.Rows {
+		return nil, errors.New("mat: InequalityLS rhs dimension mismatch")
+	}
+	nEq := 0
+	if c != nil {
+		nEq = c.Rows
+	}
+	active := make([]bool, g.Rows)
+	const tol = 1e-9
+	for iter := 0; iter < maxActiveSetIters; iter++ {
+		// Assemble the working constraint set: equalities + active bounds.
+		var rows [][]float64
+		var rhs Vec
+		for i := 0; i < nEq; i++ {
+			rows = append(rows, c.Row(i))
+			rhs = append(rhs, d[i])
+		}
+		var activeIdx []int
+		for i, on := range active {
+			if on {
+				rows = append(rows, g.Row(i))
+				rhs = append(rhs, h[i])
+				activeIdx = append(activeIdx, i)
+			}
+		}
+		var work *Mat
+		if len(rows) > 0 {
+			work = FromRows(rows)
+		}
+		x, lambda, err := constrainedLSWithMultipliers(a, b, work, rhs)
+		if err != nil {
+			return nil, err
+		}
+		// Find the most violated inactive inequality.
+		worst, worstViol := -1, tol
+		for i := 0; i < g.Rows; i++ {
+			if active[i] {
+				continue
+			}
+			if v := g.Row(i).Dot(x) - h[i]; v > worstViol {
+				worst, worstViol = i, v
+			}
+		}
+		if worst >= 0 {
+			active[worst] = true
+			continue
+		}
+		// All inequalities satisfied: check multipliers of the active set.
+		drop := -1
+		dropVal := -tol
+		for k, gi := range activeIdx {
+			if mu := lambda[nEq+k]; mu < dropVal {
+				drop, dropVal = gi, mu
+			}
+		}
+		if drop >= 0 {
+			active[drop] = false
+			continue
+		}
+		return x, nil
+	}
+	return nil, errors.New("mat: InequalityLS active-set did not converge")
+}

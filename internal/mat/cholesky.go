@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the factorization A = L·Lᵀ of a symmetric positive
+// definite matrix. It is the fast path for normal-equation solves such
+// as ridge-regularized identification.
+type Cholesky struct {
+	l *Mat // lower triangle
+}
+
+// FactorizeCholesky factorizes a symmetric positive definite matrix. It
+// returns ErrSingular if a non-positive pivot is met (A not SPD).
+func FactorizeCholesky(a *Mat) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 1e-13 {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve returns x with A·x = b.
+func (c *Cholesky) Solve(b Vec) Vec {
+	n := c.l.Rows
+	if len(b) != n {
+		panic("mat: Cholesky.Solve dimension mismatch")
+	}
+	// Forward: L·y = b.
+	y := make(Vec, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// Inverse returns A⁻¹ for a square nonsingular matrix, via LU with
+// partial pivoting. Prefer the Solve methods when a single system is
+// needed; the explicit inverse exists for covariance reporting.
+func Inverse(a *Mat) (*Mat, error) {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewMat(n, n)
+	e := make(Vec, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := f.Solve(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+		e[j] = 0
+	}
+	return inv, nil
+}
+
+// RidgeLS minimizes ‖A·x − b‖² + λ‖x‖² via the regularized normal
+// equations (AᵀA + λI)·x = Aᵀb, factorized with Cholesky. λ > 0
+// guarantees a solution even for rank-deficient A — the fallback used
+// when an identification experiment lacks persistent excitation.
+func RidgeLS(a *Mat, b Vec, lambda float64) (Vec, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("mat: ridge parameter %v must be positive", lambda)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("mat: RidgeLS rhs length %d, want %d", len(b), a.Rows)
+	}
+	ata := a.T().Mul(a)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	f, err := FactorizeCholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(a.T().MulVec(b)), nil
+}

@@ -1,0 +1,182 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskySolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	f, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(Vec{6, 5})
+	if !vecAlmostEq(a.MulVec(x), Vec{6, 5}, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	if _, err := FactorizeCholesky(FromRows([][]float64{{1, 2}, {2, 1}})); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	if _, err := FactorizeCholesky(NewMat(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := FactorizeCholesky(NewMat(2, 2)); err == nil {
+		t.Fatal("zero matrix accepted")
+	}
+}
+
+// Property: for random SPD matrices (BᵀB + I), Cholesky solves match LU.
+func TestCholeskyMatchesLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		b := NewMat(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := b.T().Mul(b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		rhs := make(Vec, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		cf, err := FactorizeCholesky(a)
+		if err != nil {
+			return false
+		}
+		x1 := cf.Solve(rhs)
+		x2, err := SolveLinear(a, rhs)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEq(x1, x2, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeLSShrinksTowardZero(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := Vec{2, 2, 4}
+	small, err := RidgeLS(a, b, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RidgeLS(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Vec(big).Norm() >= Vec(small).Norm() {
+		t.Fatalf("large λ did not shrink: %v vs %v", big, small)
+	}
+	// λ→0 approaches the ordinary least squares solution (2, 2).
+	if !vecAlmostEq(small, Vec{2, 2}, 1e-6) {
+		t.Fatalf("λ→0 solution %v, want (2,2)", small)
+	}
+}
+
+func TestRidgeLSHandlesRankDeficiency(t *testing.T) {
+	// Perfectly collinear columns: QR-based LS fails, ridge succeeds.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := Vec{2, 4, 6}
+	if _, err := LeastSquares(a, b); err == nil {
+		t.Fatal("expected LS to fail on collinear columns")
+	}
+	x, err := RidgeLS(a, b, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction must still fit: x1 + x2 ≈ 2.
+	if math.Abs(x[0]+x[1]-2) > 1e-3 {
+		t.Fatalf("ridge fit %v does not predict", x)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !vecAlmostEq(inv.Data, want.Data, 1e-10) {
+		t.Fatalf("Inverse = %v", inv)
+	}
+	prod := a.Mul(inv)
+	if !vecAlmostEq(prod.Data, Identity(2).Data, 1e-10) {
+		t.Fatalf("A·A⁻¹ = %v", prod)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	if _, err := Inverse(FromRows([][]float64{{1, 2}, {2, 4}})); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+// Property: A·A⁻¹ ≈ I for random well-conditioned matrices.
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEq(a.Mul(inv).Data, Identity(n).Data, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeLSValidation(t *testing.T) {
+	a := Identity(2)
+	if _, err := RidgeLS(a, Vec{1, 1}, 0); err == nil {
+		t.Fatal("λ=0 accepted")
+	}
+	if _, err := RidgeLS(a, Vec{1}, 1); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+}
+
+func BenchmarkCholesky16(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	n := 16
+	m := NewMat(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	a := m.T().Mul(m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	rhs := make(Vec, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := FactorizeCholesky(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Solve(rhs)
+	}
+}

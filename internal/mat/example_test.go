@@ -1,0 +1,41 @@
+package mat_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/mat"
+)
+
+func ExampleSolveLinear() {
+	a := mat.FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := mat.SolveLinear(a, mat.Vec{3, 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("x = [%.2f %.2f]\n", x[0], x[1])
+	// Output: x = [0.80 1.40]
+}
+
+func ExampleLeastSquares() {
+	// Fit y = 2x + 1 from noiseless samples.
+	a := mat.FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	coef, err := mat.LeastSquares(a, mat.Vec{1, 3, 5, 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("slope %.1f intercept %.1f\n", coef[0], coef[1])
+	// Output: slope 2.0 intercept 1.0
+}
+
+func ExampleInequalityLS() {
+	// Closest point to (3, 3) on the plane x+y=2 with x ≤ 0.5.
+	obj := mat.Identity(2)
+	eq := mat.FromRows([][]float64{{1, 1}})
+	ineq := mat.FromRows([][]float64{{1, 0}})
+	x, err := mat.InequalityLS(obj, mat.Vec{3, 3}, eq, mat.Vec{2}, ineq, mat.Vec{0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("x = [%.2f %.2f]\n", x[0], x[1])
+	// Output: x = [0.50 1.50]
+}

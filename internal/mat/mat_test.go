@@ -1,0 +1,479 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVecDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecNorm(t *testing.T) {
+	if got := (Vec{3, 4}).Norm(); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+}
+
+func TestVecAddScaled(t *testing.T) {
+	v := Vec{1, 1}
+	v.AddScaled(2, Vec{1, 2})
+	if !vecAlmostEq(v, Vec{3, 5}, 0) {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestVecSubAddScaleClone(t *testing.T) {
+	v := Vec{5, 7}
+	w := Vec{1, 2}
+	if got := v.Sub(w); !vecAlmostEq(got, Vec{4, 5}, 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Add(w); !vecAlmostEq(got, Vec{6, 9}, 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	c := v.Clone()
+	c.Scale(2)
+	if !vecAlmostEq(v, Vec{5, 7}, 0) {
+		t.Fatal("Clone did not isolate storage")
+	}
+	if !vecAlmostEq(c, Vec{10, 14}, 0) {
+		t.Fatalf("Scale = %v", c)
+	}
+}
+
+func TestVecMax(t *testing.T) {
+	if got := (Vec{-3, 7, 2}).Max(); got != 7 {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.Mul(Identity(2))
+	if !vecAlmostEq(got.Data, a.Data, 0) {
+		t.Fatalf("A·I = %v", got)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !vecAlmostEq(got.Data, want.Data, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec(Vec{5, 6})
+	if !vecAlmostEq(got, Vec{17, 39}, 1e-12) {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMatTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatRowColSetRow(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if !vecAlmostEq(a.Row(1), Vec{3, 4}, 0) {
+		t.Fatalf("Row = %v", a.Row(1))
+	}
+	if !vecAlmostEq(a.Col(0), Vec{1, 3}, 0) {
+		t.Fatalf("Col = %v", a.Col(0))
+	}
+	a.SetRow(0, Vec{9, 9})
+	if a.At(0, 1) != 9 {
+		t.Fatal("SetRow did not apply")
+	}
+	r := a.Row(0)
+	r[0] = -1
+	if a.At(0, 0) != 9 {
+		t.Fatal("Row should not alias matrix storage")
+	}
+}
+
+func TestMatAddScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.Add(a).Scale(0.5)
+	if !vecAlmostEq(got.Data, a.Data, 1e-12) {
+		t.Fatalf("(A+A)/2 = %v", got)
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, Vec{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{0.8, 1.4}, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, Vec{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, Vec{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{3, 2}, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorizeLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-9) {
+		t.Fatalf("Det = %v, want -6", f.Det())
+	}
+}
+
+// Property: for random well-conditioned systems, A·Solve(A,b) ≈ b.
+func TestSolveLinearProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make(Vec, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEq(a.MulVec(x), b, 1e-7)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square full-rank system: least squares must reproduce the solution.
+	a := FromRows([][]float64{{2, 0}, {0, 3}})
+	x, err := LeastSquares(a, Vec{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{2, 3}, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 from noiseless samples.
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := Vec{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{2, 1}, 1e-10) {
+		t.Fatalf("fit = %v, want [2 1]", x)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space.
+func TestLeastSquaresNormalEquationsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := n + 1 + r.Intn(8)
+		a := NewMat(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make(Vec, m)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return true // rank-deficient random draw: skip
+		}
+		resid := a.MulVec(x).Sub(b)
+		grad := a.T().MulVec(resid)
+		return grad.Norm() < 1e-6*(1+b.Norm())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqConstrainedLS(t *testing.T) {
+	// minimize ||x||² subject to x1 + x2 = 2 → x = (1, 1).
+	a := Identity(2)
+	b := Vec{0, 0}
+	c := FromRows([][]float64{{1, 1}})
+	x, err := EqConstrainedLS(a, b, c, Vec{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{1, 1}, 1e-9) {
+		t.Fatalf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestEqConstrainedLSNilConstraint(t *testing.T) {
+	a := Identity(2)
+	x, err := EqConstrainedLS(a, Vec{3, 4}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{3, 4}, 1e-9) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestEqConstrainedLSSatisfiesConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		m := n + rng.Intn(5)
+		a := NewMat(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make(Vec, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		c := NewMat(1, n)
+		for i := range c.Data {
+			c.Data[i] = rng.NormFloat64() + 0.1
+		}
+		d := Vec{rng.NormFloat64()}
+		x, err := EqConstrainedLS(a, b, c, d)
+		if err != nil {
+			continue
+		}
+		if got := c.MulVec(x)[0]; !almostEq(got, d[0], 1e-6) {
+			t.Fatalf("trial %d: Cx = %v, want %v", trial, got, d[0])
+		}
+	}
+}
+
+func TestInequalityLSInactive(t *testing.T) {
+	// Unconstrained optimum already satisfies the bounds.
+	a := Identity(2)
+	b := Vec{1, 1}
+	g := FromRows([][]float64{{1, 0}, {0, 1}})
+	h := Vec{5, 5}
+	x, err := InequalityLS(a, b, nil, nil, g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{1, 1}, 1e-9) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestInequalityLSActiveBound(t *testing.T) {
+	// minimize ||x - (3,3)||² s.t. x1 <= 1: optimum clamps x1.
+	a := Identity(2)
+	b := Vec{3, 3}
+	g := FromRows([][]float64{{1, 0}})
+	h := Vec{1}
+	x, err := InequalityLS(a, b, nil, nil, g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{1, 3}, 1e-8) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestInequalityLSWithEqualityAndBounds(t *testing.T) {
+	// minimize ||x - (4,0)||² s.t. x1 + x2 = 2, x1 <= 1.5.
+	// Without the bound x = (3, -1); with the bound x1 = 1.5, x2 = 0.5.
+	a := Identity(2)
+	b := Vec{4, 0}
+	c := FromRows([][]float64{{1, 1}})
+	g := FromRows([][]float64{{1, 0}})
+	x, err := InequalityLS(a, b, c, Vec{2}, g, Vec{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{1.5, 0.5}, 1e-8) {
+		t.Fatalf("x = %v, want [1.5 0.5]", x)
+	}
+}
+
+func TestInequalityLSDropConstraint(t *testing.T) {
+	// Start from a state where activating then releasing a bound is
+	// required: lower bound -x1 <= 0 (x1 >= 0) with target inside.
+	a := Identity(2)
+	b := Vec{2, 2}
+	g := FromRows([][]float64{{-1, 0}, {0, -1}, {1, 0}, {0, 1}})
+	h := Vec{0, 0, 5, 5}
+	x, err := InequalityLS(a, b, nil, nil, g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, Vec{2, 2}, 1e-8) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+// Property: InequalityLS output always satisfies its constraints and never
+// beats the unconstrained optimum.
+func TestInequalityLSFeasibilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		a := Identity(n)
+		b := make(Vec, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 3
+		}
+		// Box |x_i| <= 1 expressed as 2n inequality rows.
+		g := NewMat(2*n, n)
+		h := make(Vec, 2*n)
+		for i := 0; i < n; i++ {
+			g.Set(i, i, 1)
+			h[i] = 1
+			g.Set(n+i, i, -1)
+			h[n+i] = 1
+		}
+		x, err := InequalityLS(a, b, nil, nil, g, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if x[i] > 1+1e-7 || x[i] < -1-1e-7 {
+				t.Fatalf("trial %d: infeasible x = %v", trial, x)
+			}
+			// For this separable problem the optimum is the clamp.
+			want := math.Max(-1, math.Min(1, b[i]))
+			if !almostEq(x[i], want, 1e-6) {
+				t.Fatalf("trial %d: x[%d] = %v, want clamp %v", trial, i, x[i], want)
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatString(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("String is empty")
+	}
+}
+
+func BenchmarkSolveLinear16(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 16
+	a := NewMat(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+20)
+	}
+	rhs := make(Vec, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLinear(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquares64x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewMat(64, 8)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	rhs := make(Vec, 64)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	lu   *Mat  // combined L (unit lower) and U storage
+	piv  []int // row permutation
+	sign int   // permutation parity, for Det
+}
+
+// FactorizeLU computes the LU factorization of the square matrix a.
+func FactorizeLU(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: LU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude in column k.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(lu.At(i, k)); ab > maxAbs {
+				p, maxAbs = i, ab
+			}
+		}
+		if maxAbs < 1e-13 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.Data[k*n+j], lu.Data[p*n+j] = lu.Data[p*n+j], lu.Data[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Data[i*n+j] -= f * lu.Data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve returns x such that A·x = b using the factorization.
+func (f *LU) Solve(b Vec) Vec {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("mat: LU.Solve dimension mismatch")
+	}
+	x := make(Vec, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear solves the square system A·x = b.
+func SolveLinear(a *Mat, b Vec) (Vec, error) {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// QR holds a Householder QR factorization A = Q·R for Rows >= Cols.
+type QR struct {
+	qr   *Mat // R in the upper triangle, Householder vectors below
+	tau  Vec  // Householder scalars
+	rows int
+	cols int
+}
+
+// FactorizeQR computes a Householder QR factorization of a (Rows >= Cols).
+func FactorizeQR(a *Mat) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("mat: QR needs rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	tau := make(Vec, n)
+	for k := 0; k < n; k++ {
+		// Norm of the trailing part of column k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm < 1e-13 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = -norm // diagonal of R
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau, rows: m, cols: n}, nil
+}
+
+// Solve returns the least-squares solution x minimizing ||A·x - b||₂.
+func (f *QR) Solve(b Vec) Vec {
+	if len(b) != f.rows {
+		panic("mat: QR.Solve dimension mismatch")
+	}
+	m, n := f.rows, f.cols
+	y := b.Clone()
+	// Apply Qᵀ to b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R (diag stored in tau).
+	x := make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.tau[i]
+	}
+	return x
+}
+
+// LeastSquares minimizes ||A·x - b||₂ for a (possibly tall) full-rank A.
+func LeastSquares(a *Mat, b Vec) (Vec, error) {
+	f, err := FactorizeQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// EqConstrainedLS minimizes ||A·x - b||₂ subject to C·x = d by solving the
+// KKT system
+//
+//	[ 2AᵀA  Cᵀ ] [x] = [2Aᵀb]
+//	[  C    0  ] [λ]   [  d ]
+//
+// A must have at least as many rows as columns and C must have full row
+// rank with C.Rows <= A.Cols.
+func EqConstrainedLS(a *Mat, b Vec, c *Mat, d Vec) (Vec, error) {
+	if c == nil || c.Rows == 0 {
+		return LeastSquares(a, b)
+	}
+	if a.Cols != c.Cols {
+		return nil, fmt.Errorf("mat: EqConstrainedLS mismatched unknowns: A has %d, C has %d", a.Cols, c.Cols)
+	}
+	if len(b) != a.Rows || len(d) != c.Rows {
+		return nil, errors.New("mat: EqConstrainedLS rhs dimension mismatch")
+	}
+	n, p := a.Cols, c.Rows
+	ata := a.T().Mul(a)
+	atb := a.T().MulVec(b)
+	kkt := NewMat(n+p, n+p)
+	rhs := make(Vec, n+p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, 2*ata.At(i, j))
+		}
+		rhs[i] = 2 * atb[i]
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(n+i, j, c.At(i, j))
+			kkt.Set(j, n+i, c.At(i, j))
+		}
+		rhs[n+i] = d[i]
+	}
+	sol, err := SolveLinear(kkt, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return sol[:n], nil
+}

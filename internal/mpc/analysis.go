@@ -1,0 +1,180 @@
+package mpc
+
+import (
+	"errors"
+	"math"
+
+	"vdcpower/internal/mat"
+	"vdcpower/internal/sysid"
+)
+
+// Analysis reports closed-loop behavior from a simulated run of the
+// controller against a plant (Section IV-B's "analyze the control
+// performance"). The nominal case (plant == controller model) verifies
+// the design; the mismatch case measures robustness margins.
+type Analysis struct {
+	// Converged reports whether the output entered and stayed inside the
+	// ±Band around the set point.
+	Converged bool
+	// SettlingPeriods is the first period after which the output never
+	// leaves the band (0-based; meaningful only if Converged).
+	SettlingPeriods int
+	// Overshoot is the largest excursion past the set point on the far
+	// side, as a fraction of the initial error (0 = no overshoot).
+	Overshoot float64
+	// FinalError is |t − Ts| at the end of the run.
+	FinalError float64
+}
+
+// AnalyzeOptions tunes the closed-loop analysis.
+type AnalyzeOptions struct {
+	// Plant is the true system; nil means the controller's own model
+	// (nominal analysis).
+	Plant *sysid.Model
+	// InitialT is the starting response time.
+	InitialT float64
+	// InitialC is the starting allocation (defaults to mid-range).
+	InitialC mat.Vec
+	// Periods is the simulation length (default 60).
+	Periods int
+	// Band is the settling band around the set point (default 2%).
+	Band float64
+}
+
+// Analyze closes the loop between the controller defined by cfg and a
+// linear plant, and reports settling behavior. It never touches a real
+// application: both controller and plant are the ARX models, which makes
+// it a design-time tool for choosing P, M, Q, R and Tref.
+func Analyze(cfg Config, opt AnalyzeOptions) (Analysis, error) {
+	ctl, err := New(cfg)
+	if err != nil {
+		return Analysis{}, err
+	}
+	plant := opt.Plant
+	if plant == nil {
+		plant = cfg.Model
+	}
+	if plant.NumInputs != cfg.Model.NumInputs {
+		return Analysis{}, errors.New("mpc: plant and model input counts differ")
+	}
+	periods := opt.Periods
+	if periods <= 0 {
+		periods = 60
+	}
+	band := opt.Band
+	if band <= 0 {
+		band = 0.02
+	}
+	m := cfg.Model.NumInputs
+	c0 := opt.InitialC
+	if c0 == nil {
+		c0 = make(mat.Vec, m)
+		for i := range c0 {
+			c0[i] = (cfg.CMin[i] + cfg.CMax[i]) / 2
+		}
+	}
+
+	histLen := plant.Na
+	if cfg.Model.Na > histLen {
+		histLen = cfg.Model.Na
+	}
+	tHist := make([]float64, histLen+1)
+	for i := range tHist {
+		tHist[i] = opt.InitialT
+	}
+	cLen := plant.Nb
+	if cfg.Model.Nb > cLen {
+		cLen = cfg.Model.Nb
+	}
+	cHist := make([]mat.Vec, cLen+1)
+	for i := range cHist {
+		cHist[i] = c0.Clone()
+	}
+
+	initialErr := math.Abs(opt.InitialT - cfg.Setpoint)
+	if initialErr == 0 {
+		initialErr = 1e-9
+	}
+	res := Analysis{SettlingPeriods: -1}
+	lastOutside := -1
+	cur := c0.Clone()
+	startAbove := opt.InitialT > cfg.Setpoint
+	for k := 0; k < periods; k++ {
+		out, err := ctl.Compute(tHist, cHist)
+		if err != nil {
+			return Analysis{}, err
+		}
+		cur = cur.Add(out.Delta)
+		cHist = append([]mat.Vec{cur.Clone()}, cHist...)
+		if len(cHist) > cLen+1 {
+			cHist = cHist[:cLen+1]
+		}
+		y := plant.Predict(tHist, cHist)
+		tHist = append([]float64{y}, tHist...)
+		if len(tHist) > histLen+1 {
+			tHist = tHist[:histLen+1]
+		}
+		if math.Abs(y-cfg.Setpoint) > band*cfg.Setpoint {
+			lastOutside = k
+		}
+		// Overshoot: excursion past the set point on the opposite side.
+		if startAbove && y < cfg.Setpoint {
+			if o := (cfg.Setpoint - y) / initialErr; o > res.Overshoot {
+				res.Overshoot = o
+			}
+		}
+		if !startAbove && y > cfg.Setpoint {
+			if o := (y - cfg.Setpoint) / initialErr; o > res.Overshoot {
+				res.Overshoot = o
+			}
+		}
+		res.FinalError = math.Abs(y - cfg.Setpoint)
+	}
+	if lastOutside < periods-1 {
+		res.Converged = true
+		res.SettlingPeriods = lastOutside + 1
+	}
+	return res, nil
+}
+
+// GainMargin returns the largest factor g (searched over candidates) by
+// which the plant's input gains can exceed the model's while the loop
+// still converges — a robustness margin for the identified model. The
+// candidates must be ascending.
+func GainMargin(cfg Config, candidates []float64, opt AnalyzeOptions) (float64, error) {
+	if len(candidates) == 0 {
+		return 0, errors.New("mpc: no candidate gains")
+	}
+	margin := 0.0
+	for _, g := range candidates {
+		plant := scaleGains(cfg.Model, g)
+		o := opt
+		o.Plant = plant
+		a, err := Analyze(cfg, o)
+		if err != nil {
+			return margin, err
+		}
+		if !a.Converged {
+			break
+		}
+		margin = g
+	}
+	if margin == 0 {
+		return 0, errors.New("mpc: loop does not converge even at the smallest candidate")
+	}
+	return margin, nil
+}
+
+// scaleGains clones the model with B (and the offset, to keep the same
+// operating point reachable) scaled by g.
+func scaleGains(m *sysid.Model, g float64) *sysid.Model {
+	out := &sysid.Model{
+		Na: m.Na, Nb: m.Nb, NumInputs: m.NumInputs,
+		A:     append([]float64(nil), m.A...),
+		Gamma: m.Gamma * g,
+	}
+	for _, b := range m.B {
+		out.B = append(out.B, b.Clone().Scale(g))
+	}
+	return out
+}

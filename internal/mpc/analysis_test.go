@@ -1,0 +1,87 @@
+package mpc
+
+import (
+	"testing"
+
+	"vdcpower/internal/mat"
+	"vdcpower/internal/sysid"
+)
+
+func TestAnalyzeNominalConverges(t *testing.T) {
+	a, err := Analyze(defaultConfig(), AnalyzeOptions{InitialT: 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatalf("nominal loop did not converge: %+v", a)
+	}
+	if a.SettlingPeriods > 20 {
+		t.Fatalf("settling too slow: %d periods", a.SettlingPeriods)
+	}
+	if a.FinalError > 0.02 {
+		t.Fatalf("final error %v", a.FinalError)
+	}
+}
+
+func TestAnalyzeFromBelow(t *testing.T) {
+	a, err := Analyze(defaultConfig(), AnalyzeOptions{InitialT: 0.2, InitialC: mat.Vec{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatalf("loop did not converge from below: %+v", a)
+	}
+}
+
+func TestAnalyzeOvershootBounded(t *testing.T) {
+	a, err := Analyze(defaultConfig(), AnalyzeOptions{InitialT: 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exponential reference trajectory should keep overshoot modest.
+	if a.Overshoot > 0.3 {
+		t.Fatalf("overshoot %.2f too large", a.Overshoot)
+	}
+}
+
+func TestAnalyzeMismatchedPlant(t *testing.T) {
+	// 50% stronger plant gains: feedback must still converge.
+	plant := plantModel()
+	for j := range plant.B {
+		plant.B[j] = plant.B[j].Clone().Scale(1.5)
+	}
+	plant.Gamma *= 1.5
+	a, err := Analyze(defaultConfig(), AnalyzeOptions{Plant: plant, InitialT: 3.0, Periods: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatalf("loop with 1.5× plant gains did not converge: %+v", a)
+	}
+}
+
+func TestAnalyzeRejectsMismatchedInputs(t *testing.T) {
+	one := &sysid.Model{Na: 1, Nb: 1, NumInputs: 1, A: []float64{0.4}, B: []mat.Vec{{-1}}, Gamma: 2}
+	if _, err := Analyze(defaultConfig(), AnalyzeOptions{Plant: one}); err == nil {
+		t.Fatal("input mismatch accepted")
+	}
+}
+
+func TestGainMargin(t *testing.T) {
+	margin, err := GainMargin(defaultConfig(), []float64{1, 1.5, 2, 3, 5, 8}, AnalyzeOptions{InitialT: 3.0, Periods: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bias-corrected MPC tolerates at least 1.5× gain error (the
+	// robustness Figs. 4–5 demonstrate empirically).
+	if margin < 1.5 {
+		t.Fatalf("gain margin %v too small", margin)
+	}
+	t.Logf("gain margin: %vx", margin)
+}
+
+func TestGainMarginValidation(t *testing.T) {
+	if _, err := GainMargin(defaultConfig(), nil, AnalyzeOptions{InitialT: 3}); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+}

@@ -1,0 +1,317 @@
+// Package mpc implements the model predictive controller of Section IV-B:
+// at the end of every control period it minimizes the cost function
+//
+//	J(k) = Σ_{i=1..P} ‖t(k+i|k) − ref(k+i|k)‖²_Q + Σ_{i=0..M−1} ‖Δc(k+i|k)‖²_R
+//
+// over the input trajectory Δc, subject to the terminal constraint
+// t(k+M|k) = Ts (Eq. 4) and box constraints on the absolute CPU
+// allocations, where ref is the exponential reference trajectory of
+// Eq. (3). Predictions come from the identified ARX model (package sysid);
+// the optimization reduces to an inequality-constrained least squares
+// problem solved by package mat. Only the first move is applied
+// (receding horizon).
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vdcpower/internal/mat"
+	"vdcpower/internal/sysid"
+)
+
+// Config parameterizes a controller for one application.
+type Config struct {
+	Model *sysid.Model
+
+	P int // prediction horizon, in control periods
+	M int // control horizon, M <= P
+
+	Q           float64 // tracking error weight
+	R           mat.Vec // control penalty per input (length = Model.NumInputs)
+	TrefPeriods float64 // reference trajectory time constant, in control periods
+	Setpoint    float64 // Ts, the desired response time (seconds)
+
+	CMin, CMax mat.Vec // absolute allocation bounds per input (GHz)
+	DeltaMax   float64 // optional per-period |Δc| bound per input; 0 = unbounded
+
+	// LevelPenalty optionally adds a small cost on the absolute
+	// allocation level above CMin, so that among the many allocations
+	// achieving the set point the controller drifts to the cheapest one
+	// (most CPU on the highest-gain tier). This is the economic reading
+	// of the paper's remark that R can "give preference to increasing"
+	// the hungrier VM; 0 disables it and reproduces the paper's cost
+	// (Eq. 2) exactly.
+	LevelPenalty float64
+}
+
+// Controller solves the receding-horizon problem. It is stateless across
+// calls: callers provide the measurement history.
+type Controller struct {
+	cfg Config
+	m   int // number of inputs
+}
+
+// New validates the configuration and returns a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("mpc: nil model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Model.NumInputs
+	if cfg.P < 1 || cfg.M < 1 || cfg.M > cfg.P {
+		return nil, fmt.Errorf("mpc: bad horizons P=%d M=%d", cfg.P, cfg.M)
+	}
+	if cfg.Q <= 0 {
+		return nil, errors.New("mpc: Q must be positive")
+	}
+	if len(cfg.R) != m {
+		return nil, fmt.Errorf("mpc: R has %d entries, want %d", len(cfg.R), m)
+	}
+	for _, r := range cfg.R {
+		if r <= 0 {
+			return nil, errors.New("mpc: R entries must be positive")
+		}
+	}
+	if cfg.TrefPeriods <= 0 {
+		return nil, errors.New("mpc: TrefPeriods must be positive")
+	}
+	if cfg.Setpoint <= 0 {
+		return nil, errors.New("mpc: Setpoint must be positive")
+	}
+	if len(cfg.CMin) != m || len(cfg.CMax) != m {
+		return nil, fmt.Errorf("mpc: bounds length mismatch (want %d)", m)
+	}
+	for i := range cfg.CMin {
+		if cfg.CMin[i] < 0 || cfg.CMax[i] <= cfg.CMin[i] {
+			return nil, fmt.Errorf("mpc: invalid bounds for input %d: [%v, %v]", i, cfg.CMin[i], cfg.CMax[i])
+		}
+	}
+	return &Controller{cfg: cfg, m: m}, nil
+}
+
+// Setpoint returns the configured response-time target.
+func (c *Controller) Setpoint() float64 { return c.cfg.Setpoint }
+
+// SetSetpoint retargets the controller (used by the set-point sweep of
+// Fig. 5).
+func (c *Controller) SetSetpoint(ts float64) { c.cfg.Setpoint = ts }
+
+// Result carries the control decision and diagnostics.
+type Result struct {
+	Delta     mat.Vec   // Δc(k): change to apply to each input now
+	Predicted []float64 // predicted t(k+1..k+P) under the chosen trajectory
+	// TerminalRelaxed reports that the terminal constraint had to be
+	// dropped to keep the problem feasible (e.g. a workload surge that
+	// even maximum allocation cannot absorb within M periods).
+	TerminalRelaxed bool
+}
+
+// Compute solves the receding-horizon problem. tPast[0] is the current
+// measurement t(k), tPast[1] is t(k−1), and so on (at least Model.Na+1
+// entries). cPast[0] is the most recently applied allocation c(k−1), etc.
+// (at least Model.Nb entries).
+func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
+	cfg := c.cfg
+	if len(tPast) < cfg.Model.Na+1 {
+		return Result{}, fmt.Errorf("mpc: need %d response samples, have %d", cfg.Model.Na+1, len(tPast))
+	}
+	if len(cPast) < cfg.Model.Nb {
+		return Result{}, fmt.Errorf("mpc: need %d allocation samples, have %d", cfg.Model.Nb, len(cPast))
+	}
+	for _, cv := range cPast {
+		if len(cv) != c.m {
+			return Result{}, fmt.Errorf("mpc: allocation dimension %d, want %d", len(cv), c.m)
+		}
+	}
+
+	nu := cfg.M * c.m // number of unknowns
+
+	// Feedback correction (the MPC re-computation rationale of Section
+	// IV-B): the constant output disturbance that reconciles the model's
+	// one-step prediction with the actual measurement. Propagating it
+	// through the rollout gives offset-free tracking under model
+	// mismatch.
+	bias := tPast[0] - cfg.Model.Predict(tPast[1:], cPast)
+
+	// Free response and dynamic matrix by superposition: the ARX model is
+	// linear, so each unknown's effect is one forward rollout.
+	free := c.rollout(tPast, cPast, nil, bias)
+	g := mat.NewMat(cfg.P, nu)
+	unit := make(mat.Vec, nu)
+	for q := 0; q < nu; q++ {
+		unit[q] = 1
+		resp := c.rollout(tPast, cPast, unit, bias)
+		for i := 0; i < cfg.P; i++ {
+			g.Set(i, q, resp[i]-free[i])
+		}
+		unit[q] = 0
+	}
+
+	// Reference trajectory, Eq. (3).
+	tNow := tPast[0]
+	ref := make(mat.Vec, cfg.P)
+	for i := 1; i <= cfg.P; i++ {
+		ref[i-1] = cfg.Setpoint - math.Exp(-float64(i)/cfg.TrefPeriods)*(cfg.Setpoint-tNow)
+	}
+
+	// Least-squares rows: sqrt(Q)·(G·Δ − (ref − free)), sqrt(R)·Δ, and
+	// optionally sqrt(LevelPenalty)·(c_final − CMin).
+	rows := cfg.P + nu
+	if cfg.LevelPenalty > 0 {
+		rows += c.m
+	}
+	a := mat.NewMat(rows, nu)
+	b := make(mat.Vec, rows)
+	sq := math.Sqrt(cfg.Q)
+	for i := 0; i < cfg.P; i++ {
+		for q := 0; q < nu; q++ {
+			a.Set(i, q, sq*g.At(i, q))
+		}
+		b[i] = sq * (ref[i] - free[i])
+	}
+	for q := 0; q < nu; q++ {
+		a.Set(cfg.P+q, q, math.Sqrt(cfg.R[q%c.m]))
+		// b stays 0: penalize the move itself.
+	}
+	if cfg.LevelPenalty > 0 {
+		// Final allocation level: c(k+M−1)[i] = c0[i] + Σ_l Δ[l·m+i].
+		sl := math.Sqrt(cfg.LevelPenalty)
+		for i := 0; i < c.m; i++ {
+			r := cfg.P + nu + i
+			for l := 0; l < cfg.M; l++ {
+				a.Set(r, l*c.m+i, sl)
+			}
+			b[r] = sl * (cfg.CMin[i] - cPast[0][i])
+		}
+	}
+
+	// Terminal constraint (Eq. 4): t(k+M|k) = Ts.
+	cEq := mat.NewMat(1, nu)
+	for q := 0; q < nu; q++ {
+		cEq.Set(0, q, g.At(cfg.M-1, q))
+	}
+	dEq := mat.Vec{cfg.Setpoint - free[cfg.M-1]}
+
+	gIneq, hIneq := c.bounds(cPast[0])
+
+	res := Result{}
+	x, err := mat.InequalityLS(a, b, cEq, dEq, gIneq, hIneq)
+	if err != nil {
+		// The terminal constraint can make the program infeasible under a
+		// surge (the paper assumes feasibility — Section IV-A). Relax it
+		// and chase the set point directly: tracking the slow exponential
+		// reference would perversely hold the response time up.
+		res.TerminalRelaxed = true
+		for i := 0; i < cfg.P; i++ {
+			b[i] = sq * (cfg.Setpoint - free[i])
+		}
+		x, err = mat.InequalityLS(a, b, nil, nil, gIneq, hIneq)
+		if err != nil {
+			// Last resort: unconstrained solve, then clamp the first move.
+			x, err = mat.LeastSquares(a, b)
+			if err != nil {
+				return Result{}, fmt.Errorf("mpc: optimization failed: %w", err)
+			}
+			c.clampFirstMove(x, cPast[0])
+		}
+	}
+
+	res.Delta = mat.Vec(x[:c.m]).Clone()
+	res.Predicted = c.rollout(tPast, cPast, x, bias)
+	return res, nil
+}
+
+// rollout simulates the ARX model P periods forward, applying the
+// feedback-correction bias at every step (and feeding corrected values
+// back through the autoregression, which pins the free response to the
+// measurement when the loop is at rest). delta holds the stacked moves
+// (len M·m) or nil for the free response.
+func (c *Controller) rollout(tPast []float64, cPast []mat.Vec, delta mat.Vec, bias float64) []float64 {
+	cfg := c.cfg
+	model := cfg.Model
+	th := append([]float64(nil), tPast...)
+	ch := make([]mat.Vec, len(cPast))
+	for i, v := range cPast {
+		ch[i] = v.Clone()
+	}
+	cur := cPast[0].Clone()
+	out := make([]float64, cfg.P)
+	for i := 0; i < cfg.P; i++ {
+		if delta != nil && i < cfg.M {
+			for j := 0; j < c.m; j++ {
+				cur[j] += delta[i*c.m+j]
+			}
+		}
+		ch = append([]mat.Vec{cur.Clone()}, ch...)
+		if len(ch) > model.Nb+1 {
+			ch = ch[:model.Nb+1]
+		}
+		t := model.Predict(th, ch) + bias
+		out[i] = t
+		th = append([]float64{t}, th...)
+		if len(th) > model.Na+1 {
+			th = th[:model.Na+1]
+		}
+	}
+	return out
+}
+
+// bounds builds the inequality rows: box constraints on the absolute
+// allocations over the control horizon, plus optional per-move bounds.
+func (c *Controller) bounds(c0 mat.Vec) (*mat.Mat, mat.Vec) {
+	cfg := c.cfg
+	nu := cfg.M * c.m
+	var rows [][]float64
+	var rhs mat.Vec
+	for l := 0; l < cfg.M; l++ {
+		for i := 0; i < c.m; i++ {
+			// c(k+l)[i] = c0[i] + Σ_{q<=l} Δ[q·m+i]
+			upper := make([]float64, nu)
+			lower := make([]float64, nu)
+			for q := 0; q <= l; q++ {
+				upper[q*c.m+i] = 1
+				lower[q*c.m+i] = -1
+			}
+			rows = append(rows, upper)
+			rhs = append(rhs, cfg.CMax[i]-c0[i])
+			rows = append(rows, lower)
+			rhs = append(rhs, c0[i]-cfg.CMin[i])
+		}
+	}
+	if cfg.DeltaMax > 0 {
+		for q := 0; q < nu; q++ {
+			up := make([]float64, nu)
+			dn := make([]float64, nu)
+			up[q] = 1
+			dn[q] = -1
+			rows = append(rows, up, dn)
+			rhs = append(rhs, cfg.DeltaMax, cfg.DeltaMax)
+		}
+	}
+	return mat.FromRows(rows), rhs
+}
+
+// clampFirstMove forces the first move to respect the allocation box.
+func (c *Controller) clampFirstMove(x mat.Vec, c0 mat.Vec) {
+	for i := 0; i < c.m; i++ {
+		next := c0[i] + x[i]
+		if next > c.cfg.CMax[i] {
+			x[i] = c.cfg.CMax[i] - c0[i]
+		}
+		if next < c.cfg.CMin[i] {
+			x[i] = c.cfg.CMin[i] - c0[i]
+		}
+		if c.cfg.DeltaMax > 0 {
+			if x[i] > c.cfg.DeltaMax {
+				x[i] = c.cfg.DeltaMax
+			}
+			if x[i] < -c.cfg.DeltaMax {
+				x[i] = -c.cfg.DeltaMax
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package optimizer
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIPACDrainsCordonedServerFirst(t *testing.T) {
+	// The cordoned server is the *most* efficient — normally the last
+	// drain candidate — but maintenance outranks efficiency.
+	dc := mixedDC(t, 1, 2, 0)
+	high := dc.Servers[0]
+	placeVM(t, dc, "on-high", 1, 1, high)
+	placeVM(t, dc, "on-mid", 1, 1, dc.Servers[1])
+	high.Cordon()
+	rep, err := NewIPAC().Consolidate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.NumVMs() != 0 {
+		t.Fatalf("cordoned server still hosts %d VMs", high.NumVMs())
+	}
+	if rep.Migrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+	// Nothing may have landed on the cordoned server.
+	for _, mv := range rep.Moves {
+		if mv.To == high {
+			t.Fatal("migration targeted the cordoned server")
+		}
+	}
+	if err := dc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPACOverloadReliefAvoidsCordoned(t *testing.T) {
+	dc := mixedDC(t, 1, 2, 0)
+	mid := dc.Servers[1]
+	placeVM(t, dc, "a", 2.5, 1, mid)
+	placeVM(t, dc, "b", 2.5, 1, mid) // overloaded (5 > 4)
+	dc.Servers[0].Cordon()           // the obvious relief target is out
+	rep, err := NewIPAC().Consolidate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Servers[0].NumVMs() != 0 {
+		t.Fatal("overload relief used the cordoned server")
+	}
+	// The other mid server must have taken the shed VM instead.
+	if mid.Overloaded() && rep.Unresolved == 0 {
+		t.Fatal("overload neither resolved nor reported")
+	}
+}
+
+func TestPMapperDrainsCordoned(t *testing.T) {
+	dc := mixedDC(t, 1, 1, 0)
+	mid := dc.Servers[1]
+	placeVM(t, dc, "v", 1, 1, mid)
+	mid.Cordon()
+	rep, err := NewPMapper().Consolidate(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.NumVMs() != 0 {
+		t.Fatalf("pMapper left %d VMs on the cordoned server", mid.NumVMs())
+	}
+	for _, mv := range rep.Moves {
+		if mv.To == mid {
+			t.Fatal("pMapper targeted the cordoned server")
+		}
+	}
+}
+
+func TestCordonedClusterStillConsolidates(t *testing.T) {
+	// With one server cordoned, the remaining fleet still consolidates
+	// normally.
+	dc := mixedDC(t, 1, 3, 2)
+	for i, s := range dc.Servers {
+		placeVM(t, dc, fmt.Sprintf("v%d", i), 0.8, 1, s)
+	}
+	dc.Servers[2].Cordon()
+	if _, err := NewIPAC().Consolidate(dc); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Servers[2].NumVMs() != 0 {
+		t.Fatal("cordoned server not drained")
+	}
+	if err := dc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

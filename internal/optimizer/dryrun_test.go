@@ -1,0 +1,85 @@
+package optimizer
+
+import (
+	"fmt"
+	"testing"
+
+	"vdcpower/internal/cluster"
+)
+
+func TestDryRunLeavesDataCenterUntouched(t *testing.T) {
+	dc := mixedDC(t, 1, 3, 2)
+	for i, s := range dc.Servers {
+		placeVM(t, dc, fmt.Sprintf("v%d", i), 1.0, 1.0, s)
+	}
+	activeBefore := dc.NumActive()
+	hosts := map[string]string{}
+	for _, v := range dc.VMs() {
+		hosts[v.ID] = dc.HostOf(v.ID).ID
+	}
+
+	rep, powerDelta, err := DryRun(NewIPAC(), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Migrations == 0 {
+		t.Fatal("dry run predicted no consolidation on a scattered layout")
+	}
+	if powerDelta >= 0 {
+		t.Fatalf("dry run predicted no saving: %v W", powerDelta)
+	}
+	// The live data center is untouched.
+	if dc.NumActive() != activeBefore {
+		t.Fatal("dry run changed active servers")
+	}
+	for id, host := range hosts {
+		if dc.HostOf(id).ID != host {
+			t.Fatalf("dry run moved VM %s", id)
+		}
+	}
+	if err := dc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDryRunMovesReferLiveObjects(t *testing.T) {
+	dc := mixedDC(t, 1, 2, 0)
+	placeVM(t, dc, "a", 1, 1, dc.Servers[1])
+	placeVM(t, dc, "b", 1, 1, dc.Servers[2])
+	rep, _, err := DryRun(NewIPAC(), dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range rep.Moves {
+		if mv.VM == nil || mv.From == nil || mv.To == nil {
+			t.Fatalf("move not mapped to live objects: %+v", mv)
+		}
+		// The From server must be the VM's *current* live host.
+		if dc.HostOf(mv.VM.ID) != mv.From {
+			t.Fatalf("move source %s is not the live host of %s", mv.From.ID, mv.VM.ID)
+		}
+	}
+}
+
+func TestDryRunMatchesRealRun(t *testing.T) {
+	build := func() *cluster.DataCenter {
+		dc := mixedDC(t, 1, 3, 2)
+		for i, s := range dc.Servers {
+			placeVM(t, dc, fmt.Sprintf("v%d", i), 0.8, 1.0, s)
+		}
+		return dc
+	}
+	dcA := build()
+	predicted, _, err := DryRun(NewIPAC(), dcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcB := build()
+	actual, err := NewIPAC().Consolidate(dcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted.Migrations != actual.Migrations || predicted.ActiveAfter != actual.ActiveAfter {
+		t.Fatalf("prediction %+v diverges from reality %+v", predicted, actual)
+	}
+}

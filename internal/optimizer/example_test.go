@@ -1,0 +1,35 @@
+package optimizer_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/power"
+)
+
+func ExampleIPAC_Consolidate() {
+	// Three under-utilized servers: IPAC drains the least efficient ones
+	// onto the high-end machine and sleeps them.
+	servers := []*cluster.Server{
+		cluster.NewServer("high", power.TypeHighEnd()),
+		cluster.NewServer("mid", power.TypeMid()),
+		cluster.NewServer("low", power.TypeLow()),
+	}
+	dc, err := cluster.NewDataCenter(servers)
+	if err != nil {
+		panic(err)
+	}
+	for i, s := range servers {
+		vm := &cluster.VM{ID: fmt.Sprintf("vm%d", i), Demand: 1, MemoryGB: 1}
+		if err := dc.Place(vm, s); err != nil {
+			panic(err)
+		}
+	}
+	rep, err := optimizer.NewIPAC().Consolidate(dc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("active %d→%d after %d migrations\n", rep.ActiveBefore, rep.ActiveAfter, rep.Migrations)
+	// Output: active 3→1 after 2 migrations
+}

@@ -1,0 +1,95 @@
+// Package optimizer implements the data-center-level power optimizer of
+// Section V: the Power Aware Consolidation (PAC) algorithm built on
+// Minimum Slack, its incremental driver IPAC, cost-aware migration
+// policies, and the pMapper baseline of Verma et al. used in Section VII.
+package optimizer
+
+import (
+	"fmt"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/packing"
+)
+
+// Consolidator is a data-center-level VM placement policy invoked on the
+// optimizer's long time scale.
+type Consolidator interface {
+	// Consolidate re-maps VMs and adjusts server power states.
+	Consolidate(dc *cluster.DataCenter) (Report, error)
+	// UsesDVFS reports whether servers managed by this policy throttle
+	// between invocations (IPAC integrates with the arbitrator's DVFS;
+	// the pMapper baseline does not).
+	UsesDVFS() bool
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// Report summarizes one optimizer invocation.
+type Report struct {
+	Migrations   int // migrations performed
+	Vetoed       int // migrations rejected by the cost policy
+	Rounds       int // consolidation rounds executed
+	Unresolved   int // overloaded VMs that could not be re-placed
+	ActiveBefore int
+	ActiveAfter  int
+	// Moves records every performed migration, in order, so callers can
+	// charge migration costs (network traffic, application downtime).
+	Moves []cluster.Migration
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("migrations=%d vetoed=%d rounds=%d unresolved=%d active %d→%d",
+		r.Migrations, r.Vetoed, r.Rounds, r.Unresolved, r.ActiveBefore, r.ActiveAfter)
+}
+
+// WithoutDVFS wraps a consolidator so its servers run at maximum
+// frequency between invocations — the ablation isolating how much of
+// IPAC's saving comes from consolidation versus DVFS integration.
+type WithoutDVFS struct {
+	Inner Consolidator
+}
+
+// Consolidate implements Consolidator.
+func (w WithoutDVFS) Consolidate(dc *cluster.DataCenter) (Report, error) {
+	return w.Inner.Consolidate(dc)
+}
+
+// UsesDVFS implements Consolidator.
+func (w WithoutDVFS) UsesDVFS() bool { return false }
+
+// Name implements Consolidator.
+func (w WithoutDVFS) Name() string { return w.Inner.Name() + "-noDVFS" }
+
+// EstimateBenefit approximates the steady-state power saving (watts) of
+// moving vm from one server to another: the per-GHz marginal power
+// difference, plus the idle power reclaimed if the source empties and can
+// sleep. Cost policies weigh this against their migration cost model.
+func EstimateBenefit(vm *cluster.VM, from, to *cluster.Server) float64 {
+	perGHzFrom := from.Spec.MaxPower() / from.Spec.Capacity()
+	perGHzTo := to.Spec.MaxPower() / to.Spec.Capacity()
+	benefit := vm.Demand * (perGHzFrom - perGHzTo)
+	if from.NumVMs() == 1 { // vm is the last tenant: the server can sleep
+		benefit += from.Spec.Power(from.Spec.PStates[0], 0) - from.Spec.PSleep
+	}
+	return benefit
+}
+
+// binFor views a server as a packing bin carrying its current load.
+func binFor(s *cluster.Server) *packing.Bin {
+	b := &packing.Bin{
+		ID:         s.ID,
+		CPUCap:     s.Spec.Capacity(),
+		MemCap:     s.Spec.MemoryGB,
+		Efficiency: s.Spec.Efficiency(),
+	}
+	for _, v := range s.VMs() {
+		b.Add(packing.Item{ID: v.ID, CPU: v.Demand, Mem: v.MemoryGB})
+	}
+	return b
+}
+
+// itemFor views a VM as a packing item.
+func itemFor(v *cluster.VM) packing.Item {
+	return packing.Item{ID: v.ID, CPU: v.Demand, Mem: v.MemoryGB}
+}

@@ -1,0 +1,283 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/packing"
+)
+
+// PAC solves the power-aware consolidation sub-problem of Section V:
+// given bins (servers, possibly loaded) and items (VMs to place), pack
+// the items onto the most power-efficient bins first, minimizing each
+// bin's slack with Algorithm 1, until every item is placed or bins run
+// out. Bins are mutated to carry the planned load. It returns the
+// assignment and any items no bin admitted.
+func PAC(items []packing.Item, bins []*packing.Bin, cons packing.Constraint, cfg packing.MinSlackConfig) (packing.Assignment, []packing.Item) {
+	packing.SortBinsByEfficiency(bins)
+	asg := packing.Assignment{}
+	remaining := append([]packing.Item(nil), items...)
+	for _, b := range bins {
+		if len(remaining) == 0 {
+			break
+		}
+		res := packing.MinimumSlack(b, remaining, cons, cfg)
+		if len(res.Chosen) == 0 {
+			continue
+		}
+		chosen := map[string]bool{}
+		for _, it := range res.Chosen {
+			b.Add(it)
+			asg[it.ID] = b.ID
+			chosen[it.ID] = true
+		}
+		kept := remaining[:0]
+		for _, it := range remaining {
+			if !chosen[it.ID] {
+				kept = append(kept, it)
+			}
+		}
+		remaining = kept
+	}
+	return asg, remaining
+}
+
+// IPAC is the Incremental Power Aware Consolidation algorithm: each
+// invocation first resolves overloaded servers, then repeatedly drains
+// the least power-efficient active server through PAC while the number of
+// active servers keeps decreasing.
+type IPAC struct {
+	Constraint packing.Constraint
+	MinSlack   packing.MinSlackConfig
+	Policy     CostPolicy
+	// MaxRounds bounds the drain loop per invocation. <= 0 means the
+	// number of servers (the natural maximum).
+	MaxRounds int
+}
+
+// NewIPAC returns an IPAC with the default constraint (CPU with 10%
+// headroom to absorb demand growth between invocations, plus memory),
+// the default Minimum Slack tuning, and the allow-all cost policy.
+func NewIPAC() *IPAC {
+	return &IPAC{
+		Constraint: packing.VectorConstraint{CPUHeadroom: 0.1},
+		MinSlack:   packing.DefaultMinSlackConfig(),
+		Policy:     AllowAll{},
+	}
+}
+
+// UsesDVFS implements Consolidator: IPAC integrates with the arbitrator's
+// DVFS between invocations.
+func (o *IPAC) UsesDVFS() bool { return true }
+
+// Name implements Consolidator.
+func (o *IPAC) Name() string { return "IPAC" }
+
+// Consolidate implements Consolidator.
+func (o *IPAC) Consolidate(dc *cluster.DataCenter) (Report, error) {
+	rep := Report{ActiveBefore: dc.NumActive()}
+	if err := o.resolveOverloads(dc, &rep); err != nil {
+		return rep, err
+	}
+
+	maxRounds := o.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = len(dc.Servers)
+	}
+	tried := map[string]bool{}
+	for round := 0; round < maxRounds; round++ {
+		donor := o.pickDonor(dc, tried)
+		if donor == nil {
+			break
+		}
+		tried[donor.ID] = true
+		rep.Rounds++
+		if !o.drain(dc, donor, &rep) {
+			break // no reduction in active servers: stop (Section V)
+		}
+	}
+	dc.SleepIdle()
+	rep.ActiveAfter = dc.NumActive()
+	return rep, nil
+}
+
+// pickDonor returns the next server to drain: cordoned servers first
+// (maintenance outranks optimization), then the least power-efficient
+// active non-empty server not yet tried, or nil.
+func (o *IPAC) pickDonor(dc *cluster.DataCenter, tried map[string]bool) *cluster.Server {
+	var cand []*cluster.Server
+	for _, s := range dc.ActiveServers() {
+		if s.NumVMs() > 0 && !tried[s.ID] {
+			cand = append(cand, s)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].Cordoned() != cand[j].Cordoned() {
+			return cand[i].Cordoned()
+		}
+		ei, ej := cand[i].Spec.Efficiency(), cand[j].Spec.Efficiency()
+		if ei != ej {
+			return ei < ej
+		}
+		return cand[i].ID < cand[j].ID
+	})
+	return cand[0]
+}
+
+// drain plans moving every VM off donor via PAC onto the other active
+// servers and commits the plan if it empties the donor. It reports
+// whether the active-server count was reduced.
+func (o *IPAC) drain(dc *cluster.DataCenter, donor *cluster.Server, rep *Report) bool {
+	var items []packing.Item
+	vmByID := map[string]*cluster.VM{}
+	for _, v := range donor.VMs() {
+		items = append(items, itemFor(v))
+		vmByID[v.ID] = v
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+
+	var bins []*packing.Bin
+	for _, s := range dc.ActiveServers() {
+		if s != donor && !s.Cordoned() {
+			bins = append(bins, binFor(s))
+		}
+	}
+	asg, unplaced := PAC(items, bins, o.Constraint, o.MinSlack)
+	if len(unplaced) > 0 {
+		return false // the donor cannot be emptied: no reduction possible
+	}
+	serverByID := map[string]*cluster.Server{}
+	for _, s := range dc.Servers {
+		serverByID[s.ID] = s
+	}
+	emptied := true
+	for _, it := range items {
+		vm := vmByID[it.ID]
+		target := serverByID[asg[it.ID]]
+		if !o.Policy.Allow(vm, donor, target, EstimateBenefit(vm, donor, target)) {
+			rep.Vetoed++
+			emptied = false
+			continue
+		}
+		mig, err := dc.Migrate(vm, target)
+		if err != nil {
+			// Should not happen: the plan was validated by the constraint.
+			panic(fmt.Sprintf("optimizer: planned migration failed: %v", err))
+		}
+		rep.Moves = append(rep.Moves, mig)
+		rep.Migrations++
+	}
+	if emptied {
+		donor.Sleep()
+	}
+	return emptied
+}
+
+// resolveOverloads sheds VMs from servers whose demand exceeds capacity
+// (a workload increase since the last invocation) and re-places them via
+// PAC, waking sleeping servers if necessary. Shedding always commits:
+// it is a correctness fix, not an optimization.
+func (o *IPAC) resolveOverloads(dc *cluster.DataCenter, rep *Report) error {
+	return resolveOverloads(dc, o.Constraint, o.MinSlack, rep)
+}
+
+// ResolveOverloads is the on-demand overload reliever of Section III:
+// between two invocations of the full optimizer, "an unexpected increase
+// of the workload can cause a severe overload on a server", and the
+// paper integrates with algorithms that "move VMs from the overloaded
+// servers to idle servers in an on-demand manner" (its reference [25]).
+// It sheds VMs from overloaded servers and re-places them via PAC,
+// reporting the moves; it never consolidates.
+func ResolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, cfg packing.MinSlackConfig) (Report, error) {
+	rep := Report{ActiveBefore: dc.NumActive()}
+	err := resolveOverloads(dc, cons, cfg, &rep)
+	rep.ActiveAfter = dc.NumActive()
+	return rep, err
+}
+
+func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg packing.MinSlackConfig, rep *Report) error {
+	type shedding struct {
+		vm   *cluster.VM
+		from *cluster.Server
+	}
+	var shed []shedding
+	shedIDs := map[string]bool{}
+	for _, s := range dc.ActiveServers() {
+		if !s.Overloaded() {
+			continue
+		}
+		vms := append([]*cluster.VM(nil), s.VMs()...)
+		// Shed the largest VMs first: fewest migrations to relieve the
+		// overload.
+		sort.Slice(vms, func(i, j int) bool {
+			if vms[i].Demand != vms[j].Demand {
+				return vms[i].Demand > vms[j].Demand
+			}
+			return vms[i].ID < vms[j].ID
+		})
+		excess := s.TotalDemand() - s.Spec.Capacity()
+		for _, v := range vms {
+			if excess <= 0 {
+				break
+			}
+			shed = append(shed, shedding{vm: v, from: s})
+			shedIDs[v.ID] = true
+			excess -= v.Demand
+		}
+	}
+	if len(shed) == 0 {
+		return nil
+	}
+	// Bins: every non-cordoned server (sleeping ones may be woken),
+	// minus the shed VMs.
+	var bins []*packing.Bin
+	for _, s := range dc.Servers {
+		if s.Cordoned() {
+			continue
+		}
+		b := &packing.Bin{
+			ID:         s.ID,
+			CPUCap:     s.Spec.Capacity(),
+			MemCap:     s.Spec.MemoryGB,
+			Efficiency: s.Spec.Efficiency(),
+		}
+		for _, v := range s.VMs() {
+			if !shedIDs[v.ID] {
+				b.Add(packing.Item{ID: v.ID, CPU: v.Demand, Mem: v.MemoryGB})
+			}
+		}
+		bins = append(bins, b)
+	}
+	items := make([]packing.Item, len(shed))
+	for i, sh := range shed {
+		items[i] = itemFor(sh.vm)
+	}
+	asg, unplaced := PAC(items, bins, cons, msCfg)
+	rep.Unresolved += len(unplaced)
+	serverByID := map[string]*cluster.Server{}
+	for _, s := range dc.Servers {
+		serverByID[s.ID] = s
+	}
+	for _, sh := range shed {
+		binID, ok := asg[sh.vm.ID]
+		if !ok {
+			continue // unplaced: the overload stays (reported)
+		}
+		target := serverByID[binID]
+		if target == sh.from {
+			continue // re-packed in place
+		}
+		// Overload relief bypasses the cost policy: SLAs outrank cost.
+		mig, err := dc.Migrate(sh.vm, target)
+		if err != nil {
+			return fmt.Errorf("optimizer: overload migration failed: %w", err)
+		}
+		rep.Moves = append(rep.Moves, mig)
+		rep.Migrations++
+	}
+	return nil
+}

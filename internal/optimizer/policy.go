@@ -1,0 +1,86 @@
+package optimizer
+
+import "vdcpower/internal/cluster"
+
+// CostPolicy is the administrator-defined interface of Section V
+// ("cost-aware VM migration"): before each migration the optimizer
+// compares benefits and costs and the policy decides whether the
+// migration is allowed or rejected. Cost structure differs between data
+// centers, so policies are pluggable.
+type CostPolicy interface {
+	// Allow reports whether vm may migrate from→to given the estimated
+	// steady-state power benefit in watts.
+	Allow(vm *cluster.VM, from, to *cluster.Server, benefitWatts float64) bool
+	// Name identifies the policy.
+	Name() string
+}
+
+// AllowAll performs every requested migration (cost considered
+// negligible, e.g. an over-provisioned migration network).
+type AllowAll struct{}
+
+// Allow implements CostPolicy.
+func (AllowAll) Allow(*cluster.VM, *cluster.Server, *cluster.Server, float64) bool { return true }
+
+// Name implements CostPolicy.
+func (AllowAll) Name() string { return "allow-all" }
+
+// DenyAll rejects every migration — the ablation that reduces IPAC to
+// DVFS-only management.
+type DenyAll struct{}
+
+// Allow implements CostPolicy.
+func (DenyAll) Allow(*cluster.VM, *cluster.Server, *cluster.Server, float64) bool { return false }
+
+// Name implements CostPolicy.
+func (DenyAll) Name() string { return "deny-all" }
+
+// MinBenefit allows a migration only when the estimated power saving
+// clears a fixed threshold, suppressing churn from marginal moves.
+type MinBenefit struct {
+	Watts float64
+}
+
+// Allow implements CostPolicy.
+func (p MinBenefit) Allow(_ *cluster.VM, _, _ *cluster.Server, benefitWatts float64) bool {
+	return benefitWatts >= p.Watts
+}
+
+// Name implements CostPolicy.
+func (p MinBenefit) Name() string { return "min-benefit" }
+
+// BandwidthPriced charges each migration in proportion to the VM's memory
+// footprint (live migration copies memory over the network — the
+// bandwidth bottleneck scenario of Section V) and allows it only when the
+// power benefit pays for it.
+type BandwidthPriced struct {
+	// WattsPerGB converts a VM's memory size into an equivalent power
+	// cost. Higher values model a more congested migration network.
+	WattsPerGB float64
+}
+
+// Allow implements CostPolicy.
+func (p BandwidthPriced) Allow(vm *cluster.VM, _, _ *cluster.Server, benefitWatts float64) bool {
+	return benefitWatts >= vm.MemoryGB*p.WattsPerGB
+}
+
+// Name implements CostPolicy.
+func (p BandwidthPriced) Name() string { return "bandwidth-priced" }
+
+// ModelPriced prices each migration from the pre-copy migration model:
+// the total bytes the migration pushes over the network (iterative
+// copies included) are charged at WattsPerGB, so a write-hot VM that
+// needs many re-copy passes costs proportionally more than its memory
+// size alone suggests.
+type ModelPriced struct {
+	Model      cluster.MigrationModel
+	WattsPerGB float64
+}
+
+// Allow implements CostPolicy.
+func (p ModelPriced) Allow(vm *cluster.VM, _, _ *cluster.Server, benefitWatts float64) bool {
+	return benefitWatts >= p.Model.NetworkGB(vm.MemoryGB)*p.WattsPerGB
+}
+
+// Name implements CostPolicy.
+func (p ModelPriced) Name() string { return "model-priced" }

@@ -1,0 +1,38 @@
+package packing_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/packing"
+)
+
+func ExampleMinimumSlack() {
+	// A 12-GHz server and four VMs: the greedy largest-first choice (8)
+	// strands capacity, while Minimum Slack finds 7+5 = 12 exactly.
+	bin := &packing.Bin{ID: "srv", CPUCap: 12, MemCap: 64}
+	vms := []packing.Item{
+		{ID: "a", CPU: 8, Mem: 2},
+		{ID: "b", CPU: 7, Mem: 2},
+		{ID: "c", CPU: 5, Mem: 2},
+		{ID: "d", CPU: 2.5, Mem: 2},
+	}
+	res := packing.MinimumSlack(bin, vms, packing.VectorConstraint{}, packing.DefaultMinSlackConfig())
+	fmt.Printf("slack %.1f GHz with %d VMs\n", res.Slack, len(res.Chosen))
+	// Output: slack 0.0 GHz with 2 VMs
+}
+
+func ExampleFirstFitDecreasing() {
+	bins := []*packing.Bin{
+		{ID: "s1", CPUCap: 6, MemCap: 8},
+		{ID: "s2", CPUCap: 6, MemCap: 8},
+	}
+	items := []packing.Item{
+		{ID: "small", CPU: 2, Mem: 1},
+		{ID: "large", CPU: 5, Mem: 1},
+		{ID: "medium", CPU: 4, Mem: 1},
+	}
+	asg, unplaced := packing.FirstFitDecreasing(items, bins, packing.VectorConstraint{})
+	fmt.Printf("large→%s medium→%s small→%s unplaced=%d\n",
+		asg["large"], asg["medium"], asg["small"], len(unplaced))
+	// Output: large→s1 medium→s2 small→s2 unplaced=0
+}

@@ -1,0 +1,57 @@
+package packing
+
+import "testing"
+
+// rejectAll is a constraint that admits nothing — a server drained for
+// maintenance or failing its health checks.
+type rejectAll struct{}
+
+func (rejectAll) Fits(*Bin, []Item) bool { return false }
+func (rejectAll) Name() string           { return "reject-all" }
+
+func TestMinimumSlackAgainstRejectingConstraint(t *testing.T) {
+	b := bin("b", 10, 10)
+	items := []Item{item("a", 1, 1), item("b", 2, 1)}
+	res := MinimumSlack(b, items, rejectAll{}, DefaultMinSlackConfig())
+	if len(res.Chosen) != 0 {
+		t.Fatalf("chose %d items against a rejecting constraint", len(res.Chosen))
+	}
+	if res.Slack != 10 {
+		t.Fatalf("slack = %v", res.Slack)
+	}
+}
+
+func TestFirstFitAgainstRejectingConstraint(t *testing.T) {
+	bins := []*Bin{bin("b1", 10, 10), bin("b2", 10, 10)}
+	items := []Item{item("a", 1, 1)}
+	asg, unplaced := FirstFit(items, bins, rejectAll{})
+	if len(asg) != 0 || len(unplaced) != 1 {
+		t.Fatalf("asg=%v unplaced=%v", asg, unplaced)
+	}
+}
+
+func TestMinimumSlackZeroCapacityBin(t *testing.T) {
+	b := bin("dead", 0, 0)
+	items := []Item{item("a", 1, 1)}
+	res := MinimumSlack(b, items, VectorConstraint{}, DefaultMinSlackConfig())
+	if len(res.Chosen) != 0 {
+		t.Fatal("packed onto a zero-capacity bin")
+	}
+}
+
+func TestPackingZeroSizeItems(t *testing.T) {
+	// Zero-demand VMs (idle, but still placed) must not break anything.
+	b := bin("b", 4, 4)
+	items := []Item{item("idle1", 0, 0.1), item("idle2", 0, 0.1), item("busy", 4, 1)}
+	res := MinimumSlack(b, items, VectorConstraint{}, DefaultMinSlackConfig())
+	total := 0.0
+	for _, it := range res.Chosen {
+		total += it.CPU
+	}
+	if total > 4+1e-9 {
+		t.Fatalf("overpacked: %v", total)
+	}
+	if res.Slack > 1e-9 {
+		t.Fatalf("slack %v, the busy item fits exactly", res.Slack)
+	}
+}

@@ -1,0 +1,336 @@
+// Package packing provides the vector bin-packing substrate of Section V.
+// The VM-server mapping problem is a vector-packing problem (CPU and
+// memory dimensions, plus arbitrary administrator constraints), which is
+// NP-hard; the package implements the paper's Minimum Slack heuristic
+// (Algorithm 1, extended from the minimum-bin-slack algorithm of Fleszar
+// & Hindi) along with the first-fit family that pMapper builds on.
+//
+// Packing operates on plain Item/Bin values so optimizers can plan
+// hypothetical placements without mutating the data center; the optimizer
+// layer translates plans into live migrations.
+package packing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is a VM viewed as a packing item.
+type Item struct {
+	ID  string
+	CPU float64 // demand in GHz
+	Mem float64 // memory in GB
+}
+
+// Bin is a server viewed as a packing target. Load sums are cached so the
+// constraint check is O(1) per candidate — essential when first-fitting
+// thousands of VMs over thousands of servers.
+type Bin struct {
+	ID         string
+	CPUCap     float64
+	MemCap     float64
+	Efficiency float64 // capacity per watt; callers sort by this
+	items      []Item
+	cpuUsed    float64
+	memUsed    float64
+}
+
+// Items returns the planned load (do not mutate).
+func (b *Bin) Items() []Item { return b.items }
+
+// CPUUsed returns the CPU load planned onto the bin.
+func (b *Bin) CPUUsed() float64 { return b.cpuUsed }
+
+// MemUsed returns the memory planned onto the bin.
+func (b *Bin) MemUsed() float64 { return b.memUsed }
+
+// Slack returns unallocated CPU capacity — the objective Algorithm 1
+// minimizes per server.
+func (b *Bin) Slack() float64 { return b.CPUCap - b.cpuUsed }
+
+// Add plans an item onto the bin.
+func (b *Bin) Add(it Item) {
+	b.items = append(b.items, it)
+	b.cpuUsed += it.CPU
+	b.memUsed += it.Mem
+}
+
+// Remove unplans the item with the given ID; it reports success.
+func (b *Bin) Remove(id string) bool {
+	for i, it := range b.items {
+		if it.ID == id {
+			b.items = append(b.items[:i], b.items[i+1:]...)
+			b.cpuUsed -= it.CPU
+			b.memUsed -= it.Mem
+			return true
+		}
+	}
+	return false
+}
+
+// Constraint is the general admission predicate evaluated at every step
+// of Algorithm 1 ("a more general constraint ... instead of checking if
+// the total size of the items exceeds the size of the bin").
+type Constraint interface {
+	// Fits reports whether bin can accept extra on top of its current
+	// items.
+	Fits(b *Bin, extra []Item) bool
+	// Name identifies the constraint in diagnostics.
+	Name() string
+}
+
+// VectorConstraint is the default two-dimensional constraint: CPU with
+// optional headroom, plus memory ("the memory size of every server should
+// be greater than the total memory allocations of the hosted VMs").
+type VectorConstraint struct {
+	CPUHeadroom float64 // fraction of CPU capacity kept free
+}
+
+// Fits implements Constraint.
+func (c VectorConstraint) Fits(b *Bin, extra []Item) bool {
+	cpu, mem := b.CPUUsed(), b.MemUsed()
+	for _, it := range extra {
+		cpu += it.CPU
+		mem += it.Mem
+	}
+	return cpu <= b.CPUCap*(1-c.CPUHeadroom)+1e-9 && mem <= b.MemCap+1e-9
+}
+
+// Name implements Constraint.
+func (c VectorConstraint) Name() string { return "cpu+mem" }
+
+// MinSlackConfig tunes Algorithm 1.
+type MinSlackConfig struct {
+	// Epsilon is the allowed slack ε: the search exits early once a
+	// packing leaves less than ε GHz unallocated.
+	Epsilon float64
+	// EpsilonStep is how much ε grows when the node budget is exhausted
+	// ("If the algorithm does not finish in certain steps, increase ε by
+	// one step").
+	EpsilonStep float64
+	// MaxNodes bounds the branch-and-bound search. <= 0 means a default.
+	MaxNodes int
+}
+
+// DefaultMinSlackConfig returns the tuning used by the experiments.
+func DefaultMinSlackConfig() MinSlackConfig {
+	return MinSlackConfig{Epsilon: 0.05, EpsilonStep: 0.1, MaxNodes: 20000}
+}
+
+// MinSlackResult reports the outcome of Algorithm 1 for one bin.
+type MinSlackResult struct {
+	Chosen  []Item  // items to add to the bin (A*)
+	Slack   float64 // resulting slack (s*)
+	Widened bool    // ε had to be increased to finish in budget
+	Nodes   int     // search nodes explored
+}
+
+// MinimumSlack selects a subset of candidates that minimizes the bin's
+// remaining CPU slack subject to the constraint — Algorithm 1. The bin's
+// existing items stay; candidates are not mutated.
+func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig) MinSlackResult {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = DefaultMinSlackConfig().MaxNodes
+	}
+	// MBS explores items in decreasing size order: large items first
+	// prunes the search fastest.
+	sorted := append([]Item(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].CPU != sorted[j].CPU {
+			return sorted[i].CPU > sorted[j].CPU
+		}
+		return sorted[i].ID < sorted[j].ID // deterministic ties
+	})
+	// Suffix sums of CPU demand for the can't-improve prune.
+	suffix := make([]float64, len(sorted)+1)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + sorted[i].CPU
+	}
+	s := &mbsSearch{
+		bin:     b,
+		items:   sorted,
+		suffix:  suffix,
+		cons:    cons,
+		eps:     cfg.Epsilon,
+		epsStep: cfg.EpsilonStep,
+		budget:  cfg.MaxNodes,
+		best:    b.Slack(),
+	}
+	s.dfs(0, b.Slack(), nil)
+	chosen := append([]Item(nil), s.bestSet...)
+	return MinSlackResult{Chosen: chosen, Slack: s.best, Widened: s.widened, Nodes: s.nodes}
+}
+
+type mbsSearch struct {
+	bin     *Bin
+	items   []Item
+	suffix  []float64
+	cons    Constraint
+	eps     float64
+	epsStep float64
+	budget  int
+	nodes   int
+	widened bool
+	best    float64
+	bestSet []Item
+	done    bool
+}
+
+// dfs explores subsets of items[from:] given the current slack and the
+// stack of chosen items.
+func (s *mbsSearch) dfs(from int, slack float64, chosen []Item) {
+	if s.done {
+		return
+	}
+	if slack < s.best {
+		s.best = slack
+		s.bestSet = append([]Item(nil), chosen...)
+	}
+	if s.best <= s.eps {
+		s.done = true // ε-optimal: stop the whole search
+		return
+	}
+	for i := from; i < len(s.items); i++ {
+		// Prune: even packing every remaining item cannot beat the best.
+		if slack-s.suffix[i] >= s.best {
+			return
+		}
+		s.nodes++
+		if s.nodes > s.budget {
+			if s.widened {
+				s.done = true // second overrun: hard stop with best-so-far
+				return
+			}
+			// Out of budget once: widen ε so outstanding branches exit
+			// fast, and grant one budget extension.
+			s.eps += s.epsStep
+			s.widened = true
+			s.budget *= 2
+			if s.best <= s.eps {
+				s.done = true
+				return
+			}
+		}
+		it := s.items[i]
+		if it.CPU > slack+1e-12 {
+			continue // cannot fit by CPU alone
+		}
+		chosen = append(chosen, it)
+		if s.cons.Fits(s.bin, chosen) {
+			s.dfs(i+1, slack-it.CPU, chosen)
+			if s.done {
+				return
+			}
+		}
+		chosen = chosen[:len(chosen)-1]
+	}
+}
+
+// Assignment maps item IDs to bin IDs.
+type Assignment map[string]string
+
+// FirstFit places each item, in the given order, onto the first bin that
+// admits it, planning the load onto the bins. It returns the assignment
+// and the items no bin could take.
+func FirstFit(items []Item, bins []*Bin, cons Constraint) (Assignment, []Item) {
+	asg := Assignment{}
+	var unplaced []Item
+	for _, it := range items {
+		placed := false
+		for _, b := range bins {
+			if cons.Fits(b, []Item{it}) {
+				b.Add(it)
+				asg[it.ID] = b.ID
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			unplaced = append(unplaced, it)
+		}
+	}
+	return asg, unplaced
+}
+
+// FirstFitDecreasing sorts items by decreasing CPU demand and first-fits
+// them — the FFD algorithm pMapper's migration phase uses.
+func FirstFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment, []Item) {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].CPU != sorted[j].CPU {
+			return sorted[i].CPU > sorted[j].CPU
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	return FirstFit(sorted, bins, cons)
+}
+
+// BestFitDecreasing places items in decreasing CPU order, each onto the
+// admitting bin with the least remaining slack (ablation baseline).
+func BestFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment, []Item) {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].CPU != sorted[j].CPU {
+			return sorted[i].CPU > sorted[j].CPU
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	asg := Assignment{}
+	var unplaced []Item
+	for _, it := range sorted {
+		var best *Bin
+		bestSlack := 0.0
+		for _, b := range bins {
+			if !cons.Fits(b, []Item{it}) {
+				continue
+			}
+			sl := b.Slack() - it.CPU
+			if best == nil || sl < bestSlack {
+				best, bestSlack = b, sl
+			}
+		}
+		if best == nil {
+			unplaced = append(unplaced, it)
+			continue
+		}
+		best.Add(it)
+		asg[it.ID] = best.ID
+	}
+	return asg, unplaced
+}
+
+// SortBinsByEfficiency orders bins most-power-efficient first, the
+// server ordering both PAC and pMapper start from. Ties break by ID for
+// determinism.
+func SortBinsByEfficiency(bins []*Bin) {
+	sort.Slice(bins, func(i, j int) bool {
+		if bins[i].Efficiency != bins[j].Efficiency {
+			return bins[i].Efficiency > bins[j].Efficiency
+		}
+		return bins[i].ID < bins[j].ID
+	})
+}
+
+// Validate checks that an assignment respects a constraint when replayed
+// onto fresh bins; tests use it as an oracle.
+func Validate(asg Assignment, items []Item, bins []*Bin, cons Constraint) error {
+	byID := map[string]*Bin{}
+	for _, b := range bins {
+		byID[b.ID] = &Bin{ID: b.ID, CPUCap: b.CPUCap, MemCap: b.MemCap}
+	}
+	for _, it := range items {
+		binID, ok := asg[it.ID]
+		if !ok {
+			continue
+		}
+		b, ok := byID[binID]
+		if !ok {
+			return fmt.Errorf("packing: assignment names unknown bin %q", binID)
+		}
+		if !cons.Fits(b, []Item{it}) {
+			return fmt.Errorf("packing: item %q violates %s on bin %q", it.ID, cons.Name(), binID)
+		}
+		b.Add(it)
+	}
+	return nil
+}

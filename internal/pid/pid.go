@@ -1,0 +1,112 @@
+// Package pid implements the state-of-practice baseline the paper's MIMO
+// MPC is contrasted with: a discrete PI controller (velocity form, with
+// anti-windup) that regulates the response time by scaling the total CPU
+// allocation and splitting it across tiers in fixed proportions — the
+// SISO approach of prior work such as Bertini et al. (reference [1]).
+// Its weakness is exactly what Section II argues: one loop cannot decide
+// *which* tier needs the CPU, so the split ratio must be hand-tuned and
+// becomes wrong when the bottleneck moves.
+package pid
+
+import (
+	"errors"
+	"fmt"
+
+	"vdcpower/internal/mat"
+)
+
+// Config tunes the PI baseline.
+type Config struct {
+	// Kp and Ki are the proportional and integral gains in GHz per
+	// second of response-time error (and per control period for Ki).
+	Kp, Ki float64
+	// Setpoint is the response-time target in seconds.
+	Setpoint float64
+	// Split fixes the fraction of the total allocation given to each
+	// tier; it must sum to 1.
+	Split []float64
+	// CMin and CMax bound each tier's allocation in GHz.
+	CMin, CMax mat.Vec
+}
+
+// Controller is a velocity-form PI regulator.
+type Controller struct {
+	cfg      Config
+	prevErr  float64
+	havePrev bool
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Kp < 0 || cfg.Ki <= 0 {
+		return nil, errors.New("pid: need Kp >= 0 and Ki > 0")
+	}
+	if cfg.Setpoint <= 0 {
+		return nil, errors.New("pid: setpoint must be positive")
+	}
+	if len(cfg.Split) == 0 {
+		return nil, errors.New("pid: empty split")
+	}
+	sum := 0.0
+	for _, s := range cfg.Split {
+		if s <= 0 {
+			return nil, errors.New("pid: split entries must be positive")
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("pid: split sums to %v, want 1", sum)
+	}
+	if len(cfg.CMin) != len(cfg.Split) || len(cfg.CMax) != len(cfg.Split) {
+		return nil, errors.New("pid: bounds length mismatch")
+	}
+	for i := range cfg.CMin {
+		if cfg.CMin[i] < 0 || cfg.CMax[i] <= cfg.CMin[i] {
+			return nil, fmt.Errorf("pid: invalid bounds for tier %d", i)
+		}
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Setpoint returns the target.
+func (c *Controller) Setpoint() float64 { return c.cfg.Setpoint }
+
+// SetSetpoint retargets the loop.
+func (c *Controller) SetSetpoint(ts float64) { c.cfg.Setpoint = ts }
+
+// Step computes the next allocations from the measured response time and
+// the current allocations. Velocity form: Δu = Kp·Δe + Ki·e, distributed
+// across tiers by the fixed split, clamped to the per-tier box
+// (clamping in velocity form is inherently anti-windup: no integrator
+// state can run away while railed).
+func (c *Controller) Step(measured float64, current mat.Vec) mat.Vec {
+	if len(current) != len(c.cfg.Split) {
+		panic("pid: allocation width mismatch")
+	}
+	e := measured - c.cfg.Setpoint // positive error → needs more CPU
+	de := 0.0
+	if c.havePrev {
+		de = e - c.prevErr
+	}
+	c.prevErr = e
+	c.havePrev = true
+	deltaTotal := c.cfg.Kp*de + c.cfg.Ki*e
+	next := current.Clone()
+	for i := range next {
+		next[i] += deltaTotal * c.cfg.Split[i]
+		if next[i] < c.cfg.CMin[i] {
+			next[i] = c.cfg.CMin[i]
+		}
+		if next[i] > c.cfg.CMax[i] {
+			next[i] = c.cfg.CMax[i]
+		}
+	}
+	return next
+}
+
+// Reset clears the error history (after a set-point jump or a long
+// measurement gap).
+func (c *Controller) Reset() {
+	c.prevErr = 0
+	c.havePrev = false
+}

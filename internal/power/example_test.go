@@ -1,0 +1,25 @@
+package power_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/power"
+)
+
+func ExampleSpec_LowestFreqFor() {
+	s := power.TypeHighEnd() // 4 cores, P-states 1.0 … 3.0 GHz
+	// The arbitrator picks the lowest P-state covering 7 GHz of demand.
+	f := s.LowestFreqFor(7)
+	fmt.Printf("%.1f GHz per core (%.0f GHz total)\n", f, s.CapacityAt(f))
+	// Output: 2.0 GHz per core (8 GHz total)
+}
+
+func ExampleSpec_Efficiency() {
+	for _, s := range power.AllTypes() {
+		fmt.Printf("%-12s %.4f GHz/W\n", s.Name, s.Efficiency())
+	}
+	// Output:
+	// quad-3.0GHz  0.0400 GHz/W
+	// dual-2.0GHz  0.0242 GHz/W
+	// dual-1.5GHz  0.0214 GHz/W
+}

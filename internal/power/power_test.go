@@ -1,0 +1,178 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardSpecsValidate(t *testing.T) {
+	for _, s := range AllTypes() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	base := TypeMid()
+	cases := map[string]func(*Spec){
+		"no cores":        func(s *Spec) { s.Cores = 0 },
+		"no pstates":      func(s *Spec) { s.PStates = nil },
+		"unsorted":        func(s *Spec) { s.PStates = []float64{2.0, 1.0} },
+		"nonpositive ps":  func(s *Spec) { s.PStates = []float64{0, 2.0} },
+		"top != maxfreq":  func(s *Spec) { s.PStates = []float64{0.8, 1.9} },
+		"bad dyn power":   func(s *Spec) { s.PDynMax = 0 },
+		"negative static": func(s *Spec) { s.PStatic = -1 },
+		"negative sleep":  func(s *Spec) { s.PSleep = -1 },
+	}
+	for name, mutate := range cases {
+		s := base
+		s.PStates = append([]float64(nil), base.PStates...)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := TypeHighEnd()
+	if s.Capacity() != 12 {
+		t.Fatalf("Capacity = %v, want 12", s.Capacity())
+	}
+	if s.CapacityAt(1.5) != 6 {
+		t.Fatalf("CapacityAt(1.5) = %v", s.CapacityAt(1.5))
+	}
+}
+
+func TestEfficiencyOrdering(t *testing.T) {
+	// The heterogeneity PAC exploits: high-end strictly more efficient.
+	types := AllTypes()
+	for i := 1; i < len(types); i++ {
+		if types[i-1].Efficiency() <= types[i].Efficiency() {
+			t.Fatalf("efficiency not decreasing: %s (%v) vs %s (%v)",
+				types[i-1].Name, types[i-1].Efficiency(), types[i].Name, types[i].Efficiency())
+		}
+	}
+}
+
+func TestPowerMonotoneInUtilization(t *testing.T) {
+	s := TypeHighEnd()
+	for _, f := range s.PStates {
+		prev := -1.0
+		for u := 0.0; u <= 1.0; u += 0.1 {
+			p := s.Power(f, u)
+			if p <= prev {
+				t.Fatalf("power not increasing in u at f=%v", f)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	s := TypeHighEnd()
+	for _, u := range []float64{0, 0.5, 1} {
+		prev := -1.0
+		for _, f := range s.PStates {
+			p := s.Power(f, u)
+			if p <= prev {
+				t.Fatalf("power not increasing in f at u=%v", u)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPowerBounds(t *testing.T) {
+	s := TypeMid()
+	if got := s.Power(s.MaxFreq, 1); math.Abs(got-s.MaxPower()) > 1e-9 {
+		t.Fatalf("full power = %v, want %v", got, s.MaxPower())
+	}
+	// Clamping of out-of-range utilization.
+	if s.Power(s.MaxFreq, 2) != s.Power(s.MaxFreq, 1) {
+		t.Fatal("u > 1 must clamp")
+	}
+	if s.Power(s.MaxFreq, -1) != s.Power(s.MaxFreq, 0) {
+		t.Fatal("u < 0 must clamp")
+	}
+	// DVFS always saves power at equal utilization.
+	if s.Power(s.PStates[0], 0.5) >= s.Power(s.MaxFreq, 0.5) {
+		t.Fatal("low P-state must consume less")
+	}
+	// Sleep beats any active state.
+	if s.PSleep >= s.Power(s.PStates[0], 0) {
+		t.Fatal("sleep must beat idle at the lowest P-state")
+	}
+}
+
+func TestLowestFreqFor(t *testing.T) {
+	s := TypeHighEnd() // 4 cores, P-states 1.0..3.0
+	cases := []struct {
+		demand float64
+		want   float64
+	}{
+		{0, 1.0},
+		{3.9, 1.0}, // 4 cores * 1.0 = 4 covers it
+		{4.1, 1.5}, // needs 4*1.5 = 6
+		{11.9, 3.0},
+		{12.0, 3.0},
+		{99, 3.0}, // overloaded: pegged at max
+	}
+	for _, c := range cases {
+		if got := s.LowestFreqFor(c.demand); got != c.want {
+			t.Errorf("LowestFreqFor(%v) = %v, want %v", c.demand, got, c.want)
+		}
+	}
+}
+
+// Property: the chosen P-state always covers the demand when demand is
+// within capacity, and no lower P-state does.
+func TestLowestFreqForProperty(t *testing.T) {
+	s := TypeMid()
+	f := func(raw float64) bool {
+		demand := math.Mod(math.Abs(raw), s.Capacity())
+		got := s.LowestFreqFor(demand)
+		if s.CapacityAt(got) < demand-1e-9 {
+			return false
+		}
+		for _, ps := range s.PStates {
+			if ps >= got {
+				break
+			}
+			if s.CapacityAt(ps) >= demand {
+				return false // a lower P-state would have sufficed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Accumulate(100, 3600) // 100 W for an hour
+	if math.Abs(m.Wh()-100) > 1e-9 {
+		t.Fatalf("Wh = %v, want 100", m.Wh())
+	}
+	if math.Abs(m.Joules()-360000) > 1e-9 {
+		t.Fatalf("Joules = %v", m.Joules())
+	}
+	m.Reset()
+	if m.Joules() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMeterPanicsOnNegative(t *testing.T) {
+	var m Meter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Accumulate(-1, 10)
+}

@@ -1,0 +1,20 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/queueing"
+)
+
+func ExampleSolve() {
+	// 40 clients with 1 s think time over a two-tier application:
+	// web tier 25 ms/visit, database tier 40 ms/visit.
+	net := &queueing.Network{ThinkTime: 1.0, Demands: []float64{0.025, 0.040}}
+	r, err := queueing.Solve(net, 40)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput %.1f req/s, mean response %.0f ms\n",
+		r.Throughput, 1000*r.ResponseTime)
+	// Output: throughput 24.9 req/s, mean response 607 ms
+}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return New("Figure X", "app", "mean (ms)", "std (ms)").
+		AddRow("App1", 998.4, 384).
+		AddRow("App2", 1004.0, 295)
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "app", "App1", "998.4", "1004"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("line count %d", len(lines))
+	}
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tab := New("", "a", "long-header").AddRow("x", 1)
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Column 2 starts at the same offset in both lines.
+	if strings.Index(lines[0], "long-header") != strings.Index(lines[1], "1") {
+		t.Fatalf("misaligned:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "app,mean (ms),std (ms)" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "App1,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| app | mean (ms) | std (ms) |") {
+		t.Fatalf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatalf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**Figure X**") {
+		t.Fatalf("markdown title missing:\n%s", out)
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	for _, f := range []string{"", "text", "csv", "markdown", "md"} {
+		var buf bytes.Buffer
+		if err := sample().Format(&buf, f); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q produced nothing", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sample().Format(&buf, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRowAccessors(t *testing.T) {
+	tab := sample()
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if tab.Row(0)[0] != "App1" {
+		t.Fatalf("Row(0) = %v", tab.Row(0))
+	}
+}
+
+// errWriter fails after n bytes, exercising the renderers' error paths.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errFull
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errFull
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errFull = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "disk full" }
+
+func TestWritersPropagateErrors(t *testing.T) {
+	tab := sample()
+	for name, f := range map[string]func(*errWriter) error{
+		"text":     func(w *errWriter) error { return tab.WriteText(w) },
+		"csv":      func(w *errWriter) error { return tab.WriteCSV(w) },
+		"markdown": func(w *errWriter) error { return tab.WriteMarkdown(w) },
+	} {
+		if err := f(&errWriter{n: 3}); err == nil {
+			t.Errorf("%s: write error swallowed", name)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should give empty string")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("constant series = %q", flat)
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if ramp != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q", ramp)
+	}
+	vee := Sparkline([]float64{10, 0, 10})
+	if []rune(vee)[0] != '█' || []rune(vee)[1] != '▁' || []rune(vee)[2] != '█' {
+		t.Fatalf("vee = %q", vee)
+	}
+}
+
+func TestIntAndBoolFormatting(t *testing.T) {
+	tab := New("", "n", "flag").AddRow(42, true)
+	if tab.Row(0)[0] != "42" || tab.Row(0)[1] != "true" {
+		t.Fatalf("row = %v", tab.Row(0))
+	}
+}

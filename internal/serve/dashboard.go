@@ -1,0 +1,97 @@
+package serve
+
+import "net/http"
+
+// handleDashboard serves the single-page live view: it polls /status and
+// /history and renders response-time sparklines per application plus the
+// cluster power, entirely with inline JavaScript — no external assets,
+// stdlib only.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>vdcpower live testbed</title>
+<style>
+ body { font-family: monospace; background: #111; color: #ddd; margin: 2em; }
+ h1 { font-size: 1.2em; } h2 { font-size: 1em; color: #9cf; margin: 0.3em 0; }
+ .row { margin-bottom: 1em; }
+ canvas { background: #181818; border: 1px solid #333; }
+ .num { color: #fc6; }
+ .hint { color: #777; font-size: 0.85em; }
+</style>
+</head>
+<body>
+<h1>vdcpower — live two-level power management</h1>
+<div id="top" class="row"></div>
+<div id="apps"></div>
+<div class="row"><h2>cluster power (W)</h2><canvas id="power" width="640" height="80"></canvas></div>
+<p class="hint">POST /concurrency?app=N&amp;level=80 to inject a surge;
+POST /setpoint?app=N&amp;seconds=1.2 to retarget;
+POST /cordon?server=S1&amp;state=on for maintenance.</p>
+<script>
+function spark(canvas, values, yref) {
+  const ctx = canvas.getContext('2d');
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  if (!values.length) return;
+  const max = Math.max(...values, yref || 0) * 1.1 || 1;
+  ctx.strokeStyle = '#555';
+  if (yref) {
+    const yr = canvas.height - (yref / max) * canvas.height;
+    ctx.beginPath(); ctx.moveTo(0, yr); ctx.lineTo(canvas.width, yr); ctx.stroke();
+  }
+  ctx.strokeStyle = '#6cf';
+  ctx.beginPath();
+  values.forEach((v, i) => {
+    const x = i / (values.length - 1 || 1) * canvas.width;
+    const y = canvas.height - (v / max) * canvas.height;
+    if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+  });
+  ctx.stroke();
+}
+async function tick() {
+  try {
+    const st = await (await fetch('/status')).json();
+    const hist = await (await fetch('/history?n=200')).json() || [];
+    document.getElementById('top').innerHTML =
+      'sim time <span class=num>' + st.sim_time_sec.toFixed(0) + 's</span> · power ' +
+      '<span class=num>' + st.power_w.toFixed(0) + ' W</span> · active servers ' +
+      '<span class=num>' + st.active_servers + '/' + st.total_servers + '</span>';
+    const apps = document.getElementById('apps');
+    st.apps.forEach((a, i) => {
+      let div = document.getElementById('app' + i);
+      if (!div) {
+        div = document.createElement('div');
+        div.id = 'app' + i; div.className = 'row';
+        div.innerHTML = '<h2>' + a.name + ' <span class=hint id="appinfo' + i +
+          '"></span></h2><canvas id="appc' + i + '" width="640" height="60"></canvas>';
+        apps.appendChild(div);
+      }
+      document.getElementById('appinfo' + i).textContent =
+        ' p90 ' + (a.t90_sec * 1000).toFixed(0) + 'ms / target ' +
+        (a.setpoint_sec * 1000).toFixed(0) + 'ms · clients ' + a.concurrency +
+        ' · alloc [' + a.allocations_ghz.map(x => x.toFixed(2)).join(', ') + '] GHz';
+      spark(document.getElementById('appc' + i),
+            hist.map(r => r.T90[i] * 1000), a.setpoint_sec * 1000);
+    });
+    spark(document.getElementById('power'), hist.map(r => r.PowerW));
+  } catch (e) { /* server restarting */ }
+  setTimeout(tick, 1000);
+}
+tick();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,310 @@
+// Package serve exposes a running testbed over HTTP: JSON status and
+// history, a Prometheus-style metrics endpoint, and control knobs for
+// set points and workload levels. cmd/serve wires it to a real listener
+// to make the closed-loop behavior of the paper observable interactively.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"vdcpower/internal/testbed"
+)
+
+// Server owns a testbed and advances it one control period at a time.
+// All access — stepping and HTTP handling — is serialized by a mutex:
+// the simulator itself is deliberately single-threaded.
+type Server struct {
+	mu         sync.Mutex
+	tb         *testbed.Testbed
+	history    []testbed.PeriodRecord
+	maxHistory int
+	stop       chan struct{}
+	wg         sync.WaitGroup
+}
+
+// New wraps an already-constructed testbed.
+func New(tb *testbed.Testbed) *Server {
+	return &Server{tb: tb, maxHistory: 2048}
+}
+
+// Step advances the control loop by one period.
+func (s *Server) Step() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs, err := s.tb.Run(s.tb.Cfg.Period, nil)
+	if err != nil {
+		return err
+	}
+	s.history = append(s.history, recs...)
+	if len(s.history) > s.maxHistory {
+		s.history = s.history[len(s.history)-s.maxHistory:]
+	}
+	return nil
+}
+
+// Start advances the loop continuously in the background, one control
+// period every interval of wall-clock time. Call Stop to halt.
+func (s *Server) Start(interval time.Duration) {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	stop := s.stop
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := s.Step(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// AppStatus is the per-application slice of the status document.
+type AppStatus struct {
+	Name        string    `json:"name"`
+	SetpointSec float64   `json:"setpoint_sec"`
+	T90Sec      float64   `json:"t90_sec"`
+	Allocations []float64 `json:"allocations_ghz"`
+	Concurrency int       `json:"concurrency"`
+}
+
+// Status is the live state document served at /status.
+type Status struct {
+	SimTimeSec    float64     `json:"sim_time_sec"`
+	PowerW        float64     `json:"power_w"`
+	ActiveServers int         `json:"active_servers"`
+	TotalServers  int         `json:"total_servers"`
+	Apps          []AppStatus `json:"apps"`
+}
+
+// snapshotStatus builds the status document under the lock.
+func (s *Server) snapshotStatus() Status {
+	st := Status{
+		SimTimeSec:    s.tb.Sim.Now(),
+		PowerW:        s.tb.DC.TotalPower(),
+		ActiveServers: s.tb.DC.NumActive(),
+		TotalServers:  len(s.tb.DC.Servers),
+	}
+	var latest *testbed.PeriodRecord
+	if len(s.history) > 0 {
+		latest = &s.history[len(s.history)-1]
+	}
+	for i, app := range s.tb.Apps {
+		as := AppStatus{
+			Name:        app.Name,
+			SetpointSec: s.tb.Controllers[i].Setpoint(),
+			Allocations: s.tb.Controllers[i].Demands(),
+			Concurrency: app.Concurrency(),
+		}
+		if latest != nil {
+			as.T90Sec = latest.T90[i]
+		}
+		st.Apps = append(st.Apps, as)
+	}
+	return st
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /status                        live state as JSON
+//	GET  /history?n=100                 recent per-period records as JSON
+//	GET  /metrics                       Prometheus text exposition
+//	POST /setpoint?app=0&seconds=1.2    retarget one controller
+//	POST /concurrency?app=0&level=80    change one app's workload
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/setpoint", s.handleSetpoint)
+	mux.HandleFunc("/concurrency", s.handleConcurrency)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/cordon", s.handleCordon)
+	mux.HandleFunc("/", s.handleDashboard)
+	return mux
+}
+
+func (s *Server) handleCordon(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("server")
+	state := r.URL.Query().Get("state")
+	if state != "on" && state != "off" {
+		http.Error(w, "state must be on or off", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, srv := range s.tb.DC.Servers {
+		if srv.ID == id {
+			if state == "on" {
+				srv.Cordon()
+			} else {
+				srv.Uncordon()
+			}
+			writeJSON(w, map[string]any{"server": id, "cordoned": srv.Cordoned()})
+			return
+		}
+	}
+	http.Error(w, "unknown server", http.StatusBadRequest)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	snap := s.tb.DC.Snapshot()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteJSON(w)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.snapshotStatus()
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	s.mu.Lock()
+	recs := s.history
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	out := make([]testbed.PeriodRecord, len(recs))
+	copy(out, recs)
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.snapshotStatus()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP vdcpower_power_watts Total cluster power draw.\n")
+	fmt.Fprintf(w, "# TYPE vdcpower_power_watts gauge\n")
+	fmt.Fprintf(w, "vdcpower_power_watts %g\n", st.PowerW)
+	fmt.Fprintf(w, "# HELP vdcpower_active_servers Servers in the active state.\n")
+	fmt.Fprintf(w, "# TYPE vdcpower_active_servers gauge\n")
+	fmt.Fprintf(w, "vdcpower_active_servers %d\n", st.ActiveServers)
+	fmt.Fprintf(w, "# HELP vdcpower_response_time_seconds Per-application 90-percentile response time.\n")
+	fmt.Fprintf(w, "# TYPE vdcpower_response_time_seconds gauge\n")
+	for _, a := range st.Apps {
+		fmt.Fprintf(w, "vdcpower_response_time_seconds{app=%q} %g\n", a.Name, a.T90Sec)
+	}
+	fmt.Fprintf(w, "# HELP vdcpower_setpoint_seconds Per-application response time target.\n")
+	fmt.Fprintf(w, "# TYPE vdcpower_setpoint_seconds gauge\n")
+	for _, a := range st.Apps {
+		fmt.Fprintf(w, "vdcpower_setpoint_seconds{app=%q} %g\n", a.Name, a.SetpointSec)
+	}
+}
+
+func (s *Server) handleSetpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	idx, ok := s.appIndex(w, r)
+	if !ok {
+		return
+	}
+	sec, err := strconv.ParseFloat(r.URL.Query().Get("seconds"), 64)
+	if err != nil || sec <= 0 {
+		http.Error(w, "bad seconds", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.tb.Controllers[idx].SetSetpoint(sec)
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"app": idx, "setpoint_sec": sec})
+}
+
+func (s *Server) handleConcurrency(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	idx, ok := s.appIndex(w, r)
+	if !ok {
+		return
+	}
+	level, err := strconv.Atoi(r.URL.Query().Get("level"))
+	if err != nil || level < 0 {
+		http.Error(w, "bad level", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.tb.Apps[idx].SetConcurrency(level)
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"app": idx, "concurrency": level})
+}
+
+// appIndex parses and validates the app query parameter.
+func (s *Server) appIndex(w http.ResponseWriter, r *http.Request) (int, bool) {
+	idx, err := strconv.Atoi(r.URL.Query().Get("app"))
+	if err != nil || idx < 0 || idx >= len(s.tb.Apps) {
+		http.Error(w, "bad app index", http.StatusBadRequest)
+		return 0, false
+	}
+	return idx, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/stats"
+)
+
+func ExamplePercentile() {
+	latencies := []float64{0.2, 0.4, 0.9, 1.1, 0.3, 0.5, 0.8, 1.4, 0.6, 0.7}
+	fmt.Printf("p90 = %.2fs\n", stats.Percentile(latencies, 90))
+	// Output: p90 = 1.13s
+}
+
+func ExampleRunning() {
+	var r stats.Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	fmt.Printf("n=%d mean=%.1f\n", r.N(), r.Mean())
+	// Output: n=8 mean=5.0
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{50, 5.5},
+		{100, 10},
+		{90, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 90)) {
+		t.Fatal("expected NaN for empty input")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	if got := Percentile([]float64{42}, 90); got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPercentileClampsP(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Fatalf("p<0: got %v", got)
+	}
+	if got := Percentile(xs, 250); got != 3 {
+		t.Fatalf("p>100: got %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestStdDevDegenerate(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of <2 samples must be 0")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("running mean %v vs %v", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Fatalf("running sd %v vs %v", r.StdDev(), StdDev(xs))
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if r.Min() != lo || r.Max() != hi {
+		t.Fatalf("min/max mismatch")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Min()) || !math.IsNaN(r.Max()) {
+		t.Fatal("empty Running should report NaN")
+	}
+	if r.StdDev() != 0 {
+		t.Fatal("empty Running StdDev should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) {
+		t.Fatalf("bad empty summary %+v", s)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := Percentile(xs, pa), Percentile(xs, pb)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return qa <= qb+1e-12 && qa >= sorted[0]-1e-12 && qb <= sorted[len(sorted)-1]+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	q := h.Quantile(0.9)
+	if q < 85 || q > 95 {
+		t.Fatalf("Quantile(0.9) = %v, want ~90", q)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(50)
+	if h.Counts[0] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("out-of-range samples misplaced: %v", h.Counts)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("expected NaN")
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkPercentile1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 90)
+	}
+}

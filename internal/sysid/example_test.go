@@ -1,0 +1,46 @@
+package sysid_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/mat"
+	"vdcpower/internal/sysid"
+)
+
+func ExampleIdentify() {
+	// Record an experiment: the response time follows a known ARX law of
+	// the two tiers' CPU allocations.
+	truth := &sysid.Model{
+		Na: 1, Nb: 2, NumInputs: 2,
+		A:     []float64{0.5},
+		B:     []mat.Vec{{-0.3, -0.2}, {-0.1, -0.05}},
+		Gamma: 2.5,
+	}
+	ds := &sysid.Dataset{}
+	tHist := []float64{0}
+	cHist := []mat.Vec{{1, 1}, {1, 1}}
+	inputs := []mat.Vec{{1, 2}, {2, 1}, {1.5, 1.5}, {2.5, 1}, {1, 2.5}, {2, 2}, {1.2, 1.8}, {2.2, 1.1}, {1.7, 2.3}, {1.1, 1.3}}
+	for k := 0; k < 40; k++ {
+		y := truth.Predict(tHist, cHist)
+		c := inputs[k%len(inputs)]
+		ds.Append(y, c)
+		cHist = append([]mat.Vec{c.Clone()}, cHist[:1]...)
+		tHist = []float64{y}
+	}
+	m, err := sysid.Identify(ds, 1, 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("a1=%.2f gamma=%.2f stable=%v\n", m.A[0], m.Gamma, m.Stable())
+	// Output: a1=0.50 gamma=2.50 stable=true
+}
+
+func ExampleModel_DCGain() {
+	m := &sysid.Model{
+		Na: 1, Nb: 2, NumInputs: 1,
+		A: []float64{0.5}, B: []mat.Vec{{-0.3}, {-0.1}}, Gamma: 2,
+	}
+	// Steady-state response time change per GHz of extra CPU.
+	fmt.Printf("%.1f s/GHz\n", m.DCGain(0))
+	// Output: -0.8 s/GHz
+}

@@ -1,0 +1,71 @@
+package sysid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// OrderSelection reports the winner of a model-order search.
+type OrderSelection struct {
+	Na, Nb int
+	Model  *Model
+	BIC    float64
+	// Tried lists every candidate with its score, for diagnostics.
+	Tried []OrderScore
+}
+
+// OrderScore is one candidate's result.
+type OrderScore struct {
+	Na, Nb int
+	BIC    float64
+	RMSE   float64
+}
+
+// SelectOrder fits ARX models for every (na, nb) in the given ranges and
+// returns the one minimizing the Bayesian information criterion
+//
+//	BIC = n·ln(SSE/n) + k·ln(n)
+//
+// which balances fit against parameter count. The paper fixes (1, 2) by
+// inspection (Eq. 1); this automates that choice for new applications.
+func SelectOrder(d *Dataset, maxNa, maxNb, numInputs int) (*OrderSelection, error) {
+	if maxNa < 0 || maxNb < 1 {
+		return nil, fmt.Errorf("sysid: invalid search bounds Na<=%d Nb<=%d", maxNa, maxNb)
+	}
+	best := &OrderSelection{BIC: math.Inf(1)}
+	for na := 0; na <= maxNa; na++ {
+		for nb := 1; nb <= maxNb; nb++ {
+			m, err := Identify(d, na, nb, numInputs)
+			if err != nil {
+				continue // not enough data for this order: skip
+			}
+			fm, err := Evaluate(m, d)
+			if err != nil {
+				continue
+			}
+			lag := na
+			if nb > lag {
+				lag = nb
+			}
+			n := float64(d.Len() - lag)
+			if n <= 1 {
+				continue
+			}
+			sse := fm.RMSE * fm.RMSE * n
+			if sse <= 0 {
+				sse = 1e-300 // perfect fit: BIC → −∞ dominated by k·ln n
+			}
+			k := float64(m.NumParams())
+			bic := n*math.Log(sse/n) + k*math.Log(n)
+			best.Tried = append(best.Tried, OrderScore{Na: na, Nb: nb, BIC: bic, RMSE: fm.RMSE})
+			if bic < best.BIC {
+				best.Na, best.Nb, best.Model, best.BIC = na, nb, m, bic
+			}
+		}
+	}
+	if best.Model == nil {
+		return nil, errors.New("sysid: no candidate order could be fitted")
+	}
+	return best, nil
+}

@@ -1,0 +1,47 @@
+package sysid
+
+import (
+	"testing"
+
+	"vdcpower/internal/mat"
+)
+
+func TestSelectOrderRecoversTrueOrders(t *testing.T) {
+	// Data from an ARX(1,2): BIC should pick exactly (1,2) — richer
+	// orders improve the fit negligibly and pay the parameter penalty.
+	ref := refModel()
+	d := makeARXData(ref, 600, 0.05, 31)
+	sel, err := SelectOrder(d, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Na != 1 || sel.Nb != 2 {
+		t.Fatalf("selected (%d,%d), want (1,2); tried: %+v", sel.Na, sel.Nb, sel.Tried)
+	}
+	if sel.Model == nil || len(sel.Tried) == 0 {
+		t.Fatal("incomplete selection result")
+	}
+}
+
+func TestSelectOrderSimplerTruth(t *testing.T) {
+	// Data from ARX(0? no—Na=1,Nb=1): selection must not over-fit.
+	truth := &Model{Na: 1, Nb: 1, NumInputs: 1, A: []float64{0.5}, B: []mat.Vec{{-0.7}}, Gamma: 2}
+	d := makeARXData(truth, 600, 0.05, 32)
+	sel, err := SelectOrder(d, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Na != 1 || sel.Nb != 1 {
+		t.Fatalf("selected (%d,%d), want (1,1)", sel.Na, sel.Nb)
+	}
+}
+
+func TestSelectOrderErrors(t *testing.T) {
+	if _, err := SelectOrder(&Dataset{}, 2, 2, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	d := makeARXData(refModel(), 100, 0, 33)
+	if _, err := SelectOrder(d, -1, 0, 2); err == nil {
+		t.Fatal("bad bounds accepted")
+	}
+}

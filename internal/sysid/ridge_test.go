@@ -1,0 +1,64 @@
+package sysid
+
+import (
+	"math"
+	"testing"
+
+	"vdcpower/internal/mat"
+)
+
+func TestIdentifyRidgeMatchesLSWhenWellConditioned(t *testing.T) {
+	ref := refModel()
+	d := makeARXData(ref, 400, 0.01, 21)
+	ls, err := Identify(d, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := IdentifyRidge(d, 1, 2, 2, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ls.A[0]-rr.A[0]) > 1e-4 || math.Abs(ls.Gamma-rr.Gamma) > 1e-3 {
+		t.Fatalf("ridge diverged from LS: %v vs %v", rr, ls)
+	}
+}
+
+func TestIdentifyRidgeSurvivesConstantInputs(t *testing.T) {
+	// Constant allocations: the input columns are collinear with the
+	// affine term, ordinary least squares fails, ridge degrades
+	// gracefully.
+	ref := refModel()
+	d := &Dataset{}
+	tHist := []float64{0}
+	cHist := []mat.Vec{{2, 2}, {2, 2}}
+	for k := 0; k < 100; k++ {
+		y := ref.Predict(tHist, cHist)
+		d.Append(y, mat.Vec{2, 2})
+		tHist = []float64{y}
+	}
+	if _, err := Identify(d, 1, 2, 2); err == nil {
+		t.Fatal("expected LS failure on unexcited data")
+	}
+	m, err := IdentifyRidge(d, 1, 2, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ridge model must at least reproduce the steady state.
+	fm, err := Evaluate(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.RMSE > 0.05 {
+		t.Fatalf("ridge model RMSE %v too high on its own data", fm.RMSE)
+	}
+}
+
+func TestIdentifyRidgeValidation(t *testing.T) {
+	d := makeARXData(refModel(), 100, 0, 22)
+	if _, err := IdentifyRidge(d, 1, 2, 2, 0); err == nil {
+		t.Fatal("λ=0 accepted")
+	}
+	if _, err := IdentifyRidge(d, 1, 2, 2, -1); err == nil {
+		t.Fatal("λ<0 accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package sysid
+
+import (
+	"fmt"
+
+	"vdcpower/internal/mat"
+)
+
+// RLS is a recursive least-squares estimator with exponential forgetting,
+// used for online re-identification when the workload drifts away from
+// the operating point of the offline experiment (the robustness concern
+// of Section VII-A).
+type RLS struct {
+	na, nb, numInputs int
+	theta             mat.Vec  // parameter estimate
+	p                 *mat.Mat // inverse covariance
+	lambda            float64  // forgetting factor in (0, 1]
+
+	tHist []float64 // t(k-1), t(k-2), ...
+	cHist []mat.Vec // c(k-1), c(k-2), ...
+	seen  int
+}
+
+// NewRLS creates an estimator for an ARX(na, nb) model with numInputs
+// inputs. lambda is the forgetting factor (1 = ordinary RLS; 0.95–0.99
+// adapts to drift). p0 scales the initial covariance; 1e4 is a sensible
+// default for poorly known parameters.
+func NewRLS(na, nb, numInputs int, lambda, p0 float64) (*RLS, error) {
+	if na < 0 || nb < 1 || numInputs < 1 {
+		return nil, fmt.Errorf("sysid: invalid orders Na=%d Nb=%d inputs=%d", na, nb, numInputs)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("sysid: forgetting factor %v outside (0,1]", lambda)
+	}
+	if p0 <= 0 {
+		return nil, fmt.Errorf("sysid: p0 must be positive, got %v", p0)
+	}
+	n := na + nb*numInputs + 1
+	r := &RLS{
+		na: na, nb: nb, numInputs: numInputs,
+		theta:  make(mat.Vec, n),
+		p:      mat.Identity(n).Scale(p0),
+		lambda: lambda,
+	}
+	return r, nil
+}
+
+// regressor builds φ(k) from the stored history, or nil if the history is
+// still too short.
+func (r *RLS) regressor() mat.Vec {
+	if len(r.tHist) < r.na || len(r.cHist) < r.nb {
+		return nil
+	}
+	phi := make(mat.Vec, 0, r.na+r.nb*r.numInputs+1)
+	for i := 0; i < r.na; i++ {
+		phi = append(phi, r.tHist[i])
+	}
+	for j := 0; j < r.nb; j++ {
+		phi = append(phi, r.cHist[j]...)
+	}
+	phi = append(phi, 1)
+	return phi
+}
+
+// Observe folds one sample (the measured output t under input c applied
+// this period) into the estimate.
+func (r *RLS) Observe(t float64, c mat.Vec) {
+	if len(c) != r.numInputs {
+		panic(fmt.Sprintf("sysid: RLS input dimension %d, want %d", len(c), r.numInputs))
+	}
+	// Record the input first: c is c(k), part of the regressor for t(k)
+	// via the c(k−1) term at the *next* step — but for t(k) itself the
+	// regressor uses history already stored. Following the dataset
+	// convention of Identify, c[k] is applied during period k, so t(k)
+	// depends on c(k−1), c(k−2), ...
+	if phi := r.regressor(); phi != nil {
+		r.update(phi, t)
+	}
+	r.tHist = append([]float64{t}, r.tHist...)
+	if len(r.tHist) > r.na {
+		r.tHist = r.tHist[:r.na]
+	}
+	r.cHist = append([]mat.Vec{c.Clone()}, r.cHist...)
+	if len(r.cHist) > r.nb {
+		r.cHist = r.cHist[:r.nb]
+	}
+	r.seen++
+}
+
+// update applies the RLS recursion with forgetting.
+func (r *RLS) update(phi mat.Vec, y float64) {
+	pphi := r.p.MulVec(phi)
+	denom := r.lambda + phi.Dot(pphi)
+	gain := pphi.Clone().Scale(1 / denom)
+	err := y - phi.Dot(r.theta)
+	r.theta.AddScaled(err, gain)
+	// P ← (P − g·φᵀP) / λ
+	n := len(phi)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.p.Set(i, j, (r.p.At(i, j)-gain[i]*pphi[j])/r.lambda)
+		}
+	}
+}
+
+// Samples returns the number of observations folded in.
+func (r *RLS) Samples() int { return r.seen }
+
+// Model extracts the current parameter estimate as an ARX model.
+func (r *RLS) Model() *Model {
+	return unpack(r.theta.Clone(), r.na, r.nb, r.numInputs)
+}

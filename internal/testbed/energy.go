@@ -1,0 +1,49 @@
+package testbed
+
+import "vdcpower/internal/cluster"
+
+// Per-application energy attribution: each active server's power draw is
+// attributed to the applications hosted on it in proportion to their
+// VMs' CPU demands — the chargeback model a provider would bill with,
+// and the measurement behind "saving power by right-sizing each
+// application" claims.
+
+// attributeEnergy charges one control period's power to applications.
+func (tb *Testbed) attributeEnergy(periodSec float64) {
+	if tb.appEnergyWh == nil {
+		tb.appEnergyWh = make([]float64, len(tb.Apps))
+	}
+	for _, srv := range tb.DC.Servers {
+		if srv.State() != cluster.Active {
+			continue
+		}
+		total := srv.TotalDemand()
+		if total <= 0 {
+			continue
+		}
+		p := srv.Power()
+		for _, vm := range srv.VMs() {
+			idx, ok := tb.vmIndex[vm.ID]
+			if !ok {
+				continue
+			}
+			share := vm.Demand / total
+			tb.appEnergyWh[idx[0]] += p * share * periodSec / 3600
+		}
+	}
+}
+
+// EnergyByAppWh returns the accumulated energy attribution in watt-hours
+// per application name. Idle power of empty or sleeping servers is not
+// attributed (nobody to bill).
+func (tb *Testbed) EnergyByAppWh() map[string]float64 {
+	out := make(map[string]float64, len(tb.Apps))
+	for i, app := range tb.Apps {
+		v := 0.0
+		if i < len(tb.appEnergyWh) {
+			v = tb.appEnergyWh[i]
+		}
+		out[app.Name] = v
+	}
+	return out
+}

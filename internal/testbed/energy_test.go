@@ -1,0 +1,84 @@
+package testbed
+
+import (
+	"testing"
+)
+
+func TestEnergyByAppAllPositive(t *testing.T) {
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(300, nil); err != nil {
+		t.Fatal(err)
+	}
+	byApp := tb.EnergyByAppWh()
+	if len(byApp) != len(tb.Apps) {
+		t.Fatalf("entries = %d", len(byApp))
+	}
+	for name, wh := range byApp {
+		if wh <= 0 {
+			t.Fatalf("%s attributed %v Wh", name, wh)
+		}
+	}
+}
+
+func TestEnergyAttributionBoundedByTotal(t *testing.T) {
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tb.Run(300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalWh := 0.0
+	for _, r := range recs {
+		totalWh += r.PowerW * tb.Cfg.Period / 3600
+	}
+	attributed := 0.0
+	for _, wh := range tb.EnergyByAppWh() {
+		attributed += wh
+	}
+	if attributed > totalWh+1e-6 {
+		t.Fatalf("attributed %.2f Wh exceeds total %.2f Wh", attributed, totalWh)
+	}
+	// Attribution covers most of the draw (idle floors are shared too,
+	// only empty/sleeping servers go unattributed).
+	if attributed < 0.5*totalWh {
+		t.Fatalf("attributed only %.2f of %.2f Wh", attributed, totalWh)
+	}
+}
+
+func TestEnergyAttributionFollowsLoad(t *testing.T) {
+	// Double one app's workload: it should be charged more energy than
+	// its identically-configured peers.
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Apps[0].SetConcurrency(2 * tb.Cfg.Concurrency)
+	if _, err := tb.Run(600, nil); err != nil {
+		t.Fatal(err)
+	}
+	byApp := tb.EnergyByAppWh()
+	hot := byApp[tb.Apps[0].Name]
+	for _, app := range tb.Apps[1:] {
+		if hot <= byApp[app.Name] {
+			t.Fatalf("hot app %.2f Wh not above peer %s %.2f Wh",
+				hot, app.Name, byApp[app.Name])
+		}
+	}
+}
+
+func TestEnergyByAppBeforeRun(t *testing.T) {
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wh := range tb.EnergyByAppWh() {
+		if wh != 0 {
+			t.Fatal("energy attributed before any control period")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"vdcpower/internal/stats"
+)
+
+// Failure injection: the control loop must survive abnormal conditions
+// without crashing or destabilizing.
+
+func TestControllerSurvivesTrafficOutage(t *testing.T) {
+	// All clients of one app vanish mid-run (upstream outage): the
+	// controller holds its last measurement, keeps running, and
+	// re-converges when traffic returns.
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	app := tb.Apps[0]
+	app.SetConcurrency(0)
+	if _, err := tb.Run(200, nil); err != nil {
+		t.Fatalf("outage crashed the loop: %v", err)
+	}
+	app.SetConcurrency(tb.Cfg.Concurrency)
+	recs, err := tb.Run(400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []float64
+	for _, r := range recs[len(recs)-25:] {
+		xs = append(xs, r.T90[0])
+	}
+	if m := stats.Mean(xs); math.Abs(m-tb.Cfg.Setpoint) > 0.4 {
+		t.Fatalf("did not re-converge after outage: %v", m)
+	}
+}
+
+func TestControllerSurvivesExtremeOverload(t *testing.T) {
+	// Concurrency ×6 beyond what CMax can serve: the controller must rail
+	// at the bounds without error and recover when the flood subsides.
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(120, nil); err != nil {
+		t.Fatal(err)
+	}
+	app := tb.Apps[1]
+	app.SetConcurrency(6 * tb.Cfg.Concurrency)
+	recs, err := tb.Run(200, nil)
+	if err != nil {
+		t.Fatalf("flood crashed the loop: %v", err)
+	}
+	// Allocations railed at CMax for the flooded app.
+	railed := false
+	for _, d := range tb.Controllers[1].Demands() {
+		if d > tb.Cfg.CMax-1e-6 {
+			railed = true
+		}
+	}
+	if !railed {
+		t.Fatalf("controller did not rail against the flood: %v", tb.Controllers[1].Demands())
+	}
+	_ = recs
+	app.SetConcurrency(tb.Cfg.Concurrency)
+	recs, err = tb.Run(400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []float64
+	for _, r := range recs[len(recs)-25:] {
+		xs = append(xs, r.T90[1])
+	}
+	if m := stats.Mean(xs); math.Abs(m-tb.Cfg.Setpoint) > 0.4 {
+		t.Fatalf("did not recover after flood: %v", m)
+	}
+}
+
+func TestControllerSurvivesLongTierStall(t *testing.T) {
+	// A 30-second database stall (e.g. a lock storm): response times
+	// explode, the controller rails, and the loop recovers afterwards.
+	tb, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Apps[0].PauseTier(1, 30)
+	if _, err := tb.Run(100, nil); err != nil {
+		t.Fatalf("stall crashed the loop: %v", err)
+	}
+	recs, err := tb.Run(400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []float64
+	for _, r := range recs[len(recs)-25:] {
+		xs = append(xs, r.T90[0])
+	}
+	if m := stats.Mean(xs); math.Abs(m-tb.Cfg.Setpoint) > 0.4 {
+		t.Fatalf("did not recover after stall: %v", m)
+	}
+}

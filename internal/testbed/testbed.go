@@ -1,0 +1,326 @@
+// Package testbed reproduces the hardware-testbed experiments of Section
+// VII-A on the simulated substrate: a small data center of four servers
+// hosting eight two-tier RUBBoS-like applications (16 VMs), each under a
+// MIMO response time controller, with server-level arbitrators applying
+// DVFS. System identification runs first, exactly as in Section IV-B, and
+// the identified model is shared by all applications (they run the same
+// software stack).
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vdcpower/internal/appsim"
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/core"
+	"vdcpower/internal/devs"
+	"vdcpower/internal/mat"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/power"
+	"vdcpower/internal/stats"
+	"vdcpower/internal/sysid"
+)
+
+// Config sizes the testbed. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	NumServers  int     // physical servers (paper: 4)
+	NumApps     int     // two-tier applications (paper: 8)
+	Concurrency int     // clients per application (paper: 40)
+	Setpoint    float64 // response time target in seconds (paper: 1.0)
+	Period      float64 // control period T in seconds
+	Seed        int64
+
+	// Identification experiment length, in control periods.
+	IdentWarmupSec float64
+	IdentPeriods   int
+
+	// Per-VM allocation bounds for the controllers.
+	CMin, CMax float64
+
+	// Tiers optionally overrides the application profile. Nil selects
+	// the two-tier RUBBoS-like default (web + database).
+	Tiers []appsim.TierConfig
+}
+
+// DefaultConfig mirrors Section VI-A / VII-A.
+func DefaultConfig() Config {
+	return Config{
+		NumServers:     4,
+		NumApps:        8,
+		Concurrency:    40,
+		Setpoint:       1.0,
+		Period:         4.0,
+		Seed:           1,
+		IdentWarmupSec: 40,
+		IdentPeriods:   100,
+		CMin:           0.1,
+		CMax:           2.5,
+	}
+}
+
+// appTiers returns the RUBBoS-like two-tier profile: an Apache/PHP web
+// tier and a heavier MySQL tier.
+func appTiers() []appsim.TierConfig {
+	return []appsim.TierConfig{
+		{DemandMean: 0.025, DemandCV: 1.0, InitialAllocation: 0.8},
+		{DemandMean: 0.040, DemandCV: 1.0, InitialAllocation: 0.8},
+	}
+}
+
+// Testbed is one instantiated experiment environment.
+type Testbed struct {
+	Cfg         Config
+	Sim         *devs.Simulator
+	Apps        []*appsim.App
+	Controllers []*core.ResponseTimeController
+	DC          *cluster.DataCenter
+	Arbitrators []*core.Arbitrator
+	Model       *sysid.Model
+	Fit         sysid.FitMetrics
+
+	vms     [][]*cluster.VM   // [app][tier]
+	vmIndex map[string][2]int // VM ID → (app, tier)
+
+	// Data-center level (optional): a consolidator invoked during Run,
+	// with live-migration downtime applied to the affected tiers.
+	cons          optimizer.Consolidator
+	consEvery     int // periods between invocations
+	migModel      cluster.MigrationModel
+	OptimizerLogs []optimizer.Report
+
+	appEnergyWh []float64 // per-app attributed energy (see energy.go)
+}
+
+// New builds the testbed, runs the identification experiment on the first
+// application, fits the shared ARX(1,2) model, and attaches a response
+// time controller to every application.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.NumServers < 1 || cfg.NumApps < 1 {
+		return nil, fmt.Errorf("testbed: need at least one server and app, got %d/%d", cfg.NumServers, cfg.NumApps)
+	}
+	tb := &Testbed{Cfg: cfg, Sim: devs.NewSimulator()}
+
+	var servers []*cluster.Server
+	for i := 0; i < cfg.NumServers; i++ {
+		servers = append(servers, cluster.NewServer(fmt.Sprintf("S%d", i+1), power.TypeHighEnd()))
+	}
+	dc, err := cluster.NewDataCenter(servers)
+	if err != nil {
+		return nil, err
+	}
+	tb.DC = dc
+	for _, s := range servers {
+		tb.Arbitrators = append(tb.Arbitrators, &core.Arbitrator{Server: s, Headroom: 0.1})
+	}
+
+	// Applications and their VMs, placed round-robin over the servers.
+	tiers := cfg.Tiers
+	if len(tiers) == 0 {
+		tiers = appTiers()
+	}
+	tb.vmIndex = make(map[string][2]int)
+	slot := 0
+	for i := 0; i < cfg.NumApps; i++ {
+		app := appsim.New(tb.Sim, appsim.Config{
+			Name:        fmt.Sprintf("App%d", i+1),
+			Tiers:       append([]appsim.TierConfig(nil), tiers...),
+			Concurrency: cfg.Concurrency,
+			ThinkTime:   1.0,
+			Seed:        cfg.Seed + int64(i)*977,
+		})
+		tb.Apps = append(tb.Apps, app)
+		tiers := make([]*cluster.VM, app.NumTiers())
+		for j := range tiers {
+			vm := &cluster.VM{
+				ID:       fmt.Sprintf("app%d-tier%d", i+1, j+1),
+				App:      app.Name,
+				Tier:     j,
+				Demand:   app.Allocation(j),
+				MemoryGB: 2,
+			}
+			if err := dc.Place(vm, servers[slot%len(servers)]); err != nil {
+				return nil, err
+			}
+			tiers[j] = vm
+			tb.vmIndex[vm.ID] = [2]int{i, j}
+			slot++
+		}
+		tb.vms = append(tb.vms, tiers)
+		app.Start()
+	}
+
+	if err := tb.identify(); err != nil {
+		return nil, err
+	}
+
+	for _, app := range tb.Apps {
+		ctlCfg := core.DefaultControllerConfig(tb.Model, cfg.Setpoint)
+		for i := range ctlCfg.CMin {
+			ctlCfg.CMin[i] = cfg.CMin
+			ctlCfg.CMax[i] = cfg.CMax
+		}
+		ctl, err := core.NewResponseTimeController(app, ctlCfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.Controllers = append(tb.Controllers, ctl)
+	}
+	return tb, nil
+}
+
+// identify runs the Section IV-B identification experiment on App1 and
+// fits the shared model.
+func (tb *Testbed) identify() error {
+	cfg := tb.Cfg
+	app := tb.Apps[0]
+	rng := rand.New(rand.NewSource(cfg.Seed + 10007))
+	tb.Sim.RunUntil(tb.Sim.Now() + cfg.IdentWarmupSec)
+	app.DrainResponseTimes()
+	nTiers := app.NumTiers()
+	ds := &sysid.Dataset{}
+	for k := 0; k < cfg.IdentPeriods; k++ {
+		c := make(mat.Vec, nTiers)
+		for j := range c {
+			c[j] = cfg.CMin + (cfg.CMax-cfg.CMin)*(0.15+0.7*rng.Float64())
+		}
+		t90 := stats.Percentile(app.DrainResponseTimes(), 90)
+		if math.IsNaN(t90) {
+			t90 = 0
+		}
+		ds.Append(t90, c)
+		for j := range c {
+			app.SetAllocation(j, c[j])
+		}
+		tb.Sim.RunUntil(tb.Sim.Now() + cfg.Period)
+	}
+	model, err := sysid.Identify(ds, 1, 2, nTiers)
+	if err != nil {
+		return fmt.Errorf("testbed: identification failed: %w", err)
+	}
+	fit, err := sysid.Evaluate(model, ds)
+	if err != nil {
+		return fmt.Errorf("testbed: model evaluation failed: %w", err)
+	}
+	tb.Model = model
+	tb.Fit = fit
+	// Restore a neutral operating point before control starts.
+	tiers := cfg.Tiers
+	if len(tiers) == 0 {
+		tiers = appTiers()
+	}
+	for _, a := range tb.Apps {
+		for j := range tiers {
+			a.SetAllocation(j, tiers[j].InitialAllocation)
+		}
+		a.DrainResponseTimes()
+	}
+	return nil
+}
+
+// AttachOptimizer enables the data-center level of Figure 1 during Run:
+// cons is invoked every everyPeriods control periods, and each performed
+// migration pauses the affected application tier for the stop-and-copy
+// downtime given by the migration model.
+func (tb *Testbed) AttachOptimizer(cons optimizer.Consolidator, everyPeriods int, model cluster.MigrationModel) error {
+	if cons == nil {
+		return fmt.Errorf("testbed: nil consolidator")
+	}
+	if everyPeriods < 1 {
+		return fmt.Errorf("testbed: invocation interval %d must be >= 1", everyPeriods)
+	}
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	tb.cons = cons
+	tb.consEvery = everyPeriods
+	tb.migModel = model
+	return nil
+}
+
+// tierOf maps a VM back to its (application, tier) indices.
+func (tb *Testbed) tierOf(vm *cluster.VM) (int, int, bool) {
+	idx, ok := tb.vmIndex[vm.ID]
+	return idx[0], idx[1], ok
+}
+
+// consolidate runs one optimizer invocation and applies migration
+// downtime to the moved tiers.
+func (tb *Testbed) consolidate() error {
+	rep, err := tb.cons.Consolidate(tb.DC)
+	if err != nil {
+		return err
+	}
+	for _, mv := range rep.Moves {
+		if i, j, ok := tb.tierOf(mv.VM); ok {
+			tb.Apps[i].PauseTier(j, tb.migModel.Downtime(mv.VM.MemoryGB))
+		}
+	}
+	tb.OptimizerLogs = append(tb.OptimizerLogs, rep)
+	return nil
+}
+
+// PeriodRecord captures one control period of one run.
+type PeriodRecord struct {
+	Time    float64
+	T90     []float64 // per application, seconds
+	PowerW  float64   // total cluster power
+	Relaxed int       // controllers that relaxed the terminal constraint
+}
+
+// Run executes the control loop for the given duration (seconds) and
+// returns one record per control period. Times are relative to the start
+// of the loop (the identification phase consumed simulator time already).
+// The optional hook runs at the start of every period (workload steps,
+// set point changes) and receives the relative time.
+func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]PeriodRecord, error) {
+	periods := int(duration / tb.Cfg.Period)
+	records := make([]PeriodRecord, 0, periods)
+	t0 := tb.Sim.Now()
+	for k := 0; k < periods; k++ {
+		if hook != nil {
+			hook(k, tb.Sim.Now()-t0)
+		}
+		tb.Sim.RunUntil(tb.Sim.Now() + tb.Cfg.Period)
+		rec := PeriodRecord{Time: tb.Sim.Now() - t0, T90: make([]float64, len(tb.Apps))}
+		for i, ctl := range tb.Controllers {
+			res, err := ctl.Step()
+			if err != nil {
+				return nil, err
+			}
+			rec.T90[i] = res.T90
+			if res.TerminalRelaxed {
+				rec.Relaxed++
+			}
+			for j, d := range ctl.Demands() {
+				tb.vms[i][j].Demand = d
+			}
+		}
+		// Data-center level: consolidation on the long time scale.
+		if tb.cons != nil && (k+1)%tb.consEvery == 0 {
+			if err := tb.consolidate(); err != nil {
+				return nil, err
+			}
+		}
+		// Server-level arbitration: DVFS follows the aggregate demands,
+		// and grants throttle the tiers when a server is oversubscribed
+		// (granted == demanded whenever capacity suffices).
+		for _, arb := range tb.Arbitrators {
+			if arb.Server.State() != cluster.Active {
+				continue
+			}
+			grants, _ := arb.Arbitrate()
+			for _, g := range grants {
+				if idx, ok := tb.vmIndex[g.VMID]; ok {
+					tb.Apps[idx[0]].Tier(idx[1]).SetCapacity(g.Granted)
+				}
+			}
+		}
+		rec.PowerW = tb.DC.TotalPower()
+		tb.attributeEnergy(tb.Cfg.Period)
+		records = append(records, rec)
+	}
+	return records, nil
+}

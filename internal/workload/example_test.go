@@ -1,0 +1,19 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"vdcpower/internal/workload"
+)
+
+func ExampleGenerate() {
+	tr, err := workload.Generate(workload.GenConfig{
+		NumVMs: 100, Days: 7, StepsPerHour: 4, Seed: 2008,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d VMs × %d samples, %d sectors\n",
+		tr.NumVMs(), tr.NumSteps(), len(tr.SectorBreakdown()))
+	// Output: 100 VMs × 672 samples, 4 sectors
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV stores the trace in a simple interchange format: a header row
+// `step_seconds,<value>` then one row per VM: name, sector, samples...
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"step_seconds", strconv.FormatFloat(t.StepSeconds, 'g', -1, 64)}); err != nil {
+		return err
+	}
+	for i, series := range t.Series {
+		row := make([]string, 0, len(series)+2)
+		row = append(row, t.Names[i], strconv.Itoa(int(t.Sectors[i])))
+		for _, u := range series {
+			row = append(row, strconv.FormatFloat(u, 'g', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	if len(header) != 2 || header[0] != "step_seconds" {
+		return nil, fmt.Errorf("workload: malformed header %v", header)
+	}
+	step, err := strconv.ParseFloat(header[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("workload: bad step: %w", err)
+	}
+	tr := &Trace{StepSeconds: step}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading row: %w", err)
+		}
+		if len(row) < 3 {
+			return nil, fmt.Errorf("workload: row for %q too short", row[0])
+		}
+		sector, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad sector for %q: %w", row[0], err)
+		}
+		series := make([]float64, len(row)-2)
+		for i, f := range row[2:] {
+			u, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad sample %d for %q: %w", i, row[0], err)
+			}
+			series[i] = u
+		}
+		tr.Names = append(tr.Names, row[0])
+		tr.Sectors = append(tr.Sectors, Sector(sector))
+		tr.Series = append(tr.Series, series)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// WriteGob stores the trace in the compact binary format used for large
+// traces (the full 5,415-VM trace is ~30 MB as CSV).
+func (t *Trace) WriteGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// ReadGob parses a trace written by WriteGob.
+func ReadGob(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	if err := gob.NewDecoder(r).Decode(tr); err != nil {
+		return nil, fmt.Errorf("workload: decoding gob: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

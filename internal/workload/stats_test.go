@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateUtilizationBounds(t *testing.T) {
+	tr, _ := Generate(smallConfig())
+	agg := tr.AggregateUtilization()
+	if len(agg) != tr.NumSteps() {
+		t.Fatalf("len = %d", len(agg))
+	}
+	for k, u := range agg {
+		if u <= 0 || u > 1 {
+			t.Fatalf("step %d: aggregate %v out of (0,1]", k, u)
+		}
+	}
+}
+
+func TestAggregateUtilizationEmptyTrace(t *testing.T) {
+	tr := &Trace{StepSeconds: 900}
+	if got := tr.AggregateUtilization(); len(got) != 0 {
+		t.Fatalf("expected empty, got %v", got)
+	}
+}
+
+func TestPeakToMeanShowsDiurnalSwing(t *testing.T) {
+	tr, _ := Generate(GenConfig{NumVMs: 300, Days: 7, StepsPerHour: 4, Seed: 4})
+	ratio := tr.PeakToMean()
+	// Sector shapes produce a clear day/night swing.
+	if ratio < 1.15 {
+		t.Fatalf("peak/mean %v too flat for a diurnal trace", ratio)
+	}
+	if ratio > 5 {
+		t.Fatalf("peak/mean %v implausibly spiky", ratio)
+	}
+}
+
+func TestPeakToMeanDegenerate(t *testing.T) {
+	if (&Trace{}).PeakToMean() != 0 {
+		t.Fatal("empty trace should give 0")
+	}
+}
+
+func TestSectorBreakdown(t *testing.T) {
+	tr, _ := Generate(GenConfig{NumVMs: 400, Days: 1, StepsPerHour: 4, Seed: 9})
+	rows := tr.SectorBreakdown()
+	if len(rows) != 4 {
+		t.Fatalf("sectors = %d", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.NumVMs
+		if r.MeanUtil <= 0 || r.MeanUtil >= 1 || math.IsNaN(r.MeanUtil) {
+			t.Fatalf("%s: mean util %v", r.Sector, r.MeanUtil)
+		}
+		if r.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+	if total != 400 {
+		t.Fatalf("VM counts sum to %d", total)
+	}
+	// Ordered by sector.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Sector >= rows[i].Sector {
+			t.Fatal("not ordered by sector")
+		}
+	}
+}
