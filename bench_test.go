@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"vdcpower/internal/dcsim"
+	"vdcpower/internal/lint"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/mpc"
 	"vdcpower/internal/optimizer"
@@ -290,5 +291,28 @@ func BenchmarkAblationMigrationCost(b *testing.B) {
 		}
 		b.ReportMetric(float64(free.Migrations-pr.Migrations), "migrations-avoided")
 		b.ReportMetric(100*(pr.EnergyPerVMWh/free.EnergyPerVMWh-1), "energy-cost-pct")
+	}
+}
+
+// BenchmarkVdclint tracks the cost of the static-analysis pass itself:
+// loading and type-checking every package of the module from source and
+// running the full analyzer registry (see README.md "Static analysis &
+// reproducibility invariants"). The module must be lint-clean, so this
+// doubles as an enforcement point in the perf trajectory.
+func BenchmarkVdclint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mod, err := lint.LoadModule(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := mod.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings := mod.Analyze(pkgs, lint.Analyzers())
+		if len(findings) != 0 {
+			b.Fatalf("module is not lint-clean: %v", findings)
+		}
+		b.ReportMetric(float64(len(pkgs)), "packages")
 	}
 }

@@ -72,8 +72,10 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				defer f.Close()
 				if err := dc.Snapshot().WriteJSON(f); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
 					log.Fatal(err)
 				}
 				fmt.Fprintf(os.Stderr, "wrote final state to %s\n", *snapshot)
@@ -142,6 +144,7 @@ func loadOrGenerate(path string, vms, days int, seed int64) (*workload.Trace, er
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errcheck close error on a read-only file cannot lose data
 	defer f.Close()
 	if strings.HasSuffix(path, ".csv") {
 		return workload.ReadCSV(f)

@@ -58,8 +58,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := t.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n", path)
@@ -168,8 +170,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sf.Close()
 	if err := summary.WriteMarkdown(sf); err != nil {
+		log.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  wrote %s\n", filepath.Join(*out, "summary.md"))

@@ -48,7 +48,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	switch {
 	case strings.HasSuffix(*out, ".csv"):
 		err = tr.WriteCSV(f)
@@ -62,6 +61,9 @@ func main() {
 	}
 	info, err := f.Stat()
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())

@@ -50,9 +50,11 @@ type App struct {
 // New constructs an application. Call Start to launch the clients.
 func New(sim *devs.Simulator, cfg Config) *App {
 	if len(cfg.Tiers) == 0 {
+		//lint:ignore panicpolicy constructor precondition: a tierless application is a programming error
 		panic("appsim: application needs at least one tier")
 	}
 	if cfg.Concurrency < 0 {
+		//lint:ignore panicpolicy precondition: negative concurrency is a programming error
 		panic("appsim: negative concurrency")
 	}
 	if cfg.ThinkTime <= 0 {
@@ -101,6 +103,7 @@ func (a *App) Concurrency() int { return a.concurrency }
 // shrinkage retires clients as their in-flight requests complete.
 func (a *App) SetConcurrency(n int) {
 	if n < 0 {
+		//lint:ignore panicpolicy precondition: negative concurrency is a programming error
 		panic("appsim: negative concurrency")
 	}
 	old := a.concurrency
@@ -182,6 +185,7 @@ func (a *App) PauseTier(tier int, seconds float64) { a.tiers[tier].Pause(seconds
 // online re-identification.
 func (a *App) SetDemandMean(tier int, mean float64) {
 	if mean <= 0 {
+		//lint:ignore panicpolicy precondition: service demand must be positive by construction
 		panic("appsim: nonpositive demand mean")
 	}
 	a.cfg.Tiers[tier].DemandMean = mean

@@ -24,6 +24,7 @@ type OpenWorkload struct {
 // be constructed with Concurrency 0 so no closed clients compete.
 func NewOpenWorkload(sim *devs.Simulator, app *App, ratePerSec float64, seed int64) *OpenWorkload {
 	if ratePerSec <= 0 {
+		//lint:ignore panicpolicy precondition: a nonpositive arrival rate is a programming error
 		panic("appsim: arrival rate must be positive")
 	}
 	return &OpenWorkload{
@@ -41,6 +42,7 @@ func (o *OpenWorkload) Rate() float64 { return o.rate }
 // arrival.
 func (o *OpenWorkload) SetRate(ratePerSec float64) {
 	if ratePerSec <= 0 {
+		//lint:ignore panicpolicy precondition: a nonpositive arrival rate is a programming error
 		panic("appsim: arrival rate must be positive")
 	}
 	o.rate = ratePerSec

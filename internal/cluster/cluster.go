@@ -64,6 +64,7 @@ type Server struct {
 // NewServer creates an active server at maximum frequency.
 func NewServer(id string, spec power.Spec) *Server {
 	if err := spec.Validate(); err != nil {
+		//lint:ignore panicpolicy invariant: the fleet is built from the static spec table, an invalid spec is a programming error
 		panic(err)
 	}
 	return &Server{ID: id, Spec: spec, state: Active, freq: spec.MaxFreq}
@@ -79,11 +80,13 @@ func (s *Server) Freq() float64 { return s.freq }
 // panics if f is not one of the spec's P-states.
 func (s *Server) SetFreq(f float64) {
 	for _, ps := range s.Spec.PStates {
+		//lint:ignore floatcompare frequencies come verbatim from the P-state table, never computed
 		if ps == f {
 			s.freq = f
 			return
 		}
 	}
+	//lint:ignore panicpolicy documented contract: frequencies must come from the spec's P-state table
 	panic(fmt.Sprintf("cluster: server %s: %v GHz is not a P-state", s.ID, f))
 }
 
@@ -99,6 +102,7 @@ func (s *Server) ApplyDVFS() float64 {
 // caller must migrate them away first.
 func (s *Server) Sleep() {
 	if len(s.vms) > 0 {
+		//lint:ignore panicpolicy state-machine invariant: sleeping a non-empty server is a scheduler bug
 		panic(fmt.Sprintf("cluster: server %s: cannot sleep with %d VMs", s.ID, len(s.vms)))
 	}
 	s.state = Sleeping

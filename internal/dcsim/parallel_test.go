@@ -6,6 +6,10 @@ import (
 	"vdcpower/internal/optimizer"
 )
 
+// TestFig6ParallelMatchesSerial is the determinism regression gate: the
+// parallel sweep must reproduce the serial sweep bit-for-bit from the
+// same seed at every worker count — worker scheduling must not leak into
+// results (see the vdclint determinism rule).
 func TestFig6ParallelMatchesSerial(t *testing.T) {
 	tr := testTrace(t)
 	sizes := []int{30, 60, 90}
@@ -17,21 +21,30 @@ func TestFig6ParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig6Parallel(tr, sizes, policies, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(parallel) != len(serial) {
-		t.Fatalf("lengths differ: %d vs %d", len(parallel), len(serial))
-	}
-	for i := range serial {
-		if parallel[i].NumVMs != serial[i].NumVMs {
-			t.Fatalf("size order changed at %d", i)
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		parallel, err := Fig6Parallel(tr, sizes, policies, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		for name, v := range serial[i].PerVMWh {
-			if parallel[i].PerVMWh[name] != v {
-				t.Fatalf("size %d policy %s: %v != %v",
-					serial[i].NumVMs, name, parallel[i].PerVMWh[name], v)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: lengths differ: %d vs %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i].NumVMs != serial[i].NumVMs {
+				t.Fatalf("workers=%d: size order changed at %d", workers, i)
+			}
+			if len(parallel[i].PerVMWh) != len(serial[i].PerVMWh) {
+				t.Fatalf("workers=%d size %d: policy sets differ: %v vs %v",
+					workers, serial[i].NumVMs, parallel[i].PerVMWh, serial[i].PerVMWh)
+			}
+			for name, v := range serial[i].PerVMWh {
+				// Bit-for-bit: any drift here means scheduling leaked
+				// into the floating-point result.
+				//lint:ignore floatcompare the regression gate asserts exact reproducibility
+				if parallel[i].PerVMWh[name] != v {
+					t.Fatalf("workers=%d size %d policy %s: %v != %v",
+						workers, serial[i].NumVMs, name, parallel[i].PerVMWh[name], v)
+				}
 			}
 		}
 	}

@@ -29,6 +29,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floatcompare exact tie-break in event ordering; an epsilon would reorder events
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}
@@ -74,6 +75,7 @@ func (s *Simulator) Pending() int { return len(s.heap) }
 // panics: it would silently reorder causality.
 func (s *Simulator) Schedule(at float64, fn func()) *Event {
 	if at < s.now {
+		//lint:ignore panicpolicy simulator invariant: scheduling into the past means a broken model
 		panic("devs: scheduling event in the past")
 	}
 	e := &Event{Time: at, fn: fn, seq: s.seq}

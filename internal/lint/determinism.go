@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simPackages are the module-relative packages whose results must be
+// bit-for-bit reproducible from a seed: the two simulators, the testbed,
+// and the optimization stack they drive.
+var simPackages = []string{
+	"internal/dcsim",
+	"internal/appsim",
+	"internal/testbed",
+	"internal/optimizer",
+	"internal/packing",
+	"internal/queueing",
+}
+
+// bannedTimeFuncs read the wall clock, which differs between runs.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that build an explicit
+// seeded source; every other package-level rand function draws from the
+// unseeded global source and is banned.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// DeterminismAnalyzer enforces seed-reproducibility in simulation
+// packages: no wall-clock reads (time.Now/Since/Until) and no global
+// math/rand — all randomness must flow through a seeded *rand.Rand.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "forbid time.Now/Since/Until and global math/rand in simulation packages " +
+			"(dcsim, appsim, testbed, optimizer, packing, queueing); randomness must " +
+			"flow through a seeded *rand.Rand so runs reproduce bit-for-bit from a seed",
+		Applies: func(pkgPath string) bool { return pathHasSuffix(pkgPath, simPackages) },
+		Run:     runDeterminism,
+	}
+}
+
+func runDeterminism(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods like (*rand.Rand).Float64 are the approved path
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[fn.Name()] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation results must depend only on the seed", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn.Name()] {
+					p.Reportf(sel.Pos(), "rand.%s draws from the global source; use a seeded *rand.Rand instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// ErrcheckAnalyzer flags calls whose error result is silently discarded:
+// the call appears as a bare statement (or defer/go) and at least one of
+// its results is an error. Assigning the error — even to _ — is an
+// explicit, reviewable decision and is not flagged. Writers that are
+// documented never to fail (bytes.Buffer, strings.Builder) and the
+// best-effort fmt.Print family on stdout are allowlisted.
+func ErrcheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errcheck",
+		Doc: "forbid silently discarded error returns; handle the error, assign it " +
+			"explicitly (_ =), or annotate with //lint:ignore errcheck <reason>; " +
+			"bytes.Buffer, strings.Builder and fmt.Print* are allowlisted",
+		Run: runErrcheck,
+	}
+}
+
+// errcheckAllowedPkgFuncs are package-level functions whose errors are
+// conventionally ignored (best-effort printing to stdout).
+var errcheckAllowedPkgFuncs = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// errcheckAllowedRecvTypes are receiver types whose Write/WriteString/...
+// methods are documented to never return a non-nil error.
+var errcheckAllowedRecvTypes = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+func runErrcheck(p *Pass) {
+	check := func(call *ast.CallExpr) {
+		if call == nil || !returnsError(p.Pkg.Info, call) || allowlisted(p.Pkg.Info, call) {
+			return
+		}
+		p.Reportf(call.Pos(), "error result of %s is silently discarded; handle it, assign it explicitly, or annotate with //lint:ignore errcheck <reason>", exprString(p, call.Fun))
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ := s.X.(*ast.CallExpr)
+				check(call)
+			case *ast.DeferStmt:
+				check(s.Call)
+			case *ast.GoStmt:
+				check(s.Call)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errcheckFprintFuncs are the fmt functions whose error depends only on
+// the destination writer; they are allowlisted when the writer cannot
+// fail (bytes.Buffer, strings.Builder) or is a best-effort standard
+// stream (os.Stdout, os.Stderr).
+var errcheckFprintFuncs = map[string]bool{
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// allowlisted reports whether the callee is on the built-in allowlist.
+func allowlisted(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		qualified := fn.Pkg().Path() + "." + fn.Name()
+		if errcheckFprintFuncs[qualified] && len(call.Args) > 0 {
+			return safeWriter(info, call.Args[0])
+		}
+		return errcheckAllowedPkgFuncs[qualified]
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return errcheckAllowedRecvTypes[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// safeWriter reports whether the destination expression is a writer
+// whose Write is documented never to fail (*bytes.Buffer,
+// *strings.Builder) or a best-effort standard stream (os.Stdout,
+// os.Stderr).
+func safeWriter(info *types.Info, dst ast.Expr) bool {
+	dst = ast.Unparen(dst)
+	if sel, ok := dst.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := info.Types[dst]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return errcheckAllowedRecvTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// exprString renders an expression compactly for messages.
+func exprString(p *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

@@ -1,0 +1,142 @@
+package lint
+
+import "testing"
+
+func TestErrcheck(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "bare call discarding an error",
+			src: `package serve
+import "os"
+func drop(name string) {
+	os.Remove(name)
+}`,
+			want: []string{"os.Remove"},
+		},
+		{
+			name: "multi-result call with trailing error",
+			src: `package serve
+import "io"
+func drain(w io.Writer, b []byte) {
+	w.Write(b)
+}`,
+			want: []string{"w.Write"},
+		},
+		{
+			name: "deferred close discarding an error",
+			src: `package serve
+import "os"
+func open(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}`,
+			want: []string{"f.Close"},
+		},
+		{
+			name: "explicit blank assignment is a reviewable decision",
+			src: `package serve
+import "os"
+func drop(name string) {
+	_ = os.Remove(name)
+}`,
+			want: nil,
+		},
+		{
+			name: "handled error is fine",
+			src: `package serve
+import "os"
+func drop(name string) error {
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	return nil
+}`,
+			want: nil,
+		},
+		{
+			name: "errorless call is fine",
+			src: `package serve
+func touch() {}
+func run() { touch() }`,
+			want: nil,
+		},
+		{
+			name: "bytes.Buffer and fmt.Printf are allowlisted",
+			src: `package serve
+import (
+	"bytes"
+	"fmt"
+)
+func render() string {
+	var b bytes.Buffer
+	b.WriteString("x")
+	fmt.Printf("rendered\n")
+	return b.String()
+}`,
+			want: nil,
+		},
+		{
+			name: "fmt.Fprintf to an arbitrary writer is not allowlisted",
+			src: `package serve
+import (
+	"fmt"
+	"io"
+)
+func render(w io.Writer) {
+	fmt.Fprintf(w, "x")
+}`,
+			want: []string{"fmt.Fprintf"},
+		},
+		{
+			name: "fmt.Fprintf to a never-failing writer is allowlisted",
+			src: `package serve
+import (
+	"fmt"
+	"strings"
+)
+func render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", 42)
+	return b.String()
+}`,
+			want: nil,
+		},
+		{
+			name: "fmt.Fprintln to the standard streams is best-effort",
+			src: `package serve
+import (
+	"fmt"
+	"os"
+)
+func warn(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	fmt.Fprintf(os.Stdout, "%s\n", msg)
+}`,
+			want: nil,
+		},
+		{
+			name: "suppressed deliberate discard",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore errcheck removal is best-effort cleanup
+	os.Remove(name)
+}`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := analyzeFixture(t, "vdcpower/internal/serve", tt.src, ErrcheckAnalyzer())
+			wantFindings(t, got, "errcheck", tt.want...)
+		})
+	}
+}

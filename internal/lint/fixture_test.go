@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// All fixture tests share one FileSet and one stdlib source importer:
+// importing "fmt" or "sync" from source costs hundreds of milliseconds
+// the first time, and the importer memoizes per instance.
+var (
+	fixtureMu   sync.Mutex
+	fixtureFset = token.NewFileSet()
+	fixtureStd  = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// analyzeFixture type-checks src as a single-file package with the given
+// import path and runs the analyzer (suppressions included), returning
+// the surviving findings.
+func analyzeFixture(t *testing.T, pkgPath, src string, a *Analyzer) []Finding {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	file, err := parser.ParseFile(fixtureFset, fmt.Sprintf("%s/fixture.go", pkgPath), src,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fixtureStd}
+	tpkg, err := conf.Check(pkgPath, fixtureFset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	pkg := &Package{Path: pkgPath, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	return AnalyzePackages(fixtureFset, nil, []*Package{pkg}, []*Analyzer{a})
+}
+
+// wantFindings asserts the number of findings of the analyzer's own rule
+// and that each message contains the corresponding substring.
+func wantFindings(t *testing.T, got []Finding, rule string, substrings ...string) {
+	t.Helper()
+	var matched []Finding
+	for _, f := range got {
+		if f.Rule == rule {
+			matched = append(matched, f)
+		}
+	}
+	if len(matched) != len(substrings) {
+		t.Fatalf("got %d %s findings, want %d:\n%s", len(matched), rule, len(substrings), renderFindings(got))
+	}
+	for i, sub := range substrings {
+		if !strings.Contains(matched[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, matched[i].Message, sub)
+		}
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// epsilonHelperPackages are the packages allowed to define the approved
+// epsilon-comparison helpers; raw == inside a helper there is the
+// implementation, not a bug.
+var epsilonHelperPackages = []string{
+	"internal/mat",
+	"internal/mpc",
+	"internal/stats",
+	"internal/sysid",
+}
+
+// epsilonHelperRe matches the naming convention for approved helpers:
+// Equal, AlmostEqual, ApproxEqual, EqualWithin, almostEqual, ...
+var epsilonHelperRe = regexp.MustCompile(`^(Almost|Approx|almost|approx)?[Ee]qual`)
+
+// FloatCompareAnalyzer flags == and != between floating-point operands.
+// Accumulated rounding error makes exact float equality order-sensitive,
+// which breaks run-to-run reproducibility the moment evaluation order
+// changes (e.g. the parallel Fig6 sweep); comparisons belong in epsilon
+// helpers, or carry a //lint:ignore floatcompare justification when the
+// exact bit pattern is genuinely intended (sentinel zeros, NaN checks).
+func FloatCompareAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floatcompare",
+		Doc: "forbid ==/!= on floating-point operands outside approved epsilon helpers " +
+			"in mat, mpc, stats, sysid; use an epsilon comparison or annotate the " +
+			"deliberate exact comparison",
+		Run: runFloatCompare,
+	}
+}
+
+func runFloatCompare(p *Pass) {
+	inHelperPkg := pathHasSuffix(p.Pkg.Path, epsilonHelperPackages)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := p.Pkg.Info.Types[be.X]
+			ty := p.Pkg.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded at compile time, exact by definition
+			}
+			if inHelperPkg && epsilonHelperRe.MatchString(enclosingFuncName(file, be.OpPos)) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon helper or annotate the deliberate exact comparison", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,85 @@
+package lint
+
+import "testing"
+
+func TestFloatCompare(t *testing.T) {
+	tests := []struct {
+		name    string
+		pkgPath string
+		src     string
+		want    []string
+	}{
+		{
+			name:    "raw equality on float64",
+			pkgPath: "vdcpower/internal/power",
+			src: `package power
+func same(a, b float64) bool { return a == b }`,
+			want: []string{"floating-point == comparison"},
+		},
+		{
+			name:    "inequality against a float variable",
+			pkgPath: "vdcpower/internal/cluster",
+			src: `package cluster
+func changed(f, prev float64) bool { return f != prev }`,
+			want: []string{"floating-point != comparison"},
+		},
+		{
+			name:    "integer comparison is fine",
+			pkgPath: "vdcpower/internal/power",
+			src: `package power
+func same(a, b int) bool { return a == b }`,
+			want: nil,
+		},
+		{
+			name:    "ordered float comparisons are fine",
+			pkgPath: "vdcpower/internal/power",
+			src: `package power
+func bigger(a, b float64) bool { return a > b || a >= b }`,
+			want: nil,
+		},
+		{
+			name:    "epsilon helper in an approved package",
+			pkgPath: "vdcpower/internal/mat",
+			src: `package mat
+import "math"
+func AlmostEqual(a, b, eps float64) bool {
+	if a == b { // exact fast path inside the approved helper
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}`,
+			want: nil,
+		},
+		{
+			name:    "helper naming does not exempt outside approved packages",
+			pkgPath: "vdcpower/internal/serve",
+			src: `package serve
+func AlmostEqual(a, b float64) bool { return a == b }`,
+			want: []string{"floating-point == comparison"},
+		},
+		{
+			name:    "constant-folded comparison is exact by definition",
+			pkgPath: "vdcpower/internal/power",
+			src: `package power
+const eps = 1e-9
+var strict = eps == 0`,
+			want: nil,
+		},
+		{
+			name:    "suppressed deliberate sentinel check",
+			pkgPath: "vdcpower/internal/workload",
+			src: `package workload
+func unset(v float64) bool {
+	//lint:ignore floatcompare zero is an exact sentinel, never computed
+	return v == 0
+}`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := analyzeFixture(t, tt.pkgPath, tt.src, FloatCompareAnalyzer())
+			wantFindings(t, got, "floatcompare", tt.want...)
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineAnalyzer enforces the join discipline of dcsim/parallel.go:
+// every goroutine must visibly signal completion — a sync.WaitGroup.Done,
+// a channel send, or a channel close — so callers can wait for it and no
+// goroutine outlives the work that spawned it (a leak under -race and a
+// nondeterminism hazard when the leaked goroutine still touches state).
+func GoroutineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine",
+		Doc: "every go statement must be tied to a join: the goroutine body signals " +
+			"completion via (*sync.WaitGroup).Done, a channel send, or close()",
+		Run: runGoroutine,
+	}
+}
+
+func runGoroutine(p *Pass) {
+	decls := funcBodies(p.Pkg)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if fn := calleeFunc(p.Pkg.Info, g.Call); fn != nil {
+					body = decls[fn]
+				}
+			}
+			if body == nil {
+				p.Reportf(g.Pos(), "goroutine runs a function defined outside this package; cannot verify it joins — wrap it in a func literal with a WaitGroup or done channel")
+				return true
+			}
+			if !hasJoinSignal(p.Pkg.Info, body) {
+				p.Reportf(g.Pos(), "goroutine has no join signal (WaitGroup.Done, channel send, or close); tie it to a WaitGroup or done channel so callers can wait for it")
+			}
+			return true
+		})
+	}
+}
+
+// funcBodies maps each function object declared in the package to its
+// body, so `go name()` can be verified like a literal.
+func funcBodies(pkg *Package) map[*types.Func]*ast.BlockStmt {
+	out := map[*types.Func]*ast.BlockStmt{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// hasJoinSignal reports whether the body contains a completion signal:
+// a (*sync.WaitGroup).Done call, a channel send, or a close().
+func hasJoinSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if obj, ok := info.Uses[fun].(*types.Builtin); ok && obj.Name() == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok &&
+					fn.FullName() == "(*sync.WaitGroup).Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

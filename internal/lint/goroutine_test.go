@@ -1,0 +1,102 @@
+package lint
+
+import "testing"
+
+func TestGoroutine(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "fire-and-forget literal",
+			src: `package dcsim
+func spawn() {
+	go func() {
+		_ = 1 + 1
+	}()
+}`,
+			want: []string{"no join signal"},
+		},
+		{
+			name: "waitgroup join",
+			src: `package dcsim
+import "sync"
+func spawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}`,
+			want: nil,
+		},
+		{
+			name: "channel send join",
+			src: `package dcsim
+func spawn() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}`,
+			want: nil,
+		},
+		{
+			name: "close join",
+			src: `package dcsim
+func spawn() <-chan int {
+	ch := make(chan int)
+	go func() {
+		close(ch)
+	}()
+	return ch
+}`,
+			want: nil,
+		},
+		{
+			name: "named function with join resolved in package",
+			src: `package dcsim
+import "sync"
+var wg sync.WaitGroup
+func worker() { defer wg.Done() }
+func spawn() {
+	wg.Add(1)
+	go worker()
+	wg.Wait()
+}`,
+			want: nil,
+		},
+		{
+			name: "named function without join",
+			src: `package dcsim
+func worker() { _ = 1 }
+func spawn() { go worker() }`,
+			want: []string{"no join signal"},
+		},
+		{
+			name: "function from another package cannot be verified",
+			src: `package dcsim
+import "fmt"
+func spawn() { go fmt.Println("x") }`,
+			want: []string{"defined outside this package"},
+		},
+		{
+			name: "suppressed detached goroutine",
+			src: `package dcsim
+func spawn() {
+	//lint:ignore goroutine demo goroutine detaches by design
+	go func() { _ = 1 }()
+}`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := analyzeFixture(t, "vdcpower/internal/dcsim", tt.src, GoroutineAnalyzer())
+			wantFindings(t, got, "goroutine", tt.want...)
+		})
+	}
+}

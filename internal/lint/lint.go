@@ -1,0 +1,215 @@
+// Package lint is the project-native static-analysis engine behind
+// cmd/vdclint. It loads every package in the module with the standard
+// library's go/parser + go/types (no external dependencies, matching the
+// dependency-free go.mod) and runs a registry of project-specific
+// analyzers that enforce the invariants the paper's evaluation depends
+// on: bit-for-bit reproducibility from a seed (determinism), well-defined
+// floating-point comparisons (floatcompare), joined goroutines
+// (goroutine), no stray panics in library code (panicpolicy), and no
+// silently dropped errors (errcheck).
+//
+// Findings can be suppressed at the offending line — or the line directly
+// above it — with an explicit, reasoned directive:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// A directive without a reason is itself reported, so every suppression
+// in the tree documents why the invariant does not apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit, positioned in module-relative file
+// coordinates so output is stable across machines.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Analyzer is one registered rule. Applies filters by import path; a nil
+// Applies runs the analyzer on every package.
+type Analyzer struct {
+	Name    string
+	Doc     string
+	Applies func(pkgPath string) bool
+	Run     func(p *Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work. Analyzers report
+// through Reportf; the runner attaches rule names and filters
+// suppressions afterwards.
+type Pass struct {
+	Pkg      *Package
+	Fset     *token.FileSet
+	rel      func(string) string
+	findings *[]Finding
+	rule     string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Rule:    p.rule,
+		File:    p.rel(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full registry in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		FloatCompareAnalyzer(),
+		GoroutineAnalyzer(),
+		PanicPolicyAnalyzer(),
+		ErrcheckAnalyzer(),
+	}
+}
+
+// DirectiveRule is the pseudo-rule under which malformed //lint:ignore
+// directives are reported.
+const DirectiveRule = "directive"
+
+var directiveRe = regexp.MustCompile(`^//lint:ignore(\s+(\S+))?(\s+(\S.*))?$`)
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	file  string
+	line  int
+	rules map[string]bool
+}
+
+// collectDirectives parses every //lint:ignore comment in the package.
+// Malformed directives (missing rule list or missing reason) become
+// findings so suppressions stay self-documenting.
+func collectDirectives(fset *token.FileSet, rel func(string) string, pkg *Package) (sups []suppression, bad []Finding) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil || m[2] == "" || strings.TrimSpace(m[4]) == "" {
+					bad = append(bad, Finding{
+						Rule: DirectiveRule,
+						File: rel(pos.Filename),
+						Line: pos.Line,
+						Col:  pos.Column,
+						Message: "malformed //lint:ignore directive: " +
+							"want //lint:ignore <rule>[,<rule>] <reason>",
+					})
+					continue
+				}
+				rules := map[string]bool{}
+				for _, r := range strings.Split(m[2], ",") {
+					rules[r] = true
+				}
+				sups = append(sups, suppression{file: rel(pos.Filename), line: pos.Line, rules: rules})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// suppressed reports whether f is covered by a directive on the same
+// line (trailing comment) or the line directly above.
+func suppressed(f Finding, sups []suppression) bool {
+	for _, s := range sups {
+		if s.file != f.File || !s.rules[f.Rule] {
+			continue
+		}
+		if f.Line == s.line || f.Line == s.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzePackages runs the analyzers over the packages, applies
+// //lint:ignore suppressions, and returns the surviving findings sorted
+// by position. rel maps absolute file names to reported paths (identity
+// when nil).
+func AnalyzePackages(fset *token.FileSet, rel func(string) string, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	if rel == nil {
+		rel = func(s string) string { return s }
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		sups, bad := collectDirectives(fset, rel, pkg)
+		var raw []Finding
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, Fset: fset, rel: rel, findings: &raw, rule: a.Name})
+		}
+		for _, f := range raw {
+			if !suppressed(f, sups) {
+				all = append(all, f)
+			}
+		}
+		all = append(all, bad...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// enclosingFuncName returns the name of the innermost function
+// declaration containing pos, or "" when pos is not inside one.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fd.Body != nil && fd.Body.Pos() <= pos && pos < fd.Body.End() {
+			name = fd.Name.Name
+		}
+		return true
+	})
+	return name
+}
+
+// pathHasSuffix reports whether the import path ends with one of the
+// given module-relative suffixes (e.g. "internal/dcsim").
+func pathHasSuffix(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Directive handling is shared by all analyzers; exercise the corner
+// cases through one of them.
+func TestDirectives(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want map[string]int // rule → finding count
+	}{
+		{
+			name: "trailing same-line directive",
+			src: `package serve
+import "os"
+func drop(name string) {
+	os.Remove(name) //lint:ignore errcheck best-effort cleanup
+}`,
+			want: map[string]int{},
+		},
+		{
+			name: "directive without a reason is itself a finding",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore errcheck
+	os.Remove(name)
+}`,
+			want: map[string]int{DirectiveRule: 1, "errcheck": 1},
+		},
+		{
+			name: "directive for a different rule does not suppress",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore floatcompare wrong rule on purpose
+	os.Remove(name)
+}`,
+			want: map[string]int{"errcheck": 1},
+		},
+		{
+			name: "multi-rule directive",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore errcheck,panicpolicy best-effort cleanup
+	os.Remove(name)
+}`,
+			want: map[string]int{},
+		},
+		{
+			name: "directive two lines above does not reach",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore errcheck too far away
+	_ = name
+	os.Remove(name)
+}`,
+			want: map[string]int{"errcheck": 1},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := analyzeFixture(t, "vdcpower/internal/serve", tt.src, ErrcheckAnalyzer())
+			counts := map[string]int{}
+			for _, f := range got {
+				counts[f.Rule]++
+			}
+			if len(counts) != len(tt.want) {
+				t.Fatalf("rule counts = %v, want %v:\n%s", counts, tt.want, renderFindings(got))
+			}
+			for rule, n := range tt.want {
+				if counts[rule] != n {
+					t.Errorf("rule %s: %d findings, want %d", rule, counts[rule], n)
+				}
+			}
+		})
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "errcheck", File: "internal/serve/serve.go", Line: 12, Col: 3, Message: "dropped"}
+	want := "internal/serve/serve.go:12:3: errcheck: dropped"
+	if f.String() != want {
+		t.Fatalf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+func TestFindingJSONShape(t *testing.T) {
+	f := Finding{Rule: "determinism", File: "a.go", Line: 1, Col: 2, Message: "m"}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"rule"`, `"file"`, `"line"`, `"col"`, `"message"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON %s lacks %s", b, key)
+		}
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"determinism", "floatcompare", "goroutine", "panicpolicy", "errcheck"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+}
+
+// Findings come back sorted by file, line, column regardless of the
+// order analyzers reported them.
+func TestFindingsSorted(t *testing.T) {
+	src := `package serve
+import "os"
+func drop(a, b string) {
+	os.Remove(b)
+	os.Remove(a)
+}`
+	got := analyzeFixture(t, "vdcpower/internal/serve", src, ErrcheckAnalyzer())
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(got), renderFindings(got))
+	}
+	if got[0].Line >= got[1].Line {
+		t.Fatalf("findings not sorted: %v", got)
+	}
+}

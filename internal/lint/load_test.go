@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFindModuleRoot(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(root, "repo") && root == "" {
+		t.Fatalf("implausible module root %q", root)
+	}
+	if _, err := FindModuleRoot("/"); err == nil {
+		t.Fatal("expected no go.mod at filesystem root")
+	}
+}
+
+// Self-hosting smoke test: the loader type-checks a real package of this
+// module, including a module-internal import edge.
+func TestLoadRealPackage(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.ModPath != "vdcpower" {
+		t.Fatalf("module path = %q, want vdcpower", mod.ModPath)
+	}
+	pkgs, err := mod.Load("./internal/power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "vdcpower/internal/power" {
+		t.Fatalf("unexpected packages %+v", pkgs)
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatal("package not fully loaded")
+	}
+	if p.Types.Scope().Lookup("Spec") == nil {
+		t.Fatal("power.Spec not found in type-checked scope")
+	}
+}
+
+func TestLoadRecursivePattern(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mod.Load("./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "vdcpower/internal/lint" {
+		t.Fatalf("unexpected packages %+v", pkgs)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.Load("./no/such/dir"); err == nil {
+		t.Fatal("expected error for nonexistent pattern")
+	}
+}

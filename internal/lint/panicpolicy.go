@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicyAnalyzer restricts panic to two sanctioned shapes in
+// library code (everything under internal/): functions whose name starts
+// with Must/must — the conventional crash-on-error constructors — and
+// call sites carrying an explicit //lint:ignore panicpolicy <reason>
+// annotation documenting the invariant being asserted. Everything else
+// should return an error: a production control loop must degrade, not
+// crash.
+func PanicPolicyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "panicpolicy",
+		Doc: "forbid panic in library code (internal/...) outside Must*/must* helpers; " +
+			"return an error, or annotate an invariant check with " +
+			"//lint:ignore panicpolicy <reason>",
+		Applies: func(pkgPath string) bool { return strings.Contains(pkgPath, "/internal/") },
+		Run:     runPanicPolicy,
+	}
+}
+
+func runPanicPolicy(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || ident.Name != "panic" {
+				return true
+			}
+			if _, ok := p.Pkg.Info.Uses[ident].(*types.Builtin); !ok {
+				return true // shadowed panic
+			}
+			fn := enclosingFuncName(file, call.Pos())
+			if strings.HasPrefix(fn, "Must") || strings.HasPrefix(fn, "must") {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic in library code; return an error, or annotate the invariant with //lint:ignore panicpolicy <reason>")
+			return true
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import "testing"
+
+func TestPanicPolicy(t *testing.T) {
+	tests := []struct {
+		name    string
+		pkgPath string
+		src     string
+		want    []string
+	}{
+		{
+			name:    "bare panic in library code",
+			pkgPath: "vdcpower/internal/mat",
+			src: `package mat
+func Dot(v, w []float64) float64 {
+	if len(v) != len(w) {
+		panic("mat: length mismatch")
+	}
+	return 0
+}`,
+			want: []string{"panic in library code"},
+		},
+		{
+			name:    "Must helper is the sanctioned shape",
+			pkgPath: "vdcpower/internal/workload",
+			src: `package workload
+import "fmt"
+func MustParse(s string) int {
+	if s == "" {
+		panic(fmt.Sprintf("workload: empty input"))
+	}
+	return len(s)
+}`,
+			want: nil,
+		},
+		{
+			name:    "annotated invariant is allowed",
+			pkgPath: "vdcpower/internal/devs",
+			src: `package devs
+func schedule(at, now float64) {
+	if at < now {
+		//lint:ignore panicpolicy scheduling in the past is a simulator bug, not an input error
+		panic("devs: scheduling event in the past")
+	}
+}`,
+			want: nil,
+		},
+		{
+			name:    "cmd packages are outside the policy",
+			pkgPath: "vdcpower/cmd/dcsim",
+			src: `package main
+func main() { panic("boom") }`,
+			want: nil,
+		},
+		{
+			name:    "shadowed panic is not the builtin",
+			pkgPath: "vdcpower/internal/stats",
+			src: `package stats
+func panic(s string) {}
+func touch() { panic("fine") }`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := analyzeFixture(t, tt.pkgPath, tt.src, PanicPolicyAnalyzer())
+			wantFindings(t, got, "panicpolicy", tt.want...)
+		})
+	}
+}

@@ -45,6 +45,7 @@ func FactorizeCholesky(a *Mat) (*Cholesky, error) {
 func (c *Cholesky) Solve(b Vec) Vec {
 	n := c.l.Rows
 	if len(b) != n {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: Cholesky.Solve dimension mismatch")
 	}
 	// Forward: L·y = b.

@@ -30,6 +30,7 @@ func (v Vec) Clone() Vec {
 // Dot returns the inner product of v and w. It panics if lengths differ.
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(v), len(w)))
 	}
 	s := 0.0
@@ -45,6 +46,7 @@ func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
 // AddScaled sets v = v + a*w in place and returns v.
 func (v Vec) AddScaled(a float64, w Vec) Vec {
 	if len(v) != len(w) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: AddScaled length mismatch")
 	}
 	for i := range v {
@@ -64,6 +66,7 @@ func (v Vec) Scale(a float64) Vec {
 // Sub returns v - w as a new vector.
 func (v Vec) Sub(w Vec) Vec {
 	if len(v) != len(w) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: Sub length mismatch")
 	}
 	out := make(Vec, len(v))
@@ -76,6 +79,7 @@ func (v Vec) Sub(w Vec) Vec {
 // Add returns v + w as a new vector.
 func (v Vec) Add(w Vec) Vec {
 	if len(v) != len(w) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: Add length mismatch")
 	}
 	out := make(Vec, len(v))
@@ -88,6 +92,7 @@ func (v Vec) Add(w Vec) Vec {
 // Max returns the largest element of v. It panics on an empty vector.
 func (v Vec) Max() float64 {
 	if len(v) == 0 {
+		//lint:ignore panicpolicy precondition: Max of nothing has no answer; caller must check
 		panic("mat: Max of empty vector")
 	}
 	m := v[0]
@@ -108,6 +113,7 @@ type Mat struct {
 // NewMat returns a zero Rows×Cols matrix.
 func NewMat(rows, cols int) *Mat {
 	if rows < 0 || cols < 0 {
+		//lint:ignore panicpolicy precondition: a negative dimension is a programming error
 		panic("mat: negative dimension")
 	}
 	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -121,6 +127,7 @@ func FromRows(rows [][]float64) *Mat {
 	m := NewMat(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
+			//lint:ignore panicpolicy precondition: ragged rows are a programming error
 			panic("mat: FromRows ragged input")
 		}
 		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
@@ -169,6 +176,7 @@ func (m *Mat) Col(j int) Vec {
 // SetRow copies v into row i.
 func (m *Mat) SetRow(i int, v Vec) {
 	if len(v) != m.Cols {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: SetRow length mismatch")
 	}
 	copy(m.Data[i*m.Cols:(i+1)*m.Cols], v)
@@ -188,12 +196,14 @@ func (m *Mat) T() *Mat {
 // Mul returns m·b as a new matrix. It panics on a dimension mismatch.
 func (m *Mat) Mul(b *Mat) *Mat {
 	if m.Cols != b.Rows {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(m.Rows, b.Cols)
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
+			//lint:ignore floatcompare exact-zero sparsity fast path; any nonzero must multiply
 			if a == 0 {
 				continue
 			}
@@ -208,6 +218,7 @@ func (m *Mat) Mul(b *Mat) *Mat {
 // MulVec returns m·v as a new vector.
 func (m *Mat) MulVec(v Vec) Vec {
 	if m.Cols != len(v) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
 	}
 	out := make(Vec, m.Rows)
@@ -225,6 +236,7 @@ func (m *Mat) MulVec(v Vec) Vec {
 // Add returns m + b as a new matrix.
 func (m *Mat) Add(b *Mat) *Mat {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: Add dimension mismatch")
 	}
 	out := m.Clone()

@@ -51,6 +51,7 @@ func FactorizeLU(a *Mat) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			f := lu.At(i, k) / pivot
 			lu.Set(i, k, f)
+			//lint:ignore floatcompare exact-zero elimination fast path; any nonzero must eliminate
 			if f == 0 {
 				continue
 			}
@@ -66,6 +67,7 @@ func FactorizeLU(a *Mat) (*LU, error) {
 func (f *LU) Solve(b Vec) Vec {
 	n := f.lu.Rows
 	if len(b) != n {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: LU.Solve dimension mismatch")
 	}
 	x := make(Vec, n)
@@ -160,6 +162,7 @@ func FactorizeQR(a *Mat) (*QR, error) {
 // Solve returns the least-squares solution x minimizing ||A·x - b||₂.
 func (f *QR) Solve(b Vec) Vec {
 	if len(b) != f.rows {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: QR.Solve dimension mismatch")
 	}
 	m, n := f.rows, f.cols

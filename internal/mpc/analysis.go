@@ -92,6 +92,7 @@ func Analyze(cfg Config, opt AnalyzeOptions) (Analysis, error) {
 	}
 
 	initialErr := math.Abs(opt.InitialT - cfg.Setpoint)
+	//lint:ignore floatcompare exact-zero guard before division
 	if initialErr == 0 {
 		initialErr = 1e-9
 	}
@@ -159,6 +160,7 @@ func GainMargin(cfg Config, candidates []float64, opt AnalyzeOptions) (float64, 
 		}
 		margin = g
 	}
+	//lint:ignore floatcompare zero is the never-assigned sentinel, not a computed value
 	if margin == 0 {
 		return 0, errors.New("mpc: loop does not converge even at the smallest candidate")
 	}

@@ -120,6 +120,7 @@ func (o *IPAC) pickDonor(dc *cluster.DataCenter, tried map[string]bool) *cluster
 			return cand[i].Cordoned()
 		}
 		ei, ej := cand[i].Spec.Efficiency(), cand[j].Spec.Efficiency()
+		//lint:ignore floatcompare exact tie-break for a deterministic sort order
 		if ei != ej {
 			return ei < ej
 		}
@@ -166,6 +167,7 @@ func (o *IPAC) drain(dc *cluster.DataCenter, donor *cluster.Server, rep *Report)
 		mig, err := dc.Migrate(vm, target)
 		if err != nil {
 			// Should not happen: the plan was validated by the constraint.
+			//lint:ignore panicpolicy invariant: the plan was validated by the constraint, failure to apply it is a packing bug
 			panic(fmt.Sprintf("optimizer: planned migration failed: %v", err))
 		}
 		rep.Moves = append(rep.Moves, mig)
@@ -214,6 +216,7 @@ func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg pac
 		// Shed the largest VMs first: fewest migrations to relieve the
 		// overload.
 		sort.Slice(vms, func(i, j int) bool {
+			//lint:ignore floatcompare exact tie-break for a deterministic sort order
 			if vms[i].Demand != vms[j].Demand {
 				return vms[i].Demand > vms[j].Demand
 			}

@@ -100,6 +100,7 @@ func (p *PMapper) Consolidate(dc *cluster.DataCenter) (Report, error) {
 	for _, d := range donors {
 		vms := append([]*cluster.VM(nil), d.VMs()...)
 		sort.Slice(vms, func(i, j int) bool {
+			//lint:ignore floatcompare exact tie-break for a deterministic sort order
 			if vms[i].Demand != vms[j].Demand {
 				return vms[i].Demand < vms[j].Demand // smallest first
 			}

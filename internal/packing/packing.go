@@ -136,6 +136,7 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 	// prunes the search fastest.
 	sorted := append([]Item(nil), candidates...)
 	sort.Slice(sorted, func(i, j int) bool {
+		//lint:ignore floatcompare exact tie-break for a deterministic sort order
 		if sorted[i].CPU != sorted[j].CPU {
 			return sorted[i].CPU > sorted[j].CPU
 		}
@@ -257,6 +258,7 @@ func FirstFit(items []Item, bins []*Bin, cons Constraint) (Assignment, []Item) {
 func FirstFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment, []Item) {
 	sorted := append([]Item(nil), items...)
 	sort.Slice(sorted, func(i, j int) bool {
+		//lint:ignore floatcompare exact tie-break for a deterministic sort order
 		if sorted[i].CPU != sorted[j].CPU {
 			return sorted[i].CPU > sorted[j].CPU
 		}
@@ -270,6 +272,7 @@ func FirstFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment,
 func BestFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment, []Item) {
 	sorted := append([]Item(nil), items...)
 	sort.Slice(sorted, func(i, j int) bool {
+		//lint:ignore floatcompare exact tie-break for a deterministic sort order
 		if sorted[i].CPU != sorted[j].CPU {
 			return sorted[i].CPU > sorted[j].CPU
 		}
@@ -304,6 +307,7 @@ func BestFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment, 
 // determinism.
 func SortBinsByEfficiency(bins []*Bin) {
 	sort.Slice(bins, func(i, j int) bool {
+		//lint:ignore floatcompare exact tie-break for a deterministic sort order
 		if bins[i].Efficiency != bins[j].Efficiency {
 			return bins[i].Efficiency > bins[j].Efficiency
 		}

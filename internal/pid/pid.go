@@ -81,6 +81,7 @@ func (c *Controller) SetSetpoint(ts float64) { c.cfg.Setpoint = ts }
 // state can run away while railed).
 func (c *Controller) Step(measured float64, current mat.Vec) mat.Vec {
 	if len(current) != len(c.cfg.Split) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("pid: allocation width mismatch")
 	}
 	e := measured - c.cfg.Setpoint // positive error → needs more CPU

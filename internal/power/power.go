@@ -151,6 +151,7 @@ type Meter struct {
 // Accumulate adds watts·seconds of consumption.
 func (m *Meter) Accumulate(watts, seconds float64) {
 	if watts < 0 || seconds < 0 {
+		//lint:ignore panicpolicy meter invariant: negative energy means a sign error upstream
 		panic("power: negative accumulation")
 	}
 	m.joules += watts * seconds

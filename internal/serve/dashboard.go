@@ -16,7 +16,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_, _ = w.Write([]byte(dashboardHTML))
+	if _, err := w.Write([]byte(dashboardHTML)); err != nil {
+		logf("serve: writing dashboard: %v", err)
+	}
 }
 
 const dashboardHTML = `<!DOCTYPE html>

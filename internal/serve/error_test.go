@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureLog redirects the package logger to a buffer for one test.
+func captureLog(t *testing.T) func() []string {
+	t.Helper()
+	var mu sync.Mutex
+	var msgs []string
+	old := logf
+	logf = func(format string, args ...any) {
+		mu.Lock()
+		msgs = append(msgs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	t.Cleanup(func() { logf = old })
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), msgs...)
+	}
+}
+
+// brokenWriter is a ResponseWriter whose body writes always fail, like a
+// client that hung up mid-response.
+type brokenWriter struct{ header http.Header }
+
+func (w *brokenWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+func (w *brokenWriter) WriteHeader(int)           {}
+
+func TestStartRecordsStepError(t *testing.T) {
+	s := testServer(t)
+	logs := captureLog(t)
+	if s.LastErr() != nil {
+		t.Fatalf("fresh server has LastErr %v", s.LastErr())
+	}
+	boom := errors.New("boom")
+	s.step = func() error { return boom }
+	s.Start(time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.LastErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never recorded the step error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(s.LastErr(), boom) {
+		t.Fatalf("LastErr = %v, want %v", s.LastErr(), boom)
+	}
+	// The status document carries the halt reason.
+	rr := get(t, s.Handler(), "/status")
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastError != "boom" {
+		t.Fatalf("status.LastError = %q, want boom", st.LastError)
+	}
+	s.Stop()
+	found := false
+	for _, m := range logs() {
+		if strings.Contains(m, "background loop halted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halt was not logged: %v", logs())
+	}
+	// Restarting clears the recorded error.
+	s.step = func() error { return nil }
+	s.Start(time.Millisecond)
+	defer s.Stop()
+	if s.LastErr() != nil {
+		t.Fatalf("LastErr not cleared on restart: %v", s.LastErr())
+	}
+}
+
+func TestHealthyStatusHasNoLastError(t *testing.T) {
+	s := testServer(t)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rr := get(t, s.Handler(), "/status")
+	if strings.Contains(rr.Body.String(), "last_error") {
+		t.Fatalf("healthy status leaks last_error: %s", rr.Body.String())
+	}
+}
+
+func TestWriteJSONLogsEncodeFailure(t *testing.T) {
+	logs := captureLog(t)
+	writeJSON(&brokenWriter{}, map[string]int{"x": 1})
+	msgs := logs()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "writing JSON response") {
+		t.Fatalf("unexpected log output %v", msgs)
+	}
+}
+
+func TestMetricsLogsWriteFailure(t *testing.T) {
+	s := testServer(t)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	logs := captureLog(t)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	s.handleMetrics(&brokenWriter{}, req)
+	msgs := logs()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "writing metrics response") {
+		t.Fatalf("unexpected log output %v", msgs)
+	}
+}
+
+func TestDashboardLogsWriteFailure(t *testing.T) {
+	s := testServer(t)
+	logs := captureLog(t)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	s.handleDashboard(&brokenWriter{}, req)
+	msgs := logs()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "writing dashboard") {
+		t.Fatalf("unexpected log output %v", msgs)
+	}
+}

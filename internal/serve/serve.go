@@ -7,6 +7,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,10 @@ import (
 
 	"vdcpower/internal/testbed"
 )
+
+// logf reports non-fatal serving problems (failed response writes); a
+// package variable so tests can capture it.
+var logf = log.Printf
 
 // Server owns a testbed and advances it one control period at a time.
 // All access — stepping and HTTP handling — is serialized by a mutex:
@@ -25,11 +30,15 @@ type Server struct {
 	maxHistory int
 	stop       chan struct{}
 	wg         sync.WaitGroup
+	lastErr    error        // first error that halted the background loop
+	step       func() error // Step, indirected so tests can inject failures
 }
 
 // New wraps an already-constructed testbed.
 func New(tb *testbed.Testbed) *Server {
-	return &Server{tb: tb, maxHistory: 2048}
+	s := &Server{tb: tb, maxHistory: 2048}
+	s.step = s.Step
+	return s
 }
 
 // Step advances the control loop by one period.
@@ -48,7 +57,10 @@ func (s *Server) Step() error {
 }
 
 // Start advances the loop continuously in the background, one control
-// period every interval of wall-clock time. Call Stop to halt.
+// period every interval of wall-clock time. Call Stop to halt. If a step
+// fails the loop halts and the error is retained: LastErr returns it and
+// the /status document carries it, so a wedged loop is visible instead
+// of silently freezing the dashboard.
 func (s *Server) Start(interval time.Duration) {
 	s.mu.Lock()
 	if s.stop != nil {
@@ -56,6 +68,7 @@ func (s *Server) Start(interval time.Duration) {
 		return
 	}
 	s.stop = make(chan struct{})
+	s.lastErr = nil
 	stop := s.stop
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -68,12 +81,24 @@ func (s *Server) Start(interval time.Duration) {
 			case <-stop:
 				return
 			case <-t.C:
-				if err := s.Step(); err != nil {
+				if err := s.step(); err != nil {
+					s.mu.Lock()
+					s.lastErr = err
+					s.mu.Unlock()
+					logf("serve: background loop halted: %v", err)
 					return
 				}
 			}
 		}
 	}()
+}
+
+// LastErr returns the error that halted the background loop, or nil
+// while it is healthy (or was never started).
+func (s *Server) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
 }
 
 // Stop halts the background loop and waits for it to exit.
@@ -96,13 +121,15 @@ type AppStatus struct {
 	Concurrency int       `json:"concurrency"`
 }
 
-// Status is the live state document served at /status.
+// Status is the live state document served at /status. LastError is the
+// error that halted the background loop, empty while it is healthy.
 type Status struct {
 	SimTimeSec    float64     `json:"sim_time_sec"`
 	PowerW        float64     `json:"power_w"`
 	ActiveServers int         `json:"active_servers"`
 	TotalServers  int         `json:"total_servers"`
 	Apps          []AppStatus `json:"apps"`
+	LastError     string      `json:"last_error,omitempty"`
 }
 
 // snapshotStatus builds the status document under the lock.
@@ -112,6 +139,9 @@ func (s *Server) snapshotStatus() Status {
 		PowerW:        s.tb.DC.TotalPower(),
 		ActiveServers: s.tb.DC.NumActive(),
 		TotalServers:  len(s.tb.DC.Servers),
+	}
+	if s.lastErr != nil {
+		st.LastError = s.lastErr.Error()
 	}
 	var latest *testbed.PeriodRecord
 	if len(s.history) > 0 {
@@ -188,7 +218,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.tb.DC.Snapshot()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	_ = snap.WriteJSON(w)
+	if err := snap.WriteJSON(w); err != nil {
+		logf("serve: writing snapshot response: %v", err)
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -236,22 +268,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.snapshotStatus()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP vdcpower_power_watts Total cluster power draw.\n")
-	fmt.Fprintf(w, "# TYPE vdcpower_power_watts gauge\n")
-	fmt.Fprintf(w, "vdcpower_power_watts %g\n", st.PowerW)
-	fmt.Fprintf(w, "# HELP vdcpower_active_servers Servers in the active state.\n")
-	fmt.Fprintf(w, "# TYPE vdcpower_active_servers gauge\n")
-	fmt.Fprintf(w, "vdcpower_active_servers %d\n", st.ActiveServers)
-	fmt.Fprintf(w, "# HELP vdcpower_response_time_seconds Per-application 90-percentile response time.\n")
-	fmt.Fprintf(w, "# TYPE vdcpower_response_time_seconds gauge\n")
+	ew := &errWriter{w: w}
+	ew.printf("# HELP vdcpower_power_watts Total cluster power draw.\n")
+	ew.printf("# TYPE vdcpower_power_watts gauge\n")
+	ew.printf("vdcpower_power_watts %g\n", st.PowerW)
+	ew.printf("# HELP vdcpower_active_servers Servers in the active state.\n")
+	ew.printf("# TYPE vdcpower_active_servers gauge\n")
+	ew.printf("vdcpower_active_servers %d\n", st.ActiveServers)
+	ew.printf("# HELP vdcpower_response_time_seconds Per-application 90-percentile response time.\n")
+	ew.printf("# TYPE vdcpower_response_time_seconds gauge\n")
 	for _, a := range st.Apps {
-		fmt.Fprintf(w, "vdcpower_response_time_seconds{app=%q} %g\n", a.Name, a.T90Sec)
+		ew.printf("vdcpower_response_time_seconds{app=%q} %g\n", a.Name, a.T90Sec)
 	}
-	fmt.Fprintf(w, "# HELP vdcpower_setpoint_seconds Per-application response time target.\n")
-	fmt.Fprintf(w, "# TYPE vdcpower_setpoint_seconds gauge\n")
+	ew.printf("# HELP vdcpower_setpoint_seconds Per-application response time target.\n")
+	ew.printf("# TYPE vdcpower_setpoint_seconds gauge\n")
 	for _, a := range st.Apps {
-		fmt.Fprintf(w, "vdcpower_setpoint_seconds{app=%q} %g\n", a.Name, a.SetpointSec)
+		ew.printf("vdcpower_setpoint_seconds{app=%q} %g\n", a.Name, a.SetpointSec)
 	}
+	if ew.err != nil {
+		logf("serve: writing metrics response: %v", ew.err)
+	}
+}
+
+// errWriter accumulates the first write error across a sequence of
+// formatted writes, so the exposition code stays linear while no error
+// is silently dropped.
+type errWriter struct {
+	w   http.ResponseWriter
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
 }
 
 func (s *Server) handleSetpoint(w http.ResponseWriter, r *http.Request) {
@@ -304,7 +355,13 @@ func (s *Server) appIndex(w http.ResponseWriter, r *http.Request) (int, bool) {
 	return idx, true
 }
 
+// writeJSON encodes v onto the response. Encode errors (a client that
+// hung up mid-response, a marshalling bug) cannot be reported to the
+// client anymore — the header is already out — so they are logged
+// instead of dropped.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("serve: writing JSON response: %v", err)
+	}
 }

@@ -186,9 +186,11 @@ type Histogram struct {
 // [lo, hi). It panics if bins <= 0 or hi <= lo.
 func NewHistogram(lo, hi float64, bins int) *Histogram {
 	if bins <= 0 {
+		//lint:ignore panicpolicy constructor precondition: a binless histogram is a programming error
 		panic("stats: histogram needs at least one bin")
 	}
 	if hi <= lo {
+		//lint:ignore panicpolicy constructor precondition: an empty range is a programming error
 		panic("stats: histogram needs hi > lo")
 	}
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}

@@ -66,6 +66,7 @@ func (r *RLS) regressor() mat.Vec {
 // this period) into the estimate.
 func (r *RLS) Observe(t float64, c mat.Vec) {
 	if len(c) != r.numInputs {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic(fmt.Sprintf("sysid: RLS input dimension %d, want %d", len(c), r.numInputs))
 	}
 	// Record the input first: c is c(k), part of the regressor for t(k)

@@ -55,6 +55,7 @@ func (m *Model) Validate() error {
 // cPast[j] is c(k−1−j). The slices must hold at least Na and Nb entries.
 func (m *Model) Predict(tPast []float64, cPast []mat.Vec) float64 {
 	if len(tPast) < m.Na || len(cPast) < m.Nb {
+		//lint:ignore panicpolicy precondition: the caller owns the history window and must fill it first
 		panic("sysid: Predict history too short")
 	}
 	y := m.Gamma
@@ -297,6 +298,7 @@ func Evaluate(m *Model, d *Dataset) (FitMetrics, error) {
 	if sst > 0 {
 		fm.R2 = 1 - sse/sst
 		fm.FitPct = 100 * (1 - math.Sqrt(sse)/math.Sqrt(sst))
+		//lint:ignore floatcompare exact-zero residual is a perfect fit, not a tolerance question
 	} else if sse == 0 {
 		fm.R2, fm.FitPct = 1, 100
 	}

@@ -41,6 +41,7 @@ func (t *Trace) PeakToMean() float64 {
 		}
 	}
 	mean := sum / float64(len(agg))
+	//lint:ignore floatcompare exact-zero guard before division
 	if mean == 0 {
 		return 0
 	}

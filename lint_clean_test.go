@@ -1,0 +1,32 @@
+// The static-analysis invariants are enforced in the ordinary test run:
+// if this test fails, either fix the finding or annotate it with a
+// reasoned //lint:ignore (see README.md "Static analysis &
+// reproducibility invariants").
+package vdcpower_test
+
+import (
+	"testing"
+
+	"vdcpower/internal/lint"
+)
+
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading the whole module from source is slow; run without -short")
+	}
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mod.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := mod.Analyze(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d findings in %d packages; run `go run ./cmd/vdclint ./...` locally", len(findings), len(pkgs))
+	}
+}
