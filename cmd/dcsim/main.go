@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vdcpower/internal/check"
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/dcsim"
 	"vdcpower/internal/optimizer"
@@ -39,8 +40,25 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, csv, or markdown")
 		series    = flag.Int("series", 0, "instead of the sweep, dump a per-step power/active/demand series for a run with this many VMs")
 		snapshot  = flag.String("snapshot", "", "with -series: write the final data-center state as JSON to this file")
+		checkRun  = flag.Bool("check", false, "run a Fig. 6 subset with every runtime invariant enabled and report violations")
 	)
 	flag.Parse()
+
+	if *checkRun {
+		// Verification mode defaults to a small subset unless sizes/days
+		// were given explicitly.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["sizes"] {
+			*sizesStr = "30,230"
+		}
+		if !explicit["days"] {
+			*days = 2
+		}
+		if !explicit["vms"] {
+			*vms = 300
+		}
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesStr, ",") {
@@ -58,6 +76,13 @@ func main() {
 	}
 	fmt.Printf("trace: %d VMs × %d steps (%.0f s/step), peak/mean load %.2f\n\n",
 		tr.NumVMs(), tr.NumSteps(), tr.StepSeconds, tr.PeakToMean())
+
+	if *checkRun {
+		if err := runChecked(tr, sizes); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *series > 0 {
 		t := report.New("per-step series (IPAC)", "step", "hour", "power_W", "active_servers", "demand_GHz")
@@ -133,6 +158,60 @@ func main() {
 	}
 	mean /= float64(len(savings))
 	fmt.Printf("\naverage IPAC saving vs pMapper: %.1f%% (paper reports 40.7%%)\n", mean*100)
+}
+
+// runChecked reruns the Figure 6 comparison serially with the full
+// invariant registry observing every run: cluster conservation laws,
+// optimizer guarantees (with a cost-policy audit wired into each
+// consolidator), and energy accounting. Any violation is a fatal error.
+func runChecked(tr *workload.Trace, sizes []int) error {
+	type checkedPolicy struct {
+		name string
+		mk   func() (optimizer.Consolidator, *check.PolicyAuditor)
+	}
+	policies := []checkedPolicy{
+		{"IPAC", func() (optimizer.Consolidator, *check.PolicyAuditor) {
+			o := optimizer.NewIPAC()
+			aud := check.NewPolicyAuditor(o.Policy)
+			o.Policy = aud
+			return o, aud
+		}},
+		{"pMapper", func() (optimizer.Consolidator, *check.PolicyAuditor) {
+			p := optimizer.NewPMapper()
+			aud := check.NewPolicyAuditor(p.Policy)
+			p.Policy = aud
+			return p, aud
+		}},
+	}
+	violations := 0
+	for _, n := range sizes {
+		for _, pol := range policies {
+			cons, aud := pol.mk()
+			checker := check.New(append(check.All(), check.VetoesRespected(aud))...)
+			cfg := dcsim.DefaultConfig(tr, n, cons)
+			cfg.WatchdogEverySteps = 4 // exercise the overload reliever too
+			cfg.Checker = checker
+			res, err := dcsim.Run(cfg)
+			if err != nil && checker.NumViolations() == 0 {
+				return err
+			}
+			status := "ok"
+			if checker.NumViolations() > 0 {
+				status = "VIOLATIONS"
+			}
+			fmt.Printf("%-8s n=%-5d events=%-6d invariants=%d violations=%d %s (%.1f Wh/VM)\n",
+				pol.name, n, checker.Events(), len(check.All())+1, checker.NumViolations(), status, res.EnergyPerVMWh)
+			for _, v := range checker.Violations() {
+				fmt.Printf("    %s\n", v)
+			}
+			violations += checker.NumViolations()
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violation(s)", violations)
+	}
+	fmt.Println("\nall invariants held")
+	return nil
 }
 
 func loadOrGenerate(path string, vms, days int, seed int64) (*workload.Trace, error) {

@@ -1,0 +1,86 @@
+package check
+
+import (
+	"fmt"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/optimizer"
+)
+
+// moveKey identifies one proposed migration for veto auditing.
+type moveKey struct {
+	vm, from, to string
+}
+
+// PolicyAuditor wraps a cost policy and records its decisions, so the
+// vetoes-respected invariant can verify that no migration the policy
+// denied was performed anyway. A move denied and later re-proposed with a
+// higher benefit may legitimately be allowed; the auditor keeps only the
+// most recent decision per (vm, from, to) tuple.
+//
+// Overload relief intentionally bypasses the cost policy (serving demand
+// outranks migration cost), so those moves never reach the auditor and
+// cannot trip the invariant.
+type PolicyAuditor struct {
+	Wrapped optimizer.CostPolicy
+	denied  map[moveKey]bool
+}
+
+// NewPolicyAuditor wraps policy for auditing.
+func NewPolicyAuditor(policy optimizer.CostPolicy) *PolicyAuditor {
+	return &PolicyAuditor{Wrapped: policy, denied: map[moveKey]bool{}}
+}
+
+// Allow implements optimizer.CostPolicy, recording the verdict.
+func (a *PolicyAuditor) Allow(vm *cluster.VM, from, to *cluster.Server, benefitWatts float64) bool {
+	ok := a.Wrapped.Allow(vm, from, to, benefitWatts)
+	k := moveKey{vm: vm.ID, from: from.ID, to: to.ID}
+	if ok {
+		delete(a.denied, k)
+	} else {
+		a.denied[k] = true
+	}
+	return ok
+}
+
+// Name implements optimizer.CostPolicy.
+func (a *PolicyAuditor) Name() string { return a.Wrapped.Name() }
+
+// Denied returns the number of tuples whose latest verdict was a denial.
+func (a *PolicyAuditor) Denied() int { return len(a.denied) }
+
+// Reset clears the recorded decisions; the vetoes-respected invariant
+// calls it after each consolidate event so one pass's denials cannot
+// bleed into the next (benefits change as the data center moves).
+func (a *PolicyAuditor) Reset() { a.denied = map[moveKey]bool{} }
+
+// vetoesRespected cross-checks a consolidator's recorded moves against
+// the auditor's denial log: a move whose latest policy verdict was "deny"
+// must not appear in the report.
+type vetoesRespected struct {
+	aud *PolicyAuditor
+}
+
+// VetoesRespected returns the invariant checking that the consolidator
+// honored every veto recorded by aud. Install aud as the consolidator's
+// cost policy (it forwards to the wrapped policy).
+func VetoesRespected(aud *PolicyAuditor) Invariant {
+	return &vetoesRespected{aud: aud}
+}
+
+func (i *vetoesRespected) Name() string { return "optimizer/vetoes-respected" }
+
+func (i *vetoesRespected) Check(ev Event) error {
+	if (ev.Kind != EvConsolidate && ev.Kind != EvWatchdog) || ev.Report == nil {
+		return nil
+	}
+	defer i.aud.Reset()
+	for _, mv := range ev.Report.Moves {
+		k := moveKey{vm: mv.VM.ID, from: mv.From.ID, to: mv.To.ID}
+		if i.aud.denied[k] {
+			return fmt.Errorf("migration %s: %s → %s was performed despite policy %s veto",
+				mv.VM.ID, mv.From.ID, mv.To.ID, i.aud.Name())
+		}
+	}
+	return nil
+}

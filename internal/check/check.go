@@ -1,0 +1,207 @@
+// Package check provides runtime invariant checking for the simulation
+// stack: a pluggable Invariant interface, a registry of the conservation
+// laws the paper's algorithms are supposed to preserve (VMs never lost,
+// allocations never exceed capacity, energy never negative, IPAC never
+// increases active servers, Minimum Slack never worse than FFD), and a
+// Checker that observes a running simulation through typed events.
+//
+// The checker is opt-in: dcsim and testbed emit events only when a
+// Checker is attached, so production runs pay nothing. Hand-written
+// figure tests exercise the scenarios somebody imagined; the checker
+// exists for the scenarios nobody did — randomized stress (package
+// check/quick) and fuzzing drive the same invariants over inputs no one
+// hand-writes.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/packing"
+)
+
+// Kind labels the simulation point an Event was captured at.
+type Kind int
+
+const (
+	// EvInit fires once, after initial placement / construction.
+	EvInit Kind = iota
+	// EvStep fires after one simulation step's power accounting.
+	EvStep
+	// EvConsolidate fires after a full consolidator invocation.
+	EvConsolidate
+	// EvWatchdog fires after an on-demand overload-relief pass.
+	EvWatchdog
+	// EvPacking fires after one MinimumSlack call observed through
+	// ObserveMinimumSlack.
+	EvPacking
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case EvInit:
+		return "init"
+	case EvStep:
+		return "step"
+	case EvConsolidate:
+		return "consolidate"
+	case EvWatchdog:
+		return "watchdog"
+	case EvPacking:
+		return "packing"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one observation point. Fields beyond Kind and Step are
+// optional; invariants skip events lacking the data they need.
+type Event struct {
+	Kind Kind
+	Step int // trace step or control period; -1 when not applicable
+
+	// DC is the live data center (init, step, consolidate, watchdog).
+	DC *cluster.DataCenter
+
+	// Report is the optimizer's account of a consolidate/watchdog pass.
+	Report *optimizer.Report
+	// Policy is the consolidator's Name() for policy-scoped invariants.
+	Policy string
+	// OverloadedBefore counts servers that were overloaded when the
+	// consolidator was invoked (waking servers is then legitimate).
+	OverloadedBefore int
+
+	// PowerW is the instantaneous power accounted for this step and
+	// EnergyJ the cumulative energy so far; valid when the Has flags are
+	// set.
+	PowerW    float64
+	EnergyJ   float64
+	HasPower  bool
+	HasEnergy bool
+
+	// MinSlack carries one observed Algorithm 1 invocation.
+	MinSlack *MinSlackObservation
+}
+
+// Violation records one broken invariant.
+type Violation struct {
+	Invariant string
+	Kind      Kind
+	Step      int
+	Detail    string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s step %d]: %s", v.Invariant, v.Kind, v.Step, v.Detail)
+}
+
+// Invariant is one law checked against a stream of events. Implementations
+// may keep state across events (conservation laws compare against a
+// baseline); a fresh instance must be used per run.
+type Invariant interface {
+	// Name identifies the invariant as module/law.
+	Name() string
+	// Check inspects one event; a non-nil error is a violation.
+	Check(ev Event) error
+}
+
+// maxViolations bounds stored violations so a systematically broken run
+// cannot grow memory without bound; the count keeps climbing.
+const maxViolations = 100
+
+// Checker fans events out to a set of invariants and records violations.
+// It is not safe for concurrent use: attach one checker per run.
+type Checker struct {
+	invs       []Invariant
+	violations []Violation
+	nViolation int
+	nEvents    int
+}
+
+// New builds a checker over the given invariants. Use All() for the full
+// registry.
+func New(invs ...Invariant) *Checker {
+	return &Checker{invs: invs}
+}
+
+// Observe runs every invariant against the event and records violations.
+func (c *Checker) Observe(ev Event) {
+	c.nEvents++
+	for _, inv := range c.invs {
+		if err := inv.Check(ev); err != nil {
+			c.nViolation++
+			if len(c.violations) < maxViolations {
+				c.violations = append(c.violations, Violation{
+					Invariant: inv.Name(),
+					Kind:      ev.Kind,
+					Step:      ev.Step,
+					Detail:    err.Error(),
+				})
+			}
+		}
+	}
+}
+
+// Events returns the number of events observed.
+func (c *Checker) Events() int { return c.nEvents }
+
+// NumViolations returns the total number of violations seen (it may
+// exceed len(Violations) when the storage cap was hit).
+func (c *Checker) NumViolations() int { return c.nViolation }
+
+// Violations returns the recorded violations (capped; do not mutate).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Err returns nil when every invariant held, or an error summarizing the
+// violations.
+func (c *Checker) Err() error {
+	if c.nViolation == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d invariant violation(s) in %d events:", c.nViolation, c.nEvents)
+	for i, v := range c.violations {
+		if i == 5 {
+			fmt.Fprintf(&b, "\n  ... and %d more", c.nViolation-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// MinSlackObservation captures one MinimumSlack invocation: the inputs as
+// seen by the algorithm and its result. The bin must be in its pre-Add
+// state (MinimumSlack does not mutate it).
+type MinSlackObservation struct {
+	Bin        *packing.Bin
+	Candidates []packing.Item
+	Cons       packing.Constraint
+	Config     packing.MinSlackConfig
+	Result     packing.MinSlackResult
+}
+
+// ObserveMinimumSlack runs Algorithm 1 and emits the invocation as an
+// EvPacking event, so the packing invariants vet every observed search.
+// It returns the result unchanged; with a nil checker it is exactly
+// packing.MinimumSlack.
+func ObserveMinimumSlack(c *Checker, b *packing.Bin, candidates []packing.Item, cons packing.Constraint, cfg packing.MinSlackConfig) packing.MinSlackResult {
+	res := packing.MinimumSlack(b, candidates, cons, cfg)
+	if c != nil {
+		c.Observe(Event{
+			Kind: EvPacking,
+			Step: -1,
+			MinSlack: &MinSlackObservation{
+				Bin:        b,
+				Candidates: candidates,
+				Cons:       cons,
+				Config:     cfg,
+				Result:     res,
+			},
+		})
+	}
+	return res
+}

@@ -1,0 +1,153 @@
+// Package quick provides seeded random generators for the simulator's
+// domain objects (VM sets, server fleets, packing instances, queueing
+// networks, ARX models, workload traces) and a registry of metamorphic
+// properties driven by them: laws that relate two runs of the same code
+// on transformed inputs, so they need no hand-computed expected values.
+//
+// Everything is seeded: a failing seed reproduces exactly, and CI runs
+// a fixed seed range so failures are never flaky.
+package quick
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/mat"
+	"vdcpower/internal/mpc"
+	"vdcpower/internal/packing"
+	"vdcpower/internal/power"
+	"vdcpower/internal/queueing"
+	"vdcpower/internal/sysid"
+	"vdcpower/internal/workload"
+)
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// uniform draws from [lo, hi).
+func uniform(r *rand.Rand, lo, hi float64) float64 { return lo + (hi-lo)*r.Float64() }
+
+// Items generates n packing items shaped like the Fig. 6 VM population:
+// CPU demand up to a few GHz, sub-server memory.
+func Items(r *rand.Rand, n int) []packing.Item {
+	out := make([]packing.Item, n)
+	for i := range out {
+		out[i] = packing.Item{
+			ID:  fmt.Sprintf("item-%03d", i),
+			CPU: uniform(r, 0.1, 3.0),
+			Mem: uniform(r, 0.25, 2.0),
+		}
+	}
+	return out
+}
+
+// Bin generates one packing target sized like the paper's server types,
+// optionally preloaded with a few resident items.
+func Bin(r *rand.Rand) *packing.Bin {
+	b := &packing.Bin{
+		ID:     "bin-0",
+		CPUCap: uniform(r, 3, 14),
+		MemCap: uniform(r, 8, 32),
+	}
+	for i, preload := 0, r.Intn(3); i < preload; i++ {
+		it := packing.Item{
+			ID:  fmt.Sprintf("resident-%d", i),
+			CPU: uniform(r, 0.1, b.CPUCap/4),
+			Mem: uniform(r, 0.25, b.MemCap/4),
+		}
+		b.Add(it)
+	}
+	return b
+}
+
+// Fleet generates n servers with a random mix of the paper's three
+// hardware types.
+func Fleet(r *rand.Rand, n int) []*cluster.Server {
+	types := power.AllTypes()
+	out := make([]*cluster.Server, n)
+	for i := range out {
+		out[i] = cluster.NewServer(fmt.Sprintf("srv-%03d", i), types[r.Intn(len(types))])
+	}
+	return out
+}
+
+// VMs generates n virtual machines with modest demands, so a fleet a few
+// servers strong can host them under the CPU and memory constraints.
+func VMs(r *rand.Rand, n int) []*cluster.VM {
+	out := make([]*cluster.VM, n)
+	for i := range out {
+		out[i] = &cluster.VM{
+			ID:       fmt.Sprintf("vm-%03d", i),
+			Demand:   uniform(r, 0.05, 1.0),
+			MemoryGB: uniform(r, 0.25, 1.0),
+		}
+	}
+	return out
+}
+
+// Network generates a closed queueing network with 1–4 stations and
+// realistic service demands.
+func Network(r *rand.Rand) *queueing.Network {
+	k := 1 + r.Intn(4)
+	net := &queueing.Network{ThinkTime: uniform(r, 0, 2), Demands: make([]float64, k)}
+	for i := range net.Demands {
+		net.Demands[i] = uniform(r, 0.005, 0.4)
+	}
+	return net
+}
+
+// ARXModel generates a stable ARX model with m inputs in the shape the
+// response-time controller identifies: first-order autoregression and
+// negative input gains (more CPU lowers the response time).
+func ARXModel(r *rand.Rand, m int) *sysid.Model {
+	model := &sysid.Model{
+		Na:        1,
+		Nb:        2,
+		NumInputs: m,
+		A:         []float64{uniform(r, -0.4, 0.8)},
+		B:         make([]mat.Vec, 2),
+		Gamma:     uniform(r, 0.5, 2.0),
+	}
+	for j := range model.B {
+		model.B[j] = make(mat.Vec, m)
+		for i := range model.B[j] {
+			model.B[j][i] = uniform(r, -0.5, -0.05)
+		}
+	}
+	return model
+}
+
+// MPCConfig generates a solvable controller configuration around the
+// given model.
+func MPCConfig(r *rand.Rand, model *sysid.Model) mpc.Config {
+	m := model.NumInputs
+	cfg := mpc.Config{
+		Model:       model,
+		P:           4 + r.Intn(6),
+		Q:           1,
+		R:           make(mat.Vec, m),
+		TrefPeriods: uniform(r, 1, 4),
+		Setpoint:    uniform(r, 0.5, 1.5),
+		CMin:        make(mat.Vec, m),
+		CMax:        make(mat.Vec, m),
+	}
+	cfg.M = 2 + r.Intn(cfg.P-2)
+	for i := 0; i < m; i++ {
+		cfg.R[i] = uniform(r, 0.1, 1.0)
+		cfg.CMin[i] = uniform(r, 0.1, 0.3)
+		cfg.CMax[i] = uniform(r, 2.0, 4.0)
+	}
+	return cfg
+}
+
+// TraceConfig generates a small workload-generation config (minutes of
+// simulated wall clock, not the paper's full week).
+func TraceConfig(r *rand.Rand) workload.GenConfig {
+	return workload.GenConfig{
+		NumVMs:       10 + r.Intn(50),
+		Days:         1,
+		StepsPerHour: 2 + r.Intn(3),
+		Seed:         r.Int63(),
+	}
+}

@@ -1,0 +1,210 @@
+package quick
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/dcsim"
+	"vdcpower/internal/mat"
+	"vdcpower/internal/mpc"
+	"vdcpower/internal/optimizer"
+	"vdcpower/internal/packing"
+	"vdcpower/internal/queueing"
+	"vdcpower/internal/workload"
+)
+
+// TestProperties runs every registered metamorphic law over its seed
+// budget against the real implementations.
+func TestProperties(t *testing.T) {
+	for _, p := range Properties() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			runs := p.Runs
+			if testing.Short() && runs > 3 {
+				runs = 3
+			}
+			for seed := int64(1); seed <= int64(runs); seed++ {
+				if err := p.Check(seed); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryHasAtLeastSixProperties(t *testing.T) {
+	props := Properties()
+	if len(props) < 6 {
+		t.Fatalf("registry has %d properties, acceptance floor is 6", len(props))
+	}
+	seen := map[string]bool{}
+	for _, p := range props {
+		if p.Name == "" || p.Check == nil || p.Runs < 1 {
+			t.Fatalf("malformed property %+v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate property %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+// expectCaught asserts that some seed in [1, 40] makes the property fail
+// for the given broken implementation.
+func expectCaught(t *testing.T, what string, run func(seed int64) error) {
+	t.Helper()
+	for seed := int64(1); seed <= 40; seed++ {
+		if err := run(seed); err != nil {
+			t.Logf("%s caught at seed %d: %v", what, seed, err)
+			return
+		}
+	}
+	t.Fatalf("%s: no seed caught the broken implementation", what)
+}
+
+// Mutation tests: each law must catch a deliberately broken
+// implementation, or it guards nothing.
+
+func TestPermutationInvariantCatchesOrderDependence(t *testing.T) {
+	// Broken chooser: greedy in presentation order, no sort — its output
+	// depends on how the candidates happen to be listed.
+	broken := func(b *packing.Bin, items []packing.Item, cons packing.Constraint, cfg packing.MinSlackConfig) packing.MinSlackResult {
+		var chosen []packing.Item
+		slack := b.Slack()
+		for _, it := range items {
+			if it.CPU > slack {
+				continue
+			}
+			next := append(chosen, it)
+			if !cons.Fits(b, next) {
+				continue
+			}
+			chosen = next
+			slack -= it.CPU
+		}
+		return packing.MinSlackResult{Chosen: chosen, Slack: slack}
+	}
+	expectCaught(t, "order-dependent chooser", func(s int64) error {
+		return minSlackPermutationInvariant(broken, s)
+	})
+}
+
+func TestNotWorseThanFFDCatchesWeakSearch(t *testing.T) {
+	// Broken search: packs nothing at all.
+	broken := func(b *packing.Bin, items []packing.Item, cons packing.Constraint, cfg packing.MinSlackConfig) packing.MinSlackResult {
+		return packing.MinSlackResult{Slack: b.Slack()}
+	}
+	expectCaught(t, "empty-handed search", func(s int64) error {
+		return minSlackNotWorseThanFFD(broken, s)
+	})
+}
+
+func TestMVATimeScalingCatchesAffineOffset(t *testing.T) {
+	// Broken solver: a constant measurement offset on the response time,
+	// which breaks the linear time-unit scaling.
+	broken := func(net *queueing.Network, n int) (queueing.Result, error) {
+		res, err := queueing.Solve(net, n)
+		res.ResponseTime += 0.01
+		return res, err
+	}
+	expectCaught(t, "offset MVA solver", func(s int64) error {
+		return mvaTimeScaling(broken, s)
+	})
+}
+
+func TestMVACapacityMonotoneCatchesInvertedModel(t *testing.T) {
+	// Broken solver: response time that grows as stations get faster.
+	broken := func(net *queueing.Network, n int) (queueing.Result, error) {
+		rt := 0.0
+		for _, d := range net.Demands {
+			rt += 1 / d
+		}
+		return queueing.Result{N: n, ResponseTime: rt, Throughput: 1}, nil
+	}
+	expectCaught(t, "inverted queueing model", func(s int64) error {
+		return mvaCapacityMonotone(broken, s)
+	})
+}
+
+func TestFig6SerialParallelCatchesDivergence(t *testing.T) {
+	// Broken parallel sweep: one policy's result is perturbed, as a
+	// nondeterministic scheduler would.
+	broken := func(tr *workload.Trace, sizes []int, policies []func() optimizer.Consolidator, workers int) ([]dcsim.Fig6Point, error) {
+		pts, err := dcsim.Fig6Parallel(tr, sizes, policies, workers)
+		if err != nil {
+			return nil, err
+		}
+		for name := range pts[0].PerVMWh {
+			pts[0].PerVMWh[name] *= 1.001
+			break
+		}
+		return pts, nil
+	}
+	// One seed suffices: the divergence is unconditional.
+	if err := fig6SerialParallel(broken, 1); err == nil {
+		t.Fatal("diverging parallel sweep not caught")
+	}
+}
+
+func TestMPCEquivarianceCatchesChannelBias(t *testing.T) {
+	// Broken controller: silently refuses to ever move channel 0 — a
+	// hidden preference tied to channel order.
+	broken := func(cfg mpc.Config, tPast []float64, cPast []mat.Vec) (mat.Vec, error) {
+		d, err := realMPCCompute(cfg, tPast, cPast)
+		if err != nil {
+			return nil, err
+		}
+		d[0] = 0
+		return d, nil
+	}
+	expectCaught(t, "channel-biased controller", func(s int64) error {
+		return mpcPermutationEquivariant(broken, s)
+	})
+}
+
+func TestCSVRoundTripCatchesLossyWriter(t *testing.T) {
+	// Broken writer: perturbs samples beyond the documented quantization
+	// before serializing.
+	broken := func(tr *workload.Trace, w io.Writer) error {
+		lossy := &workload.Trace{
+			StepSeconds: tr.StepSeconds,
+			Names:       tr.Names,
+			Sectors:     tr.Sectors,
+			Series:      make([][]float64, len(tr.Series)),
+		}
+		for i, s := range tr.Series {
+			lossy.Series[i] = make([]float64, len(s))
+			for k, u := range s {
+				lossy.Series[i][k] = u * 0.999
+			}
+		}
+		return lossy.WriteCSV(w)
+	}
+	expectCaught(t, "lossy trace writer", func(s int64) error {
+		return csvRoundTrip(broken, s)
+	})
+}
+
+func TestMigrationConservationCatchesVMLoss(t *testing.T) {
+	// Broken walk: its fifth step decommissions a VM instead of migrating
+	// it, then keeps walking the survivors.
+	calls := 0
+	var lost *cluster.VM
+	broken := func(r *rand.Rand, dc *cluster.DataCenter, vms []*cluster.VM) error {
+		calls++
+		if calls == 5 {
+			lost = vms[0]
+			return dc.Remove(lost)
+		}
+		if lost != nil {
+			vms = vms[1:]
+		}
+		return randomMigration(r, dc, vms)
+	}
+	if err := migrationConservation(broken, 1); err == nil {
+		t.Fatal("VM loss not caught")
+	}
+}

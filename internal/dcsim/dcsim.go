@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"vdcpower/internal/check"
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
@@ -75,6 +76,13 @@ type Config struct {
 	// OnDone, if set, receives the final data center before Run returns —
 	// for snapshotting (cluster.Snapshot) or custom inspection.
 	OnDone func(dc *cluster.DataCenter)
+
+	// Checker, if set, observes the run through typed events (initial
+	// placement, every consolidator/watchdog pass, every step's power
+	// accounting) and verifies the registered invariants. Violations do
+	// not stop the run; Run reports them as an error at the end. Nil
+	// means no checking and no overhead.
+	Checker *check.Checker
 }
 
 // DefaultConfig mirrors Section VI-B for the given trace slice size.
@@ -203,6 +211,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	dc.SleepIdle()
+	if cfg.Checker != nil {
+		cfg.Checker.Observe(check.Event{Kind: check.EvInit, Step: -1, DC: dc})
+	}
 
 	res := Result{
 		Policy:     cfg.Consolidator.Name(),
@@ -218,6 +229,10 @@ func Run(cfg Config) (Result, error) {
 			v.Demand = tr.At(i, k) * peaks[i]
 		}
 		if k%cfg.OptimizeEverySteps == 0 {
+			overloaded := 0
+			if cfg.Checker != nil {
+				overloaded = check.CountOverloaded(dc)
+			}
 			rep, err := cfg.Consolidator.Consolidate(dc)
 			if err != nil {
 				return Result{}, err
@@ -225,6 +240,16 @@ func Run(cfg Config) (Result, error) {
 			res.Migrations += rep.Migrations
 			res.Vetoed += rep.Vetoed
 			res.Unresolved += rep.Unresolved
+			if cfg.Checker != nil {
+				cfg.Checker.Observe(check.Event{
+					Kind:             check.EvConsolidate,
+					Step:             k,
+					DC:               dc,
+					Report:           &rep,
+					Policy:           cfg.Consolidator.Name(),
+					OverloadedBefore: overloaded,
+				})
+			}
 		} else if cfg.WatchdogEverySteps > 0 && k%cfg.WatchdogEverySteps == 0 {
 			rep, err := optimizer.ResolveOverloads(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom},
 				packing.DefaultMinSlackConfig())
@@ -234,6 +259,15 @@ func Run(cfg Config) (Result, error) {
 			res.Migrations += rep.Migrations
 			res.WatchdogMoves += rep.Migrations
 			res.Unresolved += rep.Unresolved
+			if cfg.Checker != nil {
+				cfg.Checker.Observe(check.Event{
+					Kind:   check.EvWatchdog,
+					Step:   k,
+					DC:     dc,
+					Report: &rep,
+					Policy: "watchdog",
+				})
+			}
 		}
 		// Server-level frequency decision for the step, and energy
 		// accounting. Suspended servers are treated as powered off
@@ -257,6 +291,17 @@ func Run(cfg Config) (Result, error) {
 			stepPower += s.Power()
 		}
 		meter.Accumulate(stepPower, tr.StepSeconds)
+		if cfg.Checker != nil {
+			cfg.Checker.Observe(check.Event{
+				Kind:      check.EvStep,
+				Step:      k,
+				DC:        dc,
+				PowerW:    stepPower,
+				EnergyJ:   meter.Joules(),
+				HasPower:  true,
+				HasEnergy: true,
+			})
+		}
 		activeSum += float64(dc.NumActive())
 		if cfg.OnStep != nil {
 			demand := 0.0
@@ -275,6 +320,11 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.OnDone != nil {
 		cfg.OnDone(dc)
+	}
+	if cfg.Checker != nil {
+		if err := cfg.Checker.Err(); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
 }

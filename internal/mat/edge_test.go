@@ -1,0 +1,154 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestSolveLinearSingularTable verifies the typed rejection of singular
+// systems instead of silently returning garbage.
+func TestSolveLinearSingularTable(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Mat
+	}{
+		{"zero-matrix", NewMat(2, 2)},
+		{"duplicate-rows", FromRows([][]float64{{1, 2}, {1, 2}})},
+		{"rank-1-3x3", FromRows([][]float64{{1, 2, 3}, {2, 4, 6}, {3, 6, 9}})},
+		{"zero-column", FromRows([][]float64{{0, 1}, {0, 2}})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := make(Vec, tc.a.Rows)
+			for i := range b {
+				b[i] = 1
+			}
+			if _, err := SolveLinear(tc.a, b); !errors.Is(err, ErrSingular) {
+				t.Fatalf("err = %v, want ErrSingular", err)
+			}
+		})
+	}
+}
+
+func TestSolveLinearNonSquare(t *testing.T) {
+	if _, err := SolveLinear(NewMat(2, 3), Vec{1, 2}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+// hilbert returns the notoriously ill-conditioned Hilbert matrix.
+func hilbert(n int) *Mat {
+	h := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return h
+}
+
+// TestSolveLinearIllConditioned: the 4×4 Hilbert matrix has condition
+// number ~1.5e4; LU with partial pivoting must still produce a tiny
+// backward error (residual), whatever the forward error does.
+func TestSolveLinearIllConditioned(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		h := hilbert(n)
+		b := make(Vec, n)
+		for i := range b {
+			b[i] = 1
+		}
+		x, err := SolveLinear(h, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		r := h.MulVec(x).Sub(b)
+		if bound := 1e-10 * (x.Norm() + 1); r.Norm() > bound {
+			t.Fatalf("n=%d residual %v exceeds %v", n, r.Norm(), bound)
+		}
+	}
+}
+
+func TestFactorizeQRRankDeficient(t *testing.T) {
+	// Second column is a multiple of the first: the trailing norm under
+	// the first reflector vanishes.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := FactorizeQR(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := FactorizeQR(NewMat(1, 2)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+func TestLeastSquaresIllConditionedResidual(t *testing.T) {
+	// Tall system with nearly collinear columns: least squares must keep
+	// the normal-equation residual AᵀAx = Aᵀb near zero.
+	a := FromRows([][]float64{{1, 1.0001}, {1, 1.0002}, {1, 1.0003}, {1, 1.0004}})
+	b := Vec{1, 2, 3, 4}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := a.T().MulVec(a.MulVec(x).Sub(b))
+	if grad.Norm() > 1e-6 {
+		t.Fatalf("normal-equation residual %v", grad.Norm())
+	}
+}
+
+func TestEqConstrainedLSDimensionErrors(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := Vec{1, 2, 3}
+	if _, err := EqConstrainedLS(a, b, FromRows([][]float64{{1, 0, 0}}), Vec{1}); err == nil {
+		t.Fatal("mismatched constraint width accepted")
+	}
+	if _, err := EqConstrainedLS(a, Vec{1}, FromRows([][]float64{{1, 0}}), Vec{1}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+	if _, err := EqConstrainedLS(a, b, FromRows([][]float64{{1, 0}}), Vec{1, 2}); err == nil {
+		t.Fatal("short constraint rhs accepted")
+	}
+	// nil constraint degrades to plain least squares.
+	x, err := EqConstrainedLS(a, b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Sub(y).Norm() > 1e-12 {
+		t.Fatalf("nil-constraint solution %v differs from least squares %v", x, y)
+	}
+}
+
+func TestEqConstrainedLSBindsConstraint(t *testing.T) {
+	// Minimize ||x|| subject to x0 + x1 = 2: solution (1, 1).
+	a := Identity(2)
+	b := Vec{0, 0}
+	x, err := EqConstrainedLS(a, b, FromRows([][]float64{{1, 1}}), Vec{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("x = %v, want (1, 1)", x)
+	}
+}
+
+func TestLUDetSignAndValue(t *testing.T) {
+	// A permutation-heavy matrix: det([[0,1],[1,0]]) = -1.
+	f, err := FactorizeLU(FromRows([][]float64{{0, 1}, {1, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-1)) > 1e-12 {
+		t.Fatalf("det = %v, want -1", d)
+	}
+	f, err = FactorizeLU(FromRows([][]float64{{2, 0}, {0, 3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-6) > 1e-12 {
+		t.Fatalf("det = %v, want 6", d)
+	}
+}

@@ -1,0 +1,74 @@
+package mat
+
+// Native fuzzing for the LU solver: any square system it accepts must be
+// solved with a small backward error (LU with partial pivoting is
+// backward stable at these sizes), and any rejection must be the typed
+// ErrSingular. Seeds live in testdata/fuzz/FuzzSolveLinear.
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// decodeSystem derives an n×n system (n ≤ 4) from fuzz bytes.
+func decodeSystem(data []byte) (*Mat, Vec, bool) {
+	if len(data) < 1 {
+		return nil, nil, false
+	}
+	n := 1 + int(data[0])%4
+	need := n*n + n
+	if len(data)-1 < need {
+		return nil, nil, false
+	}
+	vals := make([]float64, need)
+	for i := range vals {
+		vals[i] = (float64(data[1+i]) - 127.5) / 16 // roughly [-8, 8]
+	}
+	a := NewMat(n, n)
+	copy(a.Data, vals[:n*n])
+	return a, Vec(vals[n*n:]), true
+}
+
+func frobenius(m *Mat) float64 {
+	s := 0.0
+	for _, x := range m.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func FuzzSolveLinear(f *testing.F) {
+	f.Add([]byte{0, 144, 128})                                                                                   // 1×1
+	f.Add([]byte{1, 160, 128, 128, 160, 100, 200})                                                               // 2×2 diagonal-ish
+	f.Add([]byte{3, 200, 128, 128, 128, 128, 200, 128, 128, 128, 128, 200, 128, 128, 128, 128, 200, 1, 2, 3, 4}) // 4×4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, ok := decodeSystem(data)
+		if !ok {
+			return
+		}
+		saved := a.Clone()
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			if !errors.Is(err, ErrSingular) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		for i, v := range a.Data {
+			//lint:ignore floatcompare the solver must not touch its input
+			if v != saved.Data[i] {
+				t.Fatalf("SolveLinear mutated A at %d", i)
+			}
+		}
+		for _, xi := range x {
+			if math.IsNaN(xi) || math.IsInf(xi, 0) {
+				t.Fatalf("non-finite solution %v", x)
+			}
+		}
+		r := a.MulVec(x).Sub(b)
+		if bound := 1e-6 * (frobenius(a)*x.Norm() + b.Norm() + 1); r.Norm() > bound {
+			t.Fatalf("residual %v exceeds %v for\n%sb=%v x=%v", r.Norm(), bound, a, b, x)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTable is a fixed table exercising every cell type the renderers
+// handle: strings, ints, float64 (with %.4g rounding), and a cell wider
+// than its header.
+func goldenTable() *Table {
+	t := New("Figure 6: energy per VM (Wh)", "VMs", "IPAC", "pMapper", "saving_pct")
+	t.AddRow(30, 696.9123, 844.4, "17.5")
+	t.AddRow(230, 717.0, 829.15551, "13.5")
+	t.AddRow(5415, 1038.25, 1260.5, "17.6")
+	t.AddRow("mean (weighted)", 817.4, 978.0, 16.2)
+	return t
+}
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -update` to create golden files)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s output changed:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, format := range []string{"text", "csv", "markdown"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := goldenTable().Format(&buf, format); err != nil {
+				t.Fatal(err)
+			}
+			ext := map[string]string{"text": "txt", "csv": "csv", "markdown": "md"}[format]
+			checkGolden(t, "table."+ext, buf.Bytes())
+		})
+	}
+}

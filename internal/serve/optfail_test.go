@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/optimizer"
+)
+
+// failingOptimizer fails every pass, simulating a consolidation
+// backend outage underneath an otherwise healthy control loop.
+type failingOptimizer struct{}
+
+func (failingOptimizer) Consolidate(*cluster.DataCenter) (optimizer.Report, error) {
+	return optimizer.Report{}, errors.New("consolidation backend down")
+}
+func (failingOptimizer) UsesDVFS() bool { return true }
+func (failingOptimizer) Name() string   { return "failing" }
+
+// TestOptimizerFailureSurfacesNotHalts drives a real testbed whose
+// attached optimizer fails: the background loop must record the error in
+// LastErr and /status, while the read-only endpoints keep serving.
+func TestOptimizerFailureSurfacesNotHalts(t *testing.T) {
+	s := testServer(t)
+	logs := captureLog(t)
+	// Fail on the very first control period so the test is quick.
+	if err := s.tb.AttachOptimizer(failingOptimizer{}, 1, cluster.DefaultMigrationModel()); err != nil {
+		t.Fatal(err)
+	}
+	s.Start(time.Millisecond)
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.LastErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("optimizer failure never reached LastErr")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !strings.Contains(s.LastErr().Error(), "consolidation backend down") {
+		t.Fatalf("LastErr lost the cause: %v", s.LastErr())
+	}
+	// The dashboard stays up: /status carries the error, /metrics still
+	// renders, neither endpoint 500s.
+	rr := get(t, s.Handler(), "/status")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/status = %d after optimizer failure", rr.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.LastError, "consolidation backend down") {
+		t.Fatalf("status.LastError = %q", st.LastError)
+	}
+	rr = get(t, s.Handler(), "/metrics")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "vdcpower_power_watts") {
+		t.Fatalf("/metrics = %d after optimizer failure", rr.Code)
+	}
+	halted := false
+	for _, m := range logs() {
+		if strings.Contains(m, "background loop halted") {
+			halted = true
+		}
+	}
+	if !halted {
+		t.Fatal("halt was not logged")
+	}
+}

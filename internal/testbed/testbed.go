@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"vdcpower/internal/appsim"
+	"vdcpower/internal/check"
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/core"
 	"vdcpower/internal/devs"
@@ -92,6 +93,9 @@ type Testbed struct {
 	OptimizerLogs []optimizer.Report
 
 	appEnergyWh []float64 // per-app attributed energy (see energy.go)
+
+	checker  *check.Checker
+	checkedJ float64 // cumulative energy reported to the checker
 }
 
 // New builds the testbed, runs the identification experiment on the first
@@ -240,6 +244,19 @@ func (tb *Testbed) AttachOptimizer(cons optimizer.Consolidator, everyPeriods int
 	return nil
 }
 
+// AttachChecker makes the testbed report its run to the invariant checker
+// (package check): the current placement as the baseline, every
+// consolidator pass, and every control period's power accounting. Run
+// returns the checker's verdict as an error after the control loop. Nil
+// detaches.
+func (tb *Testbed) AttachChecker(c *check.Checker) {
+	tb.checker = c
+	tb.checkedJ = 0
+	if c != nil {
+		c.Observe(check.Event{Kind: check.EvInit, Step: -1, DC: tb.DC})
+	}
+}
+
 // tierOf maps a VM back to its (application, tier) indices.
 func (tb *Testbed) tierOf(vm *cluster.VM) (int, int, bool) {
 	idx, ok := tb.vmIndex[vm.ID]
@@ -248,7 +265,11 @@ func (tb *Testbed) tierOf(vm *cluster.VM) (int, int, bool) {
 
 // consolidate runs one optimizer invocation and applies migration
 // downtime to the moved tiers.
-func (tb *Testbed) consolidate() error {
+func (tb *Testbed) consolidate(period int) error {
+	overloaded := 0
+	if tb.checker != nil {
+		overloaded = check.CountOverloaded(tb.DC)
+	}
 	rep, err := tb.cons.Consolidate(tb.DC)
 	if err != nil {
 		return err
@@ -259,6 +280,16 @@ func (tb *Testbed) consolidate() error {
 		}
 	}
 	tb.OptimizerLogs = append(tb.OptimizerLogs, rep)
+	if tb.checker != nil {
+		tb.checker.Observe(check.Event{
+			Kind:             check.EvConsolidate,
+			Step:             period,
+			DC:               tb.DC,
+			Report:           &rep,
+			Policy:           tb.cons.Name(),
+			OverloadedBefore: overloaded,
+		})
+	}
 	return nil
 }
 
@@ -300,7 +331,7 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		}
 		// Data-center level: consolidation on the long time scale.
 		if tb.cons != nil && (k+1)%tb.consEvery == 0 {
-			if err := tb.consolidate(); err != nil {
+			if err := tb.consolidate(k); err != nil {
 				return nil, err
 			}
 		}
@@ -320,7 +351,24 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		}
 		rec.PowerW = tb.DC.TotalPower()
 		tb.attributeEnergy(tb.Cfg.Period)
+		if tb.checker != nil {
+			tb.checkedJ += rec.PowerW * tb.Cfg.Period
+			tb.checker.Observe(check.Event{
+				Kind:      check.EvStep,
+				Step:      k,
+				DC:        tb.DC,
+				PowerW:    rec.PowerW,
+				EnergyJ:   tb.checkedJ,
+				HasPower:  true,
+				HasEnergy: true,
+			})
+		}
 		records = append(records, rec)
+	}
+	if tb.checker != nil {
+		if err := tb.checker.Err(); err != nil {
+			return records, err
+		}
 	}
 	return records, nil
 }
