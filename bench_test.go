@@ -22,6 +22,7 @@ import (
 	"vdcpower/internal/packing"
 	"vdcpower/internal/stats"
 	"vdcpower/internal/sysid"
+	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
 	"vdcpower/internal/workload"
 )
@@ -157,6 +158,41 @@ func BenchmarkFig6EnergyPerVM(b *testing.B) {
 			saving += 1 - p.PerVMWh["IPAC"]/p.PerVMWh["pMapper"]
 		}
 		b.ReportMetric(100*saving/float64(len(points)), "saving-pct")
+	}
+}
+
+// fig6Subset runs one IPAC Figure 6 point — the single-run unit of the
+// sweep — with tracing either disabled (nil track, the shipped default)
+// or enabled, so the Off/On pair below measures the telemetry overhead.
+func fig6Subset(b *testing.B, tr *workload.Trace, tk *telemetry.Track) {
+	b.Helper()
+	cfg := dcsim.DefaultConfig(tr, 150, optimizer.NewIPAC())
+	cfg.Telemetry = tk
+	if _, err := dcsim.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig6TelemetryOff is the baseline for the nil-safe opt-out
+// claim: the same run as BenchmarkFig6TelemetryOn with no recorder
+// attached. The two must agree within run-to-run noise (see
+// EXPERIMENTS.md "Telemetry overhead").
+func BenchmarkFig6TelemetryOff(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig6Subset(b, tr, nil)
+	}
+}
+
+// BenchmarkFig6TelemetryOn runs the same Figure 6 point with a span
+// track recording every consolidation pass, B&B search, and DVFS sweep.
+func BenchmarkFig6TelemetryOn(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracer := telemetry.New(nil, 0)
+		fig6Subset(b, tr, tracer.Track("main"))
 	}
 }
 

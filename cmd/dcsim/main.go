@@ -6,7 +6,8 @@
 // Usage:
 //
 //	dcsim -sizes 30,430,1030,2030,3030,4030,5415 -days 7
-//	dcsim -trace trace.gob -sizes 1030 -ablations -format csv
+//	dcsim -workload trace.gob -sizes 1030 -ablations -format csv
+//	dcsim -trace out.json -sizes 230        # Chrome-trace span recording
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"vdcpower/internal/dcsim"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/report"
+	"vdcpower/internal/telemetry"
 	"vdcpower/internal/workload"
 )
 
@@ -30,7 +32,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dcsim: ")
 	var (
-		tracePath = flag.String("trace", "", "trace file (.gob or .csv); generated if empty")
+		workloadP = flag.String("workload", "", "workload trace file (.gob or .csv); generated if empty")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON recording of the run's spans to this file")
 		sizesStr  = flag.String("sizes", "30,230,1030,2030,3030,4030,5415", "comma-separated data-center sizes (number of VMs)")
 		days      = flag.Int("days", 7, "days to generate when no trace file is given")
 		vms       = flag.Int("vms", 5415, "VMs to generate when no trace file is given")
@@ -70,15 +73,26 @@ func main() {
 	}
 	sort.Ints(sizes)
 
-	tr, err := loadOrGenerate(*tracePath, *vms, *days, *seed)
+	tr, err := loadOrGenerate(*workloadP, *vms, *days, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trace: %d VMs × %d steps (%.0f s/step), peak/mean load %.2f\n\n",
 		tr.NumVMs(), tr.NumSteps(), tr.StepSeconds, tr.PeakToMean())
 
+	// The span recorder, when requested. Runs drive tracks on logical
+	// sim time (dcsim.Run calls SetTime each step), so no clock is
+	// injected here.
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.New(nil, 0)
+	}
+
 	if *checkRun {
-		if err := runChecked(tr, sizes); err != nil {
+		if err := runChecked(tr, sizes, tracer); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeTrace(tracer, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -87,6 +101,7 @@ func main() {
 	if *series > 0 {
 		t := report.New("per-step series (IPAC)", "step", "hour", "power_W", "active_servers", "demand_GHz")
 		cfg := dcsim.DefaultConfig(tr, *series, optimizer.NewIPAC())
+		cfg.Telemetry = tracer.Track("main")
 		cfg.OnStep = func(k int, powerW float64, active int, demand float64) {
 			t.AddRow(k, fmt.Sprintf("%.2f", float64(k)*tr.StepSeconds/3600),
 				fmt.Sprintf("%.1f", powerW), active, fmt.Sprintf("%.1f", demand))
@@ -112,6 +127,9 @@ func main() {
 		if err := t.Format(os.Stdout, *format); err != nil {
 			log.Fatal(err)
 		}
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -130,8 +148,11 @@ func main() {
 		names = append(names, mk().Name())
 	}
 
-	points, err := dcsim.Fig6Parallel(tr, sizes, policies, *workers)
+	points, err := dcsim.Fig6Sweep(tr, sizes, policies, dcsim.SweepOptions{Workers: *workers, Tracer: tracer})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeTrace(tracer, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 
@@ -164,7 +185,7 @@ func main() {
 // invariant registry observing every run: cluster conservation laws,
 // optimizer guarantees (with a cost-policy audit wired into each
 // consolidator), and energy accounting. Any violation is a fatal error.
-func runChecked(tr *workload.Trace, sizes []int) error {
+func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer) error {
 	type checkedPolicy struct {
 		name string
 		mk   func() (optimizer.Consolidator, *check.PolicyAuditor)
@@ -191,6 +212,9 @@ func runChecked(tr *workload.Trace, sizes []int) error {
 			cfg := dcsim.DefaultConfig(tr, n, cons)
 			cfg.WatchdogEverySteps = 4 // exercise the overload reliever too
 			cfg.Checker = checker
+			// One track per run: tracks are sequential execution units,
+			// and the checked sweep runs serially.
+			cfg.Telemetry = tracer.Track(fmt.Sprintf("%s-%d", pol.name, n))
 			res, err := dcsim.Run(cfg)
 			if err != nil && checker.NumViolations() == 0 {
 				return err
@@ -211,6 +235,29 @@ func runChecked(tr *workload.Trace, sizes []int) error {
 		return fmt.Errorf("%d invariant violation(s)", violations)
 	}
 	fmt.Println("\nall invariants held")
+	return nil
+}
+
+// writeTrace dumps the recorded spans as Chrome-trace JSON; a nil tracer
+// (tracing not requested) writes nothing.
+func writeTrace(tr *telemetry.Tracer, path string) error {
+	if tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	recs := tr.Snapshot()
+	if err := telemetry.WriteChromeTrace(f, recs); err != nil {
+		//lint:ignore errcheck the write error is already being returned
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d span events (%d dropped) to %s\n", len(recs), tr.Dropped(), path)
 	return nil
 }
 

@@ -7,6 +7,8 @@
 //	curl localhost:8080/status
 //	curl -X POST 'localhost:8080/concurrency?app=4&level=80'   # Fig. 3 surge
 //	curl localhost:8080/metrics
+//	curl localhost:8080/trace > trace.json    # Chrome-trace span recording
+//	serve -pprof                              # adds /debug/pprof/ profiling
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"vdcpower/internal/serve"
@@ -28,6 +31,7 @@ func main() {
 		tick = flag.Duration("tick", 250*time.Millisecond, "wall-clock time per control period")
 		apps = flag.Int("apps", 8, "number of applications")
 		srv  = flag.Int("servers", 4, "number of servers")
+		pprf = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -45,11 +49,30 @@ func main() {
 	s.Start(*tick)
 	defer s.Stop()
 
+	// pprof stays off unless asked for: the profiling endpoints are
+	// registered explicitly on our own mux, never the default one, so the
+	// blank import side effect of net/http/pprof is not relied upon.
+	handler := s.Handler()
+	if *pprf {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	fmt.Printf("serving on %s — try:\n", *addr)
 	fmt.Printf("  curl %s/status\n", *addr)
 	fmt.Printf("  curl %s/metrics\n", *addr)
+	fmt.Printf("  curl %s/trace > trace.json\n", *addr)
 	fmt.Printf("  curl -X POST '%s/concurrency?app=0&level=80'\n", *addr)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+	if *pprf {
+		fmt.Printf("  go tool pprof 'http://localhost%s/debug/pprof/profile?seconds=10'\n", *addr)
+	}
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@
 //	testbed -fig 4               # concurrency sweep 30..80
 //	testbed -fig 5               # set point sweep 600..1300 ms
 //	testbed -fig all -format csv # everything, machine-readable
+//	testbed -trace out.json      # integrated traced run, Chrome-trace JSON
 package main
 
 import (
@@ -16,7 +17,10 @@ import (
 	"log"
 	"os"
 
+	"vdcpower/internal/cluster"
+	"vdcpower/internal/optimizer"
 	"vdcpower/internal/report"
+	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
 )
 
@@ -30,6 +34,7 @@ func main() {
 		conc   = flag.Int("concurrency", 40, "baseline concurrency level")
 		seed   = flag.Int64("seed", 1, "random seed")
 		format = flag.String("format", "text", "output format: text, csv, or markdown")
+		trace  = flag.String("trace", "", "run the integrated two-level system and write a Chrome-trace JSON to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +43,13 @@ func main() {
 	cfg.NumServers = *srv
 	cfg.Concurrency = *conc
 	cfg.Seed = *seed
+
+	if *trace != "" {
+		if err := tracedRun(cfg, *trace); err != nil {
+			log.Fatalf("traced run: %v", err)
+		}
+		return
+	}
 
 	emit := func(t *report.Table) {
 		if err := t.Format(os.Stdout, *format); err != nil {
@@ -115,6 +127,39 @@ func main() {
 		}
 		emit(t)
 	}
+}
+
+// tracedRun drives the full two-level system — MPC controllers, server
+// arbitrators, and IPAC consolidation — with the span recorder attached,
+// then writes the recording as Chrome-trace JSON. Spans run on the
+// simulation clock, so repeated runs with one seed are byte-identical.
+func tracedRun(cfg testbed.Config, path string) error {
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tb.AttachOptimizer(optimizer.NewIPAC(), 20, cluster.DefaultMigrationModel()); err != nil {
+		return err
+	}
+	tr := tb.AttachTelemetry(0, nil)
+	if _, err := tb.Run(600, nil); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	recs := tr.Snapshot()
+	if err := telemetry.WriteChromeTrace(f, recs); err != nil {
+		//lint:ignore errcheck the write error is already being returned
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d span events (%d dropped) to %s\n", len(recs), tr.Dropped(), path)
+	return nil
 }
 
 // violRate computes the fraction of late-surge samples above 1.5× the

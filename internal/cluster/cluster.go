@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"vdcpower/internal/power"
+	"vdcpower/internal/telemetry"
 )
 
 // VM is a virtual machine hosting one tier of one application. Demand is
@@ -274,7 +275,12 @@ type Migration struct {
 type DataCenter struct {
 	Servers []*Server
 	index   map[string]*Server // VM ID → hosting server
+	trace   *telemetry.Track   // set via SetTrace; nil keeps tracing off
 }
+
+// SetTrace implements telemetry.Traceable: migrations, server wakes and
+// idle-sleep sweeps record onto tk.
+func (dc *DataCenter) SetTrace(tk *telemetry.Track) { dc.trace = tk }
 
 // NewDataCenter builds a data center from servers with unique IDs.
 func NewDataCenter(servers []*Server) (*DataCenter, error) {
@@ -305,6 +311,7 @@ func (dc *DataCenter) Place(v *VM, srv *Server) error {
 	}
 	if srv.state == Sleeping {
 		srv.Wake()
+		dc.trace.Event("cluster.wake").Str("server", srv.ID).End()
 	}
 	srv.host(v)
 	dc.index[v.ID] = srv
@@ -332,9 +339,14 @@ func (dc *DataCenter) Migrate(v *VM, target *Server) (Migration, error) {
 	}
 	if target.state == Sleeping {
 		target.Wake()
+		dc.trace.Event("cluster.wake").Str("server", target.ID).End()
 	}
 	target.host(v)
 	dc.index[v.ID] = target
+	// Recorded as a zero-duration complete span (not an instant) so trace
+	// viewers show migrations as children of the consolidation pass.
+	dc.trace.Start("cluster.migrate").Str("vm", v.ID).
+		Str("from", src.ID).Str("to", target.ID).End()
 	return Migration{VM: v, From: src, To: target}, nil
 }
 
@@ -391,6 +403,9 @@ func (dc *DataCenter) SleepIdle() int {
 			s.Sleep()
 			n++
 		}
+	}
+	if n > 0 {
+		dc.trace.Event("cluster.sleep_idle").Int("servers", n).End()
 	}
 	return n
 }

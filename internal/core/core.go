@@ -16,6 +16,7 @@ import (
 	"vdcpower/internal/mat"
 	"vdcpower/internal/mpc"
 	"vdcpower/internal/sysid"
+	"vdcpower/internal/telemetry"
 )
 
 // ControlledApp is the sensor/actuator surface the response time
@@ -100,6 +101,15 @@ type ResponseTimeController struct {
 	cHist []mat.Vec
 	lastT float64
 	steps int
+	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
+}
+
+// SetTrace implements telemetry.Traceable: each Step records a
+// "core.step" span nesting "core.measure", the MPC solve, and
+// "core.actuate". The inner MPC controller is wired to the same track.
+func (c *ResponseTimeController) SetTrace(tk *telemetry.Track) {
+	c.trace = tk
+	c.ctl.SetTrace(tk)
 }
 
 // StepResult reports one control period.
@@ -174,6 +184,8 @@ func (c *ResponseTimeController) Demands() []float64 { return c.cHist[0].Clone()
 // time, solve the MPC problem, and apply the first move to the
 // application's VMs.
 func (c *ResponseTimeController) Step() (StepResult, error) {
+	period := c.trace.Start("core.step")
+	measure := c.trace.Start("core.measure")
 	window := c.app.DrainResponseTimes()
 	res := StepResult{Samples: len(window)}
 	minW := c.cfg.MinWindow
@@ -186,6 +198,7 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 		res.Held = true
 	}
 	res.T90 = c.lastT
+	measure.Int("samples", res.Samples).Float("t90", res.T90).Bool("held", res.Held).End()
 
 	// Shift measurement history.
 	c.tHist = append([]float64{c.lastT}, c.tHist...)
@@ -195,10 +208,12 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 
 	out, err := c.ctl.Compute(c.tHist, c.cHist)
 	if err != nil {
+		period.End()
 		return res, fmt.Errorf("core: control step failed: %w", err)
 	}
 	res.TerminalRelaxed = out.TerminalRelaxed
 
+	actuate := c.trace.Start("core.actuate")
 	next := c.cHist[0].Clone()
 	for i := range next {
 		next[i] += out.Delta[i]
@@ -212,12 +227,14 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 		}
 		c.app.SetAllocation(i, next[i])
 	}
+	actuate.Int("tiers", len(next)).End()
 	c.cHist = append([]mat.Vec{next}, c.cHist...)
 	if len(c.cHist) > c.cfg.Model.Nb+1 {
 		c.cHist = c.cHist[:c.cfg.Model.Nb+1]
 	}
 	res.Allocations = next.Clone()
 	c.steps++
+	period.Bool("relaxed", res.TerminalRelaxed).End()
 	return res, nil
 }
 
@@ -234,6 +251,9 @@ type Arbitrator struct {
 	// Headroom keeps a fraction of the chosen frequency's capacity free
 	// when picking the P-state, absorbing intra-period bursts.
 	Headroom float64
+	// Trace, when non-nil, records one "arbitrator.pass" span per
+	// Arbitrate call.
+	Trace *telemetry.Track
 }
 
 // Grant is one VM's arbitrated allocation.
@@ -247,6 +267,7 @@ type Grant struct {
 // the chosen frequency.
 func (a *Arbitrator) Arbitrate() ([]Grant, float64) {
 	srv := a.Server
+	sp := a.Trace.Start("arbitrator.pass").Str("server", srv.ID)
 	total := srv.TotalDemand()
 	capacity := srv.Spec.Capacity()
 	scale := 1.0
@@ -259,5 +280,6 @@ func (a *Arbitrator) Arbitrate() ([]Grant, float64) {
 	for _, v := range srv.VMs() {
 		grants = append(grants, Grant{VMID: v.ID, Demand: v.Demand, Granted: v.Demand * scale})
 	}
+	sp.Int("vms", len(grants)).Float("freq_ghz", f).Bool("oversubscribed", scale < 1).End()
 	return grants, f
 }

@@ -13,9 +13,11 @@ import (
 
 	"vdcpower/internal/check"
 	"vdcpower/internal/cluster"
+	"vdcpower/internal/core"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/power"
+	"vdcpower/internal/telemetry"
 	"vdcpower/internal/workload"
 )
 
@@ -83,6 +85,20 @@ type Config struct {
 	// not stop the run; Run reports them as an error at the end. Nil
 	// means no checking and no overhead.
 	Checker *check.Checker
+
+	// Telemetry, when non-nil, records the run's control flow as nested
+	// spans on this track: a "dcsim.run" root, consolidation and
+	// watchdog passes (with the optimizer's own spans nested inside),
+	// per-server arbitrator passes, and cluster transitions. The track's
+	// logical clock is set to simulation time each step, so same-seed
+	// runs produce byte-identical traces. Nil disables tracing at ~zero
+	// cost. (Named Telemetry because Trace is the workload trace.)
+	Telemetry *telemetry.Track
+
+	// Metrics, when non-nil, receives run counters (migrations, vetoes,
+	// optimizer/watchdog passes, B&B nodes) and per-step power/active
+	// gauges. Nil disables publication at ~zero cost.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig mirrors Section VI-B for the given trace slice size.
@@ -190,6 +206,24 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	tk := cfg.Telemetry
+	if tk != nil {
+		dc.SetTrace(tk)
+		if t, ok := cfg.Consolidator.(telemetry.Traceable); ok {
+			t.SetTrace(tk)
+		}
+	}
+	// Registry instruments resolve once, before the hot loop; on a nil
+	// registry they come back nil and every update below no-ops.
+	var (
+		mMigrations = cfg.Metrics.Counter("vdcpower_migrations_total", "VM live migrations committed by the consolidation layer")
+		mVetoed     = cfg.Metrics.Counter("vdcpower_migration_vetoes_total", "migrations rejected by the cost policy")
+		mPasses     = cfg.Metrics.Counter("vdcpower_optimizer_passes_total", "consolidator invocations", telemetry.Label{Key: "policy", Value: cfg.Consolidator.Name()})
+		mWatchdog   = cfg.Metrics.Counter("vdcpower_watchdog_passes_total", "on-demand overload reliever invocations")
+		mNodes      = cfg.Metrics.Counter("vdcpower_bnb_nodes_total", "Minimum Slack branch-and-bound nodes expanded")
+		gPower      = cfg.Metrics.Gauge("vdcpower_power_watts", "total data-center power draw")
+		gActive     = cfg.Metrics.Gauge("vdcpower_active_servers", "servers currently powered on")
+	)
 
 	// Initial placement: FFD at the first step's demands — a neutral
 	// starting point shared by every policy — or at peak demands when
@@ -221,9 +255,16 @@ func Run(cfg Config) (Result, error) {
 		NumServers: nServers,
 		Steps:      tr.NumSteps(),
 	}
+	tk.SetTime(0)
+	root := tk.Start("dcsim.run").Str("policy", res.Policy).
+		Int("vms", cfg.NumVMs).Int("servers", nServers)
+	defer func() {
+		root.Int("migrations", res.Migrations).Float("energy_per_vm_wh", res.EnergyPerVMWh).End()
+	}()
 	var meter power.Meter
 	activeSum := 0.0
 	for k := 0; k < tr.NumSteps(); k++ {
+		tk.SetTime(float64(k) * tr.StepSeconds)
 		// New demands from the trace.
 		for i, v := range vms {
 			v.Demand = tr.At(i, k) * peaks[i]
@@ -233,13 +274,20 @@ func Run(cfg Config) (Result, error) {
 			if cfg.Checker != nil {
 				overloaded = check.CountOverloaded(dc)
 			}
+			csp := tk.Start("dcsim.consolidate").Int("step", k)
+			nodesBefore := searchNodes(cfg.Consolidator)
 			rep, err := cfg.Consolidator.Consolidate(dc)
+			csp.Int("migrations", rep.Migrations).Int("vetoed", rep.Vetoed).End()
 			if err != nil {
 				return Result{}, err
 			}
 			res.Migrations += rep.Migrations
 			res.Vetoed += rep.Vetoed
 			res.Unresolved += rep.Unresolved
+			mPasses.Inc()
+			mMigrations.Add(float64(rep.Migrations))
+			mVetoed.Add(float64(rep.Vetoed))
+			mNodes.Add(float64(searchNodes(cfg.Consolidator) - nodesBefore))
 			if cfg.Checker != nil {
 				cfg.Checker.Observe(check.Event{
 					Kind:             check.EvConsolidate,
@@ -251,14 +299,19 @@ func Run(cfg Config) (Result, error) {
 				})
 			}
 		} else if cfg.WatchdogEverySteps > 0 && k%cfg.WatchdogEverySteps == 0 {
-			rep, err := optimizer.ResolveOverloads(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom},
-				packing.DefaultMinSlackConfig())
+			wCfg := packing.DefaultMinSlackConfig()
+			wCfg.Trace = tk
+			wsp := tk.Start("dcsim.watchdog").Int("step", k)
+			rep, err := optimizer.ResolveOverloads(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom}, wCfg)
+			wsp.Int("migrations", rep.Migrations).End()
 			if err != nil {
 				return Result{}, err
 			}
 			res.Migrations += rep.Migrations
 			res.WatchdogMoves += rep.Migrations
 			res.Unresolved += rep.Unresolved
+			mWatchdog.Inc()
+			mMigrations.Add(float64(rep.Migrations))
 			if cfg.Checker != nil {
 				cfg.Checker.Observe(check.Event{
 					Kind:   check.EvWatchdog,
@@ -271,7 +324,14 @@ func Run(cfg Config) (Result, error) {
 		}
 		// Server-level frequency decision for the step, and energy
 		// accounting. Suspended servers are treated as powered off
-		// (unaccounted) unless CountSleepPower is set.
+		// (unaccounted) unless CountSleepPower is set. When tracing, the
+		// decision routes through core.Arbitrator — the same frequency
+		// choice, but each pass records an "arbitrator.pass" span; the
+		// untraced path keeps the allocation-free direct call.
+		var dvfs *telemetry.Span
+		if tk != nil {
+			dvfs = tk.Start("arbitrate.dvfs").Int("step", k)
+		}
 		stepPower := 0.0
 		for _, s := range dc.Servers {
 			if s.State() != cluster.Active {
@@ -281,7 +341,12 @@ func Run(cfg Config) (Result, error) {
 				continue
 			}
 			if cfg.Consolidator.UsesDVFS() {
-				s.SetFreq(s.Spec.LowestFreqFor(s.TotalDemand() * (1 + cfg.Headroom)))
+				if tk != nil {
+					arb := core.Arbitrator{Server: s, Headroom: cfg.Headroom, Trace: tk}
+					arb.Arbitrate()
+				} else {
+					s.SetFreq(s.Spec.LowestFreqFor(s.TotalDemand() * (1 + cfg.Headroom)))
+				}
 			} else {
 				s.SetFreq(s.Spec.MaxFreq)
 			}
@@ -290,6 +355,10 @@ func Run(cfg Config) (Result, error) {
 			}
 			stepPower += s.Power()
 		}
+		dvfs.Float("power_w", stepPower).End()
+		nActive := dc.NumActive()
+		gPower.Set(stepPower)
+		gActive.Set(float64(nActive))
 		meter.Accumulate(stepPower, tr.StepSeconds)
 		if cfg.Checker != nil {
 			cfg.Checker.Observe(check.Event{
@@ -302,13 +371,13 @@ func Run(cfg Config) (Result, error) {
 				HasEnergy: true,
 			})
 		}
-		activeSum += float64(dc.NumActive())
+		activeSum += float64(nActive)
 		if cfg.OnStep != nil {
 			demand := 0.0
 			for _, v := range vms {
 				demand += v.Demand
 			}
-			cfg.OnStep(k, stepPower, dc.NumActive(), demand)
+			cfg.OnStep(k, stepPower, nActive, demand)
 		}
 	}
 	res.TotalEnergyWh = meter.Wh()
@@ -327,6 +396,18 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// searchNodes reads a consolidator's accumulated branch-and-bound node
+// count through the optional SearchStats accessor (IPAC wires one; other
+// policies report 0). Harnesses publish deltas per pass.
+func searchNodes(c optimizer.Consolidator) int {
+	if s, ok := c.(interface{ SearchStats() *packing.SearchStats }); ok {
+		if st := s.SearchStats(); st != nil {
+			return st.Nodes
+		}
+	}
+	return 0
 }
 
 // initialPlacement first-fit-decreasing places the VMs using the given

@@ -6,8 +6,24 @@ import (
 	"sync"
 
 	"vdcpower/internal/optimizer"
+	"vdcpower/internal/telemetry"
 	"vdcpower/internal/workload"
 )
+
+// SweepOptions tunes Fig6Sweep beyond the plain worker count.
+type SweepOptions struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Tracer, when non-nil, gives each worker its own span track
+	// ("worker-00", "worker-01", ...) recording one "dcsim.job" span per
+	// run with the run's internal spans nested inside. Which worker
+	// executes which job reflects real scheduling, so parallel sweep
+	// traces are not byte-reproducible across runs — single-run serial
+	// traces are.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives every run's counters and gauges.
+	Metrics *telemetry.Registry
+}
 
 // Fig6Parallel computes the same sweep as Fig6 but fans the independent
 // (size, policy) runs out over a worker pool — each run is deterministic
@@ -15,6 +31,14 @@ import (
 // the wall-clock drops by roughly the core count. workers <= 0 selects
 // GOMAXPROCS.
 func Fig6Parallel(trace *workload.Trace, sizes []int, policies []func() optimizer.Consolidator, workers int) ([]Fig6Point, error) {
+	return Fig6Sweep(trace, sizes, policies, SweepOptions{Workers: workers})
+}
+
+// Fig6Sweep is Fig6Parallel with observability: the worker pool fan-out
+// of the Figure 6 sweep, optionally recording per-worker span tracks and
+// publishing run metrics.
+func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.Consolidator, opt SweepOptions) ([]Fig6Point, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -32,11 +56,17 @@ func Fig6Parallel(trace *workload.Trace, sizes []int, policies []func() optimize
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		tk := opt.Tracer.Track(fmt.Sprintf("worker-%02d", w))
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
 				cons := policies[j.polIdx]()
-				res, err := Run(DefaultConfig(trace, sizes[j.sizeIdx], cons))
+				cfg := DefaultConfig(trace, sizes[j.sizeIdx], cons)
+				cfg.Telemetry = tk
+				cfg.Metrics = opt.Metrics
+				sp := tk.Start("dcsim.job").Int("vms", sizes[j.sizeIdx]).Str("policy", cons.Name())
+				res, err := Run(cfg)
+				sp.Float("per_vm_wh", res.EnergyPerVMWh).Bool("failed", err != nil).End()
 				results <- outcome{job: j, name: cons.Name(), perVM: res.EnergyPerVMWh, err: err}
 			}
 		}()

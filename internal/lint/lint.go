@@ -77,6 +77,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
+		TelemetryAnalyzer(),
 		FloatCompareAnalyzer(),
 		GoroutineAnalyzer(),
 		PanicPolicyAnalyzer(),

@@ -106,7 +106,7 @@ func TestFindingJSONShape(t *testing.T) {
 }
 
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"determinism", "floatcompare", "goroutine", "panicpolicy", "errcheck"}
+	want := []string{"determinism", "telemetry", "floatcompare", "goroutine", "panicpolicy", "errcheck"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// instrumentedPackages are the packages threaded with the telemetry span
+// recorder. Their timestamps must come from the injected telemetry clock
+// — telemetry.WallClock at interactive edges, the simulator clock or
+// Track.SetTime everywhere else — never from the wall clock directly:
+// a stray time.Now would put spans on a different time base than the
+// recorder and silently break trace reproducibility.
+var instrumentedPackages = []string{
+	"internal/core",
+	"internal/mpc",
+	"internal/cluster",
+	"internal/serve",
+	"internal/telemetry",
+}
+
+// TelemetryAnalyzer forbids direct wall-clock reads in instrumented
+// packages. The simulation packages are already covered by the stricter
+// determinism analyzer; this rule extends the no-direct-clock invariant
+// to the control stack and the HTTP edge, where wall time is legitimate
+// but must flow through telemetry.WallClock so every timestamp shares
+// the recorder's time base.
+func TelemetryAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "telemetry",
+		Doc: "forbid direct time.Now/Since/Until in telemetry-instrumented packages " +
+			"(core, mpc, cluster, serve, telemetry); timestamps must come from the " +
+			"injected telemetry clock — telemetry.WallClock at edges, the simulator " +
+			"clock or Track.SetTime elsewhere — so spans share one time base",
+		Applies: func(pkgPath string) bool { return pathHasSuffix(pkgPath, instrumentedPackages) },
+		Run:     runTelemetry,
+	}
+}
+
+func runTelemetry(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods like (time.Time).Sub don't read the clock
+			}
+			if fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				p.Reportf(sel.Pos(), "time.%s bypasses the injected telemetry clock; use telemetry.WallClock (edges) or the track's clock so spans share one time base", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "testing"
+
+func TestTelemetry(t *testing.T) {
+	tests := []struct {
+		name    string
+		pkgPath string
+		src     string
+		want    []string // message substrings, in order
+	}{
+		{
+			name:    "wall clock in an instrumented package",
+			pkgPath: "vdcpower/internal/serve",
+			src: `package serve
+import "time"
+func stamp() float64 {
+	t0 := time.Now()
+	return time.Since(t0).Seconds()
+}`,
+			want: []string{"time.Now", "time.Since"},
+		},
+		{
+			name:    "wall clock in the control stack",
+			pkgPath: "vdcpower/internal/core",
+			src: `package core
+import "time"
+func deadline(d time.Duration) time.Time { return time.Now().Add(d) }`,
+			want: []string{"time.Now"},
+		},
+		{
+			name:    "uninstrumented package is out of scope",
+			pkgPath: "vdcpower/internal/report",
+			src: `package report
+import "time"
+func now() time.Time { return time.Now() }`,
+			want: nil,
+		},
+		{
+			name:    "duration arithmetic without the clock is fine",
+			pkgPath: "vdcpower/internal/mpc",
+			src: `package mpc
+import "time"
+func secs(d time.Duration) float64 { return d.Seconds() }`,
+			want: nil,
+		},
+		{
+			name:    "timers and tickers do not read a timestamp",
+			pkgPath: "vdcpower/internal/serve",
+			src: `package serve
+import "time"
+func tick(d time.Duration) *time.Ticker { return time.NewTicker(d) }`,
+			want: nil,
+		},
+		{
+			name:    "suppressed with reason",
+			pkgPath: "vdcpower/internal/telemetry",
+			src: `package telemetry
+import "time"
+func wall() float64 {
+	//lint:ignore telemetry this IS the wall-clock the injected clock abstracts
+	return float64(time.Now().UnixNano()) / 1e9
+}`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := analyzeFixture(t, tt.pkgPath, tt.src, TelemetryAnalyzer())
+			wantFindings(t, got, "telemetry", tt.want...)
+		})
+	}
+}

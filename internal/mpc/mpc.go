@@ -19,6 +19,7 @@ import (
 
 	"vdcpower/internal/mat"
 	"vdcpower/internal/sysid"
+	"vdcpower/internal/telemetry"
 )
 
 // Config parameterizes a controller for one application.
@@ -49,9 +50,14 @@ type Config struct {
 // Controller solves the receding-horizon problem. It is stateless across
 // calls: callers provide the measurement history.
 type Controller struct {
-	cfg Config
-	m   int // number of inputs
+	cfg   Config
+	m     int              // number of inputs
+	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
 }
+
+// SetTrace implements telemetry.Traceable: each Compute records an
+// "mpc.solve" span nesting "mpc.model_update" and "mpc.qp".
+func (c *Controller) SetTrace(tk *telemetry.Track) { c.trace = tk }
 
 // New validates the configuration and returns a controller.
 func New(cfg Config) (*Controller, error) {
@@ -129,6 +135,8 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 	}
 
 	nu := cfg.M * c.m // number of unknowns
+	sp := c.trace.Start("mpc.solve").Int("horizon_p", cfg.P).Int("horizon_m", cfg.M)
+	mu := c.trace.Start("mpc.model_update")
 
 	// Feedback correction (the MPC re-computation rationale of Section
 	// IV-B): the constant output disturbance that reconciles the model's
@@ -150,6 +158,7 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 		}
 		unit[q] = 0
 	}
+	mu.Float("bias", bias).End()
 
 	// Reference trajectory, Eq. (3).
 	tNow := tPast[0]
@@ -198,7 +207,9 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 
 	gIneq, hIneq := c.bounds(cPast[0])
 
+	qp := c.trace.Start("mpc.qp").Int("unknowns", nu)
 	res := Result{}
+	fallback := false
 	x, err := mat.InequalityLS(a, b, cEq, dEq, gIneq, hIneq)
 	if err != nil {
 		// The terminal constraint can make the program infeasible under a
@@ -212,16 +223,21 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 		x, err = mat.InequalityLS(a, b, nil, nil, gIneq, hIneq)
 		if err != nil {
 			// Last resort: unconstrained solve, then clamp the first move.
+			fallback = true
 			x, err = mat.LeastSquares(a, b)
 			if err != nil {
+				qp.Bool("relaxed", true).Bool("fallback", true).End()
+				sp.End()
 				return Result{}, fmt.Errorf("mpc: optimization failed: %w", err)
 			}
 			c.clampFirstMove(x, cPast[0])
 		}
 	}
+	qp.Bool("relaxed", res.TerminalRelaxed).Bool("fallback", fallback).End()
 
 	res.Delta = mat.Vec(x[:c.m]).Clone()
 	res.Predicted = c.rollout(tPast, cPast, x, bias)
+	sp.End()
 	return res, nil
 }
 

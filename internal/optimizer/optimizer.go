@@ -9,6 +9,7 @@ import (
 
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/packing"
+	"vdcpower/internal/telemetry"
 )
 
 // Consolidator is a data-center-level VM placement policy invoked on the
@@ -60,6 +61,14 @@ func (w WithoutDVFS) UsesDVFS() bool { return false }
 
 // Name implements Consolidator.
 func (w WithoutDVFS) Name() string { return w.Inner.Name() + "-noDVFS" }
+
+// SetTrace implements telemetry.Traceable by forwarding to the wrapped
+// consolidator when it is itself traceable.
+func (w WithoutDVFS) SetTrace(tk *telemetry.Track) {
+	if t, ok := w.Inner.(telemetry.Traceable); ok {
+		t.SetTrace(tk)
+	}
+}
 
 // EstimateBenefit approximates the steady-state power saving (watts) of
 // moving vm from one server to another: the per-GHz marginal power

@@ -6,6 +6,7 @@ import (
 
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/packing"
+	"vdcpower/internal/telemetry"
 )
 
 // PAC solves the power-aware consolidation sub-problem of Section V:
@@ -15,6 +16,7 @@ import (
 // out. Bins are mutated to carry the planned load. It returns the
 // assignment and any items no bin admitted.
 func PAC(items []packing.Item, bins []*packing.Bin, cons packing.Constraint, cfg packing.MinSlackConfig) (packing.Assignment, []packing.Item) {
+	sp := cfg.Trace.Start("optimizer.pac").Int("items", len(items)).Int("bins", len(bins))
 	packing.SortBinsByEfficiency(bins)
 	asg := packing.Assignment{}
 	remaining := append([]packing.Item(nil), items...)
@@ -40,6 +42,7 @@ func PAC(items []packing.Item, bins []*packing.Bin, cons packing.Constraint, cfg
 		}
 		remaining = kept
 	}
+	sp.Int("placed", len(asg)).Int("unplaced", len(remaining)).End()
 	return asg, remaining
 }
 
@@ -54,15 +57,32 @@ type IPAC struct {
 	// MaxRounds bounds the drain loop per invocation. <= 0 means the
 	// number of servers (the natural maximum).
 	MaxRounds int
+
+	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
 }
+
+// SetTrace implements telemetry.Traceable: consolidation rounds, B&B
+// searches, and cost-policy vetoes record onto tk. Harnesses discover
+// the method by type assertion, so the Consolidator interface stays
+// telemetry-free.
+func (o *IPAC) SetTrace(tk *telemetry.Track) {
+	o.trace = tk
+	o.MinSlack.Trace = tk
+}
+
+// SearchStats exposes the accumulated Algorithm 1 search effort (nil
+// until NewIPAC wires a collector). Harnesses publish deltas per pass.
+func (o *IPAC) SearchStats() *packing.SearchStats { return o.MinSlack.Stats }
 
 // NewIPAC returns an IPAC with the default constraint (CPU with 10%
 // headroom to absorb demand growth between invocations, plus memory),
 // the default Minimum Slack tuning, and the allow-all cost policy.
 func NewIPAC() *IPAC {
+	ms := packing.DefaultMinSlackConfig()
+	ms.Stats = &packing.SearchStats{}
 	return &IPAC{
 		Constraint: packing.VectorConstraint{CPUHeadroom: 0.1},
-		MinSlack:   packing.DefaultMinSlackConfig(),
+		MinSlack:   ms,
 		Policy:     AllowAll{},
 	}
 }
@@ -77,6 +97,11 @@ func (o *IPAC) Name() string { return "IPAC" }
 // Consolidate implements Consolidator.
 func (o *IPAC) Consolidate(dc *cluster.DataCenter) (Report, error) {
 	rep := Report{ActiveBefore: dc.NumActive()}
+	root := o.trace.Start("ipac.consolidate").Int("active_before", rep.ActiveBefore)
+	defer func() {
+		root.Int("rounds", rep.Rounds).Int("migrations", rep.Migrations).
+			Int("vetoed", rep.Vetoed).Int("active_after", rep.ActiveAfter).End()
+	}()
 	if err := o.resolveOverloads(dc, &rep); err != nil {
 		return rep, err
 	}
@@ -93,7 +118,10 @@ func (o *IPAC) Consolidate(dc *cluster.DataCenter) (Report, error) {
 		}
 		tried[donor.ID] = true
 		rep.Rounds++
-		if !o.drain(dc, donor, &rep) {
+		rsp := o.trace.Start("ipac.round").Str("donor", donor.ID)
+		reduced := o.drain(dc, donor, &rep)
+		rsp.Bool("drained", reduced).End()
+		if !reduced {
 			break // no reduction in active servers: stop (Section V)
 		}
 	}
@@ -162,6 +190,8 @@ func (o *IPAC) drain(dc *cluster.DataCenter, donor *cluster.Server, rep *Report)
 		if !o.Policy.Allow(vm, donor, target, EstimateBenefit(vm, donor, target)) {
 			rep.Vetoed++
 			emptied = false
+			o.trace.Event("optimizer.veto").Str("vm", vm.ID).
+				Str("from", donor.ID).Str("to", target.ID).End()
 			continue
 		}
 		mig, err := dc.Migrate(vm, target)
@@ -202,6 +232,11 @@ func ResolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, cfg packi
 }
 
 func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg packing.MinSlackConfig, rep *Report) error {
+	sp := msCfg.Trace.Start("optimizer.resolve_overloads")
+	before := rep.Migrations
+	defer func() {
+		sp.Int("unresolved", rep.Unresolved).Int("migrations", rep.Migrations-before).End()
+	}()
 	type shedding struct {
 		vm   *cluster.VM
 		from *cluster.Server

@@ -6,6 +6,7 @@ import (
 
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/packing"
+	"vdcpower/internal/telemetry"
 )
 
 // PMapper is the baseline of Section VII (Verma et al., Middleware'08) as
@@ -22,7 +23,12 @@ import (
 type PMapper struct {
 	Constraint packing.Constraint
 	Policy     CostPolicy
+
+	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
 }
+
+// SetTrace implements telemetry.Traceable.
+func (p *PMapper) SetTrace(tk *telemetry.Track) { p.trace = tk }
 
 // NewPMapper returns the baseline with the default constraint and the
 // allow-all policy.
@@ -40,6 +46,11 @@ func (p *PMapper) Name() string { return "pMapper" }
 // Consolidate implements Consolidator.
 func (p *PMapper) Consolidate(dc *cluster.DataCenter) (Report, error) {
 	rep := Report{ActiveBefore: dc.NumActive()}
+	root := p.trace.Start("pmapper.consolidate").Int("active_before", rep.ActiveBefore)
+	defer func() {
+		root.Int("migrations", rep.Migrations).Int("vetoed", rep.Vetoed).
+			Int("active_after", rep.ActiveAfter).End()
+	}()
 
 	// Phase 1: virtual target allocation over empty bins for every
 	// server (first-fit in decreasing demand order, the strongest common
@@ -149,6 +160,8 @@ func (p *PMapper) Consolidate(dc *cluster.DataCenter) (Report, error) {
 		}
 		if !p.Policy.Allow(pd.vm, pd.from, to, EstimateBenefit(pd.vm, pd.from, to)) {
 			rep.Vetoed++
+			p.trace.Event("optimizer.veto").Str("vm", pd.vm.ID).
+				Str("from", pd.from.ID).Str("to", to.ID).End()
 			continue
 		}
 		mig, err := dc.Migrate(pd.vm, to)

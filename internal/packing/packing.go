@@ -13,6 +13,8 @@ package packing
 import (
 	"fmt"
 	"sort"
+
+	"vdcpower/internal/telemetry"
 )
 
 // Item is a VM viewed as a packing item.
@@ -110,6 +112,24 @@ type MinSlackConfig struct {
 	EpsilonStep float64
 	// MaxNodes bounds the branch-and-bound search. <= 0 means a default.
 	MaxNodes int
+	// Trace, when non-nil, records one "packing.minslack" span per call
+	// with candidate/node/widening attributes. Nil disables tracing at
+	// zero cost; the config is copied by value so harnesses set it once.
+	Trace *telemetry.Track
+	// Stats, when non-nil, accumulates search totals across calls. The
+	// pointer survives config copies, so one counter block can observe a
+	// whole consolidation pass.
+	Stats *SearchStats
+}
+
+// SearchStats aggregates Algorithm 1 search effort across calls.
+// Harnesses read it via the optional SearchStats() accessor on
+// consolidators and publish deltas into the metrics registry.
+type SearchStats struct {
+	Calls     int // MinimumSlack invocations
+	Nodes     int // branch-and-bound nodes expanded
+	Widenings int // ε-widenings after the first budget overrun
+	Exhausted int // searches hard-stopped by the second overrun
 }
 
 // DefaultMinSlackConfig returns the tuning used by the experiments.
@@ -119,10 +139,11 @@ func DefaultMinSlackConfig() MinSlackConfig {
 
 // MinSlackResult reports the outcome of Algorithm 1 for one bin.
 type MinSlackResult struct {
-	Chosen  []Item  // items to add to the bin (A*)
-	Slack   float64 // resulting slack (s*)
-	Widened bool    // ε had to be increased to finish in budget
-	Nodes   int     // search nodes explored
+	Chosen    []Item  // items to add to the bin (A*)
+	Slack     float64 // resulting slack (s*)
+	Widened   bool    // ε had to be increased to finish in budget
+	Nodes     int     // search nodes explored
+	Exhausted bool    // hard-stopped: budget overran even after widening
 }
 
 // MinimumSlack selects a subset of candidates that minimizes the bin's
@@ -157,24 +178,39 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 		budget:  cfg.MaxNodes,
 		best:    b.Slack(),
 	}
+	sp := cfg.Trace.Start("packing.minslack").Int("candidates", len(candidates))
 	s.dfs(0, b.Slack(), nil)
 	chosen := append([]Item(nil), s.bestSet...)
-	return MinSlackResult{Chosen: chosen, Slack: s.best, Widened: s.widened, Nodes: s.nodes}
+	res := MinSlackResult{Chosen: chosen, Slack: s.best, Widened: s.widened, Nodes: s.nodes, Exhausted: s.exhausted}
+	sp.Int("nodes", res.Nodes).Float("slack", res.Slack).
+		Bool("widened", res.Widened).Bool("exhausted", res.Exhausted).End()
+	if st := cfg.Stats; st != nil {
+		st.Calls++
+		st.Nodes += res.Nodes
+		if res.Widened {
+			st.Widenings++
+		}
+		if res.Exhausted {
+			st.Exhausted++
+		}
+	}
+	return res
 }
 
 type mbsSearch struct {
-	bin     *Bin
-	items   []Item
-	suffix  []float64
-	cons    Constraint
-	eps     float64
-	epsStep float64
-	budget  int
-	nodes   int
-	widened bool
-	best    float64
-	bestSet []Item
-	done    bool
+	bin       *Bin
+	items     []Item
+	suffix    []float64
+	cons      Constraint
+	eps       float64
+	epsStep   float64
+	budget    int
+	nodes     int
+	widened   bool
+	exhausted bool
+	best      float64
+	bestSet   []Item
+	done      bool
 }
 
 // dfs explores subsets of items[from:] given the current slack and the
@@ -200,6 +236,7 @@ func (s *mbsSearch) dfs(from int, slack float64, chosen []Item) {
 		if s.nodes > s.budget {
 			if s.widened {
 				s.done = true // second overrun: hard stop with best-so-far
+				s.exhausted = true
 				return
 			}
 			// Out of budget once: widen ε so outstanding branches exit

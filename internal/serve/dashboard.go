@@ -33,6 +33,10 @@ const dashboardHTML = `<!DOCTYPE html>
  canvas { background: #181818; border: 1px solid #333; }
  .num { color: #fc6; }
  .hint { color: #777; font-size: 0.85em; }
+ .hint a { color: #9cf; }
+ table { border-collapse: collapse; font-size: 0.9em; }
+ th, td { text-align: left; padding: 0.1em 1em 0.1em 0; color: #aaa; }
+ th { color: #9cf; } td.num { text-align: right; color: #fc6; }
 </style>
 </head>
 <body>
@@ -40,6 +44,12 @@ const dashboardHTML = `<!DOCTYPE html>
 <div id="top" class="row"></div>
 <div id="apps"></div>
 <div class="row"><h2>cluster power (W)</h2><canvas id="power" width="640" height="80"></canvas></div>
+<div class="row"><h2>control-loop timings (sim time)</h2>
+<table id="timings"><thead><tr>
+<th>track</th><th>span</th><th>count</th><th>total</th><th>mean</th><th>max</th>
+</tr></thead><tbody></tbody></table>
+<p class="hint">aggregated from the span recorder — <a href="/trace">/trace</a> downloads
+the full Chrome-trace JSON for chrome://tracing or Perfetto.</p></div>
 <p class="hint">POST /concurrency?app=N&amp;level=80 to inject a surge;
 POST /setpoint?app=N&amp;seconds=1.2 to retarget;
 POST /cordon?server=S1&amp;state=on for maintenance.</p>
@@ -89,6 +99,13 @@ async function tick() {
             hist.map(r => r.T90[i] * 1000), a.setpoint_sec * 1000);
     });
     spark(document.getElementById('power'), hist.map(r => r.PowerW));
+    const tm = await (await fetch('/timings')).json() || [];
+    const fmt = s => s >= 1 ? s.toFixed(2) + 's' : (s * 1000).toFixed(1) + 'ms';
+    document.querySelector('#timings tbody').innerHTML = tm.map(t =>
+      '<tr><td>' + t.track + '</td><td>' + t.name + '</td>' +
+      '<td class=num>' + t.count + '</td><td class=num>' + fmt(t.total_sec) +
+      '</td><td class=num>' + fmt(t.mean_sec) + '</td><td class=num>' +
+      fmt(t.max_sec) + '</td></tr>').join('');
   } catch (e) { /* server restarting */ }
   setTimeout(tick, 1000);
 }

@@ -5,14 +5,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
 )
 
@@ -32,12 +34,29 @@ type Server struct {
 	wg         sync.WaitGroup
 	lastErr    error        // first error that halted the background loop
 	step       func() error // Step, indirected so tests can inject failures
+
+	metrics  *telemetry.Registry
+	tracer   *telemetry.Tracer
+	stepWall *telemetry.Histogram
+	stepErrs *telemetry.Counter
+	snapshot func() (Status, error) // snapshotStatus, indirected so tests can inject failures
 }
 
-// New wraps an already-constructed testbed.
+// New wraps an already-constructed testbed and attaches telemetry to it:
+// the testbed's controllers, arbitrators, and optimizer record spans on
+// sim-time tracks, while the server itself measures the wall-clock cost
+// of each control period at this edge.
 func New(tb *testbed.Testbed) *Server {
 	s := &Server{tb: tb, maxHistory: 2048}
 	s.step = s.Step
+	s.snapshot = func() (Status, error) { return s.snapshotStatus(), nil }
+	s.metrics = telemetry.NewRegistry()
+	s.tracer = tb.AttachTelemetry(0, s.metrics)
+	s.stepWall = s.metrics.Histogram("vdcpower_step_wall_seconds",
+		"wall-clock latency of one control period (measure, MPC solves, and actuation for every app)",
+		telemetry.ExponentialBuckets(1e-4, 4, 10))
+	s.stepErrs = s.metrics.Counter("vdcpower_step_errors_total",
+		"control steps that failed and halted the background loop")
 	return s
 }
 
@@ -45,10 +64,12 @@ func New(tb *testbed.Testbed) *Server {
 func (s *Server) Step() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := telemetry.WallClock()
 	recs, err := s.tb.Run(s.tb.Cfg.Period, nil)
 	if err != nil {
 		return err
 	}
+	s.stepWall.Observe(telemetry.WallClock() - start)
 	s.history = append(s.history, recs...)
 	if len(s.history) > s.maxHistory {
 		s.history = s.history[len(s.history)-s.maxHistory:]
@@ -85,6 +106,7 @@ func (s *Server) Start(interval time.Duration) {
 					s.mu.Lock()
 					s.lastErr = err
 					s.mu.Unlock()
+					s.stepErrs.Inc()
 					logf("serve: background loop halted: %v", err)
 					return
 				}
@@ -167,18 +189,32 @@ func (s *Server) snapshotStatus() Status {
 //	GET  /status                        live state as JSON
 //	GET  /history?n=100                 recent per-period records as JSON
 //	GET  /metrics                       Prometheus text exposition
+//	GET  /trace                         span recording as Chrome-trace JSON
+//	GET  /timings                       per-(track, span) timing aggregates
 //	POST /setpoint?app=0&seconds=1.2    retarget one controller
 //	POST /concurrency?app=0&level=80    change one app's workload
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/history", s.handleHistory)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/setpoint", s.handleSetpoint)
-	mux.HandleFunc("/concurrency", s.handleConcurrency)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/cordon", s.handleCordon)
-	mux.HandleFunc("/", s.handleDashboard)
+	// Each route gets its own request counter, resolved once here; the
+	// route pattern is the label, so cardinality is fixed.
+	handle := func(path string, h http.HandlerFunc) {
+		c := s.metrics.Counter("vdcpower_http_requests_total", "HTTP requests served, by route",
+			telemetry.Label{Key: "path", Value: path})
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			c.Inc()
+			h(w, r)
+		})
+	}
+	handle("/status", s.handleStatus)
+	handle("/history", s.handleHistory)
+	handle("/metrics", s.handleMetrics)
+	handle("/trace", s.handleTrace)
+	handle("/timings", s.handleTimings)
+	handle("/setpoint", s.handleSetpoint)
+	handle("/concurrency", s.handleConcurrency)
+	handle("/snapshot", s.handleSnapshot)
+	handle("/cordon", s.handleCordon)
+	handle("/", s.handleDashboard)
 	return mux
 }
 
@@ -259,50 +295,122 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleMetrics renders the whole registry in Prometheus text format.
+// The exposition is built into a buffer first: a snapshot or render
+// failure becomes a clean HTTP 500 instead of a half-written body.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	s.mu.Lock()
-	st := s.snapshotStatus()
+	st, err := s.snapshot()
+	if err == nil {
+		s.publishStatus(st)
+	}
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	ew := &errWriter{w: w}
-	ew.printf("# HELP vdcpower_power_watts Total cluster power draw.\n")
-	ew.printf("# TYPE vdcpower_power_watts gauge\n")
-	ew.printf("vdcpower_power_watts %g\n", st.PowerW)
-	ew.printf("# HELP vdcpower_active_servers Servers in the active state.\n")
-	ew.printf("# TYPE vdcpower_active_servers gauge\n")
-	ew.printf("vdcpower_active_servers %d\n", st.ActiveServers)
-	ew.printf("# HELP vdcpower_response_time_seconds Per-application 90-percentile response time.\n")
-	ew.printf("# TYPE vdcpower_response_time_seconds gauge\n")
-	for _, a := range st.Apps {
-		ew.printf("vdcpower_response_time_seconds{app=%q} %g\n", a.Name, a.T90Sec)
-	}
-	ew.printf("# HELP vdcpower_setpoint_seconds Per-application response time target.\n")
-	ew.printf("# TYPE vdcpower_setpoint_seconds gauge\n")
-	for _, a := range st.Apps {
-		ew.printf("vdcpower_setpoint_seconds{app=%q} %g\n", a.Name, a.SetpointSec)
-	}
-	if ew.err != nil {
-		logf("serve: writing metrics response: %v", ew.err)
-	}
-}
-
-// errWriter accumulates the first write error across a sequence of
-// formatted writes, so the exposition code stays linear while no error
-// is silently dropped.
-type errWriter struct {
-	w   http.ResponseWriter
-	err error
-}
-
-func (ew *errWriter) printf(format string, args ...any) {
-	if ew.err != nil {
+	if err != nil {
+		http.Error(w, "snapshot failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	var buf bytes.Buffer
+	if err := s.metrics.WriteProm(&buf); err != nil {
+		http.Error(w, "rendering metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		logf("serve: writing metrics response: %v", err)
+	}
+}
+
+// publishStatus refreshes the registry's live gauges from a status
+// snapshot. The testbed publishes its own counters and histograms while
+// running; these four families mirror the instantaneous state so the
+// endpoint is meaningful even before the first background step.
+func (s *Server) publishStatus(st Status) {
+	s.metrics.Gauge("vdcpower_power_watts", "total data-center power draw").Set(st.PowerW)
+	s.metrics.Gauge("vdcpower_active_servers", "servers currently powered on").Set(float64(st.ActiveServers))
+	for _, a := range st.Apps {
+		l := telemetry.Label{Key: "app", Value: a.Name}
+		s.metrics.Gauge("vdcpower_response_time_seconds", "per-application 90-percentile response time", l).Set(a.T90Sec)
+		s.metrics.Gauge("vdcpower_setpoint_seconds", "per-application response time target", l).Set(a.SetpointSec)
+	}
+}
+
+// handleTrace serves the recorded span tracks as a Chrome trace JSON
+// document, loadable in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	recs := s.tracer.Snapshot()
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, recs); err != nil {
+		http.Error(w, "rendering trace: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		logf("serve: writing trace response: %v", err)
+	}
+}
+
+// SpanTiming aggregates every recorded span with one name on one track;
+// the dashboard's timing panel renders these rows.
+type SpanTiming struct {
+	Track    string  `json:"track"`
+	Name     string  `json:"name"`
+	Count    int     `json:"count"`
+	TotalSec float64 `json:"total_sec"`
+	MeanSec  float64 `json:"mean_sec"`
+	MaxSec   float64 `json:"max_sec"`
+}
+
+func (s *Server) handleTimings(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	recs := s.tracer.Snapshot()
+	s.mu.Unlock()
+	writeJSON(w, aggregateTimings(recs))
+}
+
+// aggregateTimings folds raw span records into per-(track, name) rows,
+// sorted for stable output. Instant events count occurrences with zero
+// accumulated time.
+func aggregateTimings(recs []telemetry.SpanRecord) []SpanTiming {
+	idx := map[[2]string]int{}
+	out := []SpanTiming{}
+	for _, rec := range recs {
+		k := [2]string{rec.Track, rec.Name}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, SpanTiming{Track: rec.Track, Name: rec.Name})
+		}
+		out[i].Count++
+		out[i].TotalSec += rec.Dur
+		if rec.Dur > out[i].MaxSec {
+			out[i].MaxSec = rec.Dur
+		}
+	}
+	for i := range out {
+		out[i].MeanSec = out[i].TotalSec / float64(out[i].Count)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 func (s *Server) handleSetpoint(w http.ResponseWriter, r *http.Request) {

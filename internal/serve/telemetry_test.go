@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/serve -update` to create golden files)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s output changed:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestMetricsTypeOncePerFamily checks exposition well-formedness: every
+// family declares # TYPE exactly once, and the endpoint carries the
+// registry's counters and histograms, not just the status gauges.
+func TestMetricsTypeOncePerFamily(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := get(t, s.Handler(), "/metrics").Body.String()
+	typeRe := regexp.MustCompile(`(?m)^# TYPE (\S+) (\S+)$`)
+	kinds := map[string]string{}
+	counters, histograms := 0, 0
+	for _, m := range typeRe.FindAllStringSubmatch(body, -1) {
+		name, kind := m[1], m[2]
+		if _, dup := kinds[name]; dup {
+			t.Errorf("family %s declares # TYPE twice", name)
+		}
+		kinds[name] = kind
+		switch kind {
+		case "counter":
+			counters++
+		case "histogram":
+			histograms++
+		}
+	}
+	if counters < 4 || histograms < 2 {
+		t.Errorf("exposition has %d counter and %d histogram families, want >= 4 and >= 2:\n%s",
+			counters, histograms, body)
+	}
+	// The t90 histogram renders the full cumulative shape.
+	for _, want := range []string{
+		`vdcpower_t90_seconds_bucket{app="App1",le="+Inf"}`,
+		"vdcpower_t90_seconds_sum{",
+		"vdcpower_t90_seconds_count{",
+		"vdcpower_control_periods_total 6",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsSnapshotFailureIs500 checks a failing snapshot yields a
+// clean HTTP 500 with no half-written exposition.
+func TestMetricsSnapshotFailureIs500(t *testing.T) {
+	s := testServer(t)
+	s.snapshot = func() (Status, error) { return Status{}, errors.New("boom") }
+	rr := get(t, s.Handler(), "/metrics")
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	if body := rr.Body.String(); strings.Contains(body, "# TYPE") || !strings.Contains(body, "boom") {
+		t.Fatalf("want just the error message, got:\n%s", body)
+	}
+}
+
+// TestMetricsGolden pins the full exposition format for a fabricated
+// snapshot, including label escaping, against a golden file.
+func TestMetricsGolden(t *testing.T) {
+	s := testServer(t)
+	s.snapshot = func() (Status, error) {
+		return Status{PowerW: 512.5, ActiveServers: 3, Apps: []AppStatus{
+			{Name: "we\"ird\\app", SetpointSec: 1, T90Sec: 0.925},
+			{Name: "App2", SetpointSec: 1.2, T90Sec: 1.15},
+		}}, nil
+	}
+	rr := get(t, s.Handler(), "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	checkGolden(t, "metrics.prom", rr.Body.Bytes())
+}
+
+// TestTraceEndpoint checks /trace serves a parseable Chrome trace with
+// the control-loop spans of the steps taken so far.
+func TestTraceEndpoint(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < 2; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr := get(t, s.Handler(), "/trace")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var evs []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range evs {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"core.step", "mpc.solve", "mpc.qp", "arbitrator.pass", "testbed.period"} {
+		if !names[want] {
+			t.Errorf("trace lacks %q spans", want)
+		}
+	}
+	if rr := post(t, s.Handler(), "/trace"); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /trace: %d", rr.Code)
+	}
+}
+
+// TestTimingsEndpoint checks the dashboard's aggregation endpoint.
+func TestTimingsEndpoint(t *testing.T) {
+	s := testServer(t)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rr := get(t, s.Handler(), "/timings")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var rows []SpanTiming
+	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Count <= 0 || r.TotalSec < 0 || r.MeanSec > r.MaxSec+1e-12 {
+			t.Errorf("implausible row %+v", r)
+		}
+		if r.Name == "mpc.solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no mpc.solve row in %+v", rows)
+	}
+	if rr := post(t, s.Handler(), "/timings"); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /timings: %d", rr.Code)
+	}
+}

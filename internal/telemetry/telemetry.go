@@ -1,0 +1,364 @@
+// Package telemetry is the observability substrate of the two-level
+// power manager: a span-based tracer with an injectable clock, a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text exposition, and a Chrome-trace-JSON
+// exporter (chrome://tracing / Perfetto).
+//
+// Two design rules govern the package:
+//
+//  1. Telemetry is opt-in and nil-safe. A nil *Tracer, *Track, *Span,
+//     *Registry, *Counter, *Gauge or *Histogram is a valid disabled
+//     instrument: every method no-ops after a single nil check, so the
+//     instrumented hot paths (the Fig. 6 simulation loop, Algorithm 1's
+//     branch-and-bound) cost ~zero when tracing is off — proven by
+//     BenchmarkFig6TelemetryOff/On at the module root.
+//
+//  2. The clock is injected, never read directly. Deterministic
+//     packages (dcsim, testbed, and everything below them) timestamp
+//     spans with logical simulation time, so traces reproduce
+//     byte-for-byte from a seed and vdclint's determinism analyzer
+//     stays green; interactive edges (cmd/serve) inject WallClock and
+//     get real latencies for the dashboard's timing panel. The
+//     telemetry vdclint analyzer enforces that instrumented packages
+//     never bypass the injected clock.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTrackCapacity bounds each track's span ring buffer when the
+// Tracer is constructed with capacity <= 0. When a track overflows, the
+// oldest records are dropped (and counted), never the newest: the tail
+// of a run is what post-mortems need.
+const DefaultTrackCapacity = 16384
+
+// processStart anchors WallClock so exported timestamps stay small.
+//
+//lint:ignore telemetry this IS the wall-clock implementation the injected clock abstracts
+var processStart = time.Now()
+
+// WallClock returns wall-clock seconds since process start. It is the
+// clock the interactive edges (cmd/serve) inject; deterministic
+// harnesses inject simulation time instead.
+func WallClock() float64 {
+	//lint:ignore telemetry this IS the wall-clock implementation the injected clock abstracts
+	return time.Since(processStart).Seconds()
+}
+
+// Traceable is implemented by components (consolidators, controllers)
+// that can record spans onto a harness-owned track. Harnesses
+// type-assert against it so the Consolidator interface stays telemetry
+// free.
+type Traceable interface {
+	SetTrace(*Track)
+}
+
+// attrKind discriminates Attr payloads.
+type attrKind uint8
+
+const (
+	attrInt attrKind = iota
+	attrFloat
+	attrStr
+	attrBool
+)
+
+// Attr is one typed span attribute. Attributes keep their recording
+// order (call sites list them deterministically), so exports are
+// byte-stable without sorting.
+type Attr struct {
+	Key  string
+	kind attrKind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Phase values of a SpanRecord, matching the Chrome trace event phases.
+const (
+	PhaseSpan    = 'X' // complete event: Start..End
+	PhaseInstant = 'i' // point event: Event
+)
+
+// SpanRecord is one finished span or instant event.
+type SpanRecord struct {
+	Name  string
+	Track string
+	Start float64 // seconds on the track's clock
+	Dur   float64 // seconds; 0 for instants
+	Depth int     // nesting depth at Start (0 = root)
+	Phase byte    // PhaseSpan or PhaseInstant
+	Seq   uint64  // per-track emission sequence
+	Attrs []Attr
+}
+
+// Tracer owns the span sink and the injected clock. Construct with New;
+// a nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	mu       sync.Mutex
+	clock    func() float64
+	trackCap int
+	tracks   map[string]*Track
+}
+
+// New builds a tracer. clock supplies timestamps in seconds — pass the
+// simulator's Now for deterministic traces or WallClock at interactive
+// edges; nil means tracks run on logical time set via Track.SetTime
+// (starting at 0). capacity bounds each track's ring buffer (<= 0
+// selects DefaultTrackCapacity).
+func New(clock func() float64, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTrackCapacity
+	}
+	return &Tracer{clock: clock, trackCap: capacity, tracks: map[string]*Track{}}
+}
+
+// Track returns the named track, creating it on first use. A track is
+// the unit of sequential execution (one goroutine at a time): spans on
+// one track nest by Start/End order. Distinct tracks may be used from
+// distinct goroutines concurrently. Nil-safe: a nil tracer returns a
+// nil (disabled) track.
+func (t *Tracer) Track(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tk, ok := t.tracks[name]
+	if !ok {
+		tk = &Track{tracer: t, name: name}
+		t.tracks[name] = tk
+	}
+	return tk
+}
+
+// Snapshot returns every recorded span, tracks sorted by name and
+// records in emission order within each track — a deterministic order,
+// so exports of deterministic runs are byte-identical.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	names := make([]string, 0, len(t.tracks))
+	tracks := make([]*Track, 0, len(t.tracks))
+	for n := range t.tracks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tracks = append(tracks, t.tracks[n])
+	}
+	t.mu.Unlock()
+	var out []SpanRecord
+	for _, tk := range tracks {
+		out = append(out, tk.snapshot()...)
+	}
+	return out
+}
+
+// Dropped returns the total number of records evicted from full ring
+// buffers across all tracks.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	tracks := make([]*Track, 0, len(t.tracks))
+	for _, tk := range t.tracks {
+		tracks = append(tracks, tk)
+	}
+	t.mu.Unlock()
+	n := 0
+	for _, tk := range tracks {
+		tk.mu.Lock()
+		n += tk.dropped
+		tk.mu.Unlock()
+	}
+	return n
+}
+
+// Track is one sequential stream of nested spans. Methods must be
+// called from one goroutine at a time (the owning simulation loop or
+// worker); the tracer serializes cross-track state internally.
+type Track struct {
+	tracer *Tracer
+	name   string
+
+	// logical time override: set via SetTime by harnesses that carry
+	// their own step clock (dcsim); when unset the tracer clock rules.
+	hasTime bool
+	now     float64
+	depth   int
+
+	mu      sync.Mutex // guards recs/head/seq/dropped against Snapshot
+	recs    []SpanRecord
+	head    int // ring start when len(recs) == cap
+	seq     uint64
+	dropped int
+}
+
+// Name returns the track name ("" for a disabled track).
+func (tk *Track) Name() string {
+	if tk == nil {
+		return ""
+	}
+	return tk.name
+}
+
+// SetTime sets the track's logical clock, overriding the tracer clock
+// for every subsequent Start/End/Event on this track. Deterministic
+// harnesses without a continuous simulator clock (dcsim's trace-step
+// loop) call it once per step.
+func (tk *Track) SetTime(sec float64) {
+	if tk == nil {
+		return
+	}
+	tk.hasTime = true
+	tk.now = sec
+}
+
+// Now returns the track's current timestamp in seconds: the logical
+// time if SetTime was used, otherwise the tracer clock (0 when both are
+// absent). Nil-safe. Instrumented packages measure durations with it
+// instead of reading the wall clock.
+func (tk *Track) Now() float64 {
+	if tk == nil {
+		return 0
+	}
+	if tk.hasTime {
+		return tk.now
+	}
+	if tk.tracer.clock != nil {
+		return tk.tracer.clock()
+	}
+	return 0
+}
+
+// Start opens a span. The returned handle accumulates attributes and
+// must be closed with End from the same goroutine. Nil-safe: on a
+// disabled track it returns nil and every Span method no-ops.
+func (tk *Track) Start(name string) *Span {
+	if tk == nil {
+		return nil
+	}
+	sp := &Span{track: tk, name: name, start: tk.Now(), depth: tk.depth}
+	tk.depth++
+	return sp
+}
+
+// Event opens an instant (point-in-time) event — migrations, vetoes,
+// server wake/sleep transitions. Close it with End like a span; it does
+// not affect nesting depth.
+func (tk *Track) Event(name string) *Span {
+	if tk == nil {
+		return nil
+	}
+	return &Span{track: tk, name: name, start: tk.Now(), depth: tk.depth, instant: true}
+}
+
+// emit appends a finished record to the ring.
+func (tk *Track) emit(rec SpanRecord) {
+	tk.mu.Lock()
+	rec.Seq = tk.seq
+	tk.seq++
+	if len(tk.recs) < tk.tracer.trackCap {
+		tk.recs = append(tk.recs, rec)
+	} else {
+		tk.recs[tk.head] = rec
+		tk.head = (tk.head + 1) % len(tk.recs)
+		tk.dropped++
+	}
+	tk.mu.Unlock()
+}
+
+// snapshot copies the ring in emission order.
+func (tk *Track) snapshot() []SpanRecord {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	out := make([]SpanRecord, 0, len(tk.recs))
+	out = append(out, tk.recs[tk.head:]...)
+	out = append(out, tk.recs[:tk.head]...)
+	return out
+}
+
+// Span is an open span (or instant event) handle. All methods are
+// nil-safe and return the receiver so attributes chain:
+//
+//	sp := track.Start("packing.minslack")
+//	...
+//	sp.Int("nodes", n).Bool("widened", w).End()
+type Span struct {
+	track   *Track
+	name    string
+	start   float64
+	depth   int
+	instant bool
+	attrs   []Attr
+}
+
+// Int attaches an integer attribute.
+func (sp *Span) Int(key string, v int) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrInt, i: int64(v)})
+	return sp
+}
+
+// Float attaches a float attribute.
+func (sp *Span) Float(key string, v float64) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrFloat, f: v})
+	return sp
+}
+
+// Str attaches a string attribute.
+func (sp *Span) Str(key, v string) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrStr, s: v})
+	return sp
+}
+
+// Bool attaches a boolean attribute.
+func (sp *Span) Bool(key string, v bool) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, kind: attrBool, b: v})
+	return sp
+}
+
+// End closes the span and records it. For instants the duration is 0;
+// for spans it is the track clock's advance since Start (0 under a
+// stalled logical clock — nesting still reconstructs from depth).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	tk := sp.track
+	rec := SpanRecord{
+		Name:  sp.name,
+		Track: tk.name,
+		Start: sp.start,
+		Depth: sp.depth,
+		Phase: PhaseInstant,
+		Attrs: sp.attrs,
+	}
+	if !sp.instant {
+		tk.depth--
+		rec.Phase = PhaseSpan
+		if end := tk.Now(); end > sp.start {
+			rec.Dur = end - sp.start
+		}
+	}
+	tk.emit(rec)
+}

@@ -19,9 +19,11 @@ import (
 	"vdcpower/internal/devs"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/optimizer"
+	"vdcpower/internal/packing"
 	"vdcpower/internal/power"
 	"vdcpower/internal/stats"
 	"vdcpower/internal/sysid"
+	"vdcpower/internal/telemetry"
 )
 
 // Config sizes the testbed. The zero value is not valid; use
@@ -96,6 +98,9 @@ type Testbed struct {
 
 	checker  *check.Checker
 	checkedJ float64 // cumulative energy reported to the checker
+
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
 }
 
 // New builds the testbed, runs the identification experiment on the first
@@ -241,7 +246,51 @@ func (tb *Testbed) AttachOptimizer(cons optimizer.Consolidator, everyPeriods int
 	tb.cons = cons
 	tb.consEvery = everyPeriods
 	tb.migModel = model
+	if tb.tracer != nil {
+		if t, ok := cons.(telemetry.Traceable); ok {
+			t.SetTrace(tb.tracer.Track("optimizer"))
+		}
+	}
 	return nil
+}
+
+// AttachTelemetry wires span tracing and metrics into the testbed. It
+// builds a tracer on the simulator clock — spans carry logical sim-time,
+// so same-seed runs trace identically and the determinism analyzer
+// stays green — and gives each controller its own "mpc-<app>" track,
+// the arbitrators a shared "arbitrate" track, and the data center plus
+// any attached consolidator an "optimizer" track. Per-period counters
+// and histograms publish into reg (nil disables metrics). capacity <= 0
+// selects the default track capacity. The returned tracer is the export
+// handle (Snapshot → telemetry.WriteChromeTrace).
+func (tb *Testbed) AttachTelemetry(capacity int, reg *telemetry.Registry) *telemetry.Tracer {
+	tr := telemetry.New(tb.Sim.Now, capacity)
+	tb.tracer = tr
+	tb.metrics = reg
+	for i, ctl := range tb.Controllers {
+		ctl.SetTrace(tr.Track("mpc-" + tb.Apps[i].Name))
+	}
+	atk := tr.Track("arbitrate")
+	for _, arb := range tb.Arbitrators {
+		arb.Trace = atk
+	}
+	otk := tr.Track("optimizer")
+	tb.DC.SetTrace(otk)
+	if t, ok := tb.cons.(telemetry.Traceable); ok {
+		t.SetTrace(otk)
+	}
+	return tr
+}
+
+// searchNodes reads the consolidator's accumulated B&B node count via
+// the optional SearchStats accessor (0 when unavailable).
+func searchNodes(c optimizer.Consolidator) int {
+	if s, ok := c.(interface{ SearchStats() *packing.SearchStats }); ok {
+		if st := s.SearchStats(); st != nil {
+			return st.Nodes
+		}
+	}
+	return 0
 }
 
 // AttachChecker makes the testbed report its run to the invariant checker
@@ -270,10 +319,16 @@ func (tb *Testbed) consolidate(period int) error {
 	if tb.checker != nil {
 		overloaded = check.CountOverloaded(tb.DC)
 	}
+	nodesBefore := searchNodes(tb.cons)
 	rep, err := tb.cons.Consolidate(tb.DC)
 	if err != nil {
 		return err
 	}
+	tb.metrics.Counter("vdcpower_optimizer_passes_total", "consolidator invocations",
+		telemetry.Label{Key: "policy", Value: tb.cons.Name()}).Inc()
+	tb.metrics.Counter("vdcpower_migrations_total", "VM live migrations committed by the consolidation layer").Add(float64(rep.Migrations))
+	tb.metrics.Counter("vdcpower_migration_vetoes_total", "migrations rejected by the cost policy").Add(float64(rep.Vetoed))
+	tb.metrics.Counter("vdcpower_bnb_nodes_total", "Minimum Slack branch-and-bound nodes expanded").Add(float64(searchNodes(tb.cons) - nodesBefore))
 	for _, mv := range rep.Moves {
 		if i, j, ok := tb.tierOf(mv.VM); ok {
 			tb.Apps[i].PauseTier(j, tb.migModel.Downtime(mv.VM.MemoryGB))
@@ -309,22 +364,41 @@ type PeriodRecord struct {
 func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]PeriodRecord, error) {
 	periods := int(duration / tb.Cfg.Period)
 	records := make([]PeriodRecord, 0, periods)
+	// Telemetry instruments resolve once, before the loop; on a detached
+	// testbed they are nil and every use below no-ops.
+	tk := tb.tracer.Track("testbed")
+	var (
+		mPeriods = tb.metrics.Counter("vdcpower_control_periods_total", "MPC control periods executed (one per application per period)")
+		mRelax   = tb.metrics.Counter("vdcpower_terminal_relaxations_total", "control periods where the MPC relaxed the terminal constraint")
+		gPower   = tb.metrics.Gauge("vdcpower_power_watts", "total data-center power draw")
+		gActive  = tb.metrics.Gauge("vdcpower_active_servers", "servers currently powered on")
+	)
+	hT90 := make([]*telemetry.Histogram, len(tb.Apps))
+	for i, app := range tb.Apps {
+		hT90[i] = tb.metrics.Histogram("vdcpower_t90_seconds", "per-application 90-percentile response time", nil,
+			telemetry.Label{Key: "app", Value: app.Name})
+	}
 	t0 := tb.Sim.Now()
 	for k := 0; k < periods; k++ {
 		if hook != nil {
 			hook(k, tb.Sim.Now()-t0)
 		}
 		tb.Sim.RunUntil(tb.Sim.Now() + tb.Cfg.Period)
+		psp := tk.Start("testbed.period").Int("period", k)
 		rec := PeriodRecord{Time: tb.Sim.Now() - t0, T90: make([]float64, len(tb.Apps))}
 		for i, ctl := range tb.Controllers {
 			res, err := ctl.Step()
 			if err != nil {
+				psp.End()
 				return nil, err
 			}
 			rec.T90[i] = res.T90
 			if res.TerminalRelaxed {
 				rec.Relaxed++
+				mRelax.Inc()
 			}
+			mPeriods.Inc()
+			hT90[i].Observe(res.T90)
 			for j, d := range ctl.Demands() {
 				tb.vms[i][j].Demand = d
 			}
@@ -332,6 +406,7 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		// Data-center level: consolidation on the long time scale.
 		if tb.cons != nil && (k+1)%tb.consEvery == 0 {
 			if err := tb.consolidate(k); err != nil {
+				psp.End()
 				return nil, err
 			}
 		}
@@ -350,6 +425,9 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 			}
 		}
 		rec.PowerW = tb.DC.TotalPower()
+		gPower.Set(rec.PowerW)
+		gActive.Set(float64(tb.DC.NumActive()))
+		psp.Float("power_w", rec.PowerW).Int("relaxed", rec.Relaxed).End()
 		tb.attributeEnergy(tb.Cfg.Period)
 		if tb.checker != nil {
 			tb.checkedJ += rec.PowerW * tb.Cfg.Period
