@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -33,7 +34,7 @@ func main() {
 	log.SetPrefix("dcsim: ")
 	var (
 		workloadP = flag.String("workload", "", "workload trace file (.gob or .csv); generated if empty")
-		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON recording of the run's spans to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON recording of the run's spans to this file (the workload input flag is -workload)")
 		sizesStr  = flag.String("sizes", "30,230,1030,2030,3030,4030,5415", "comma-separated data-center sizes (number of VMs)")
 		days      = flag.Int("days", 7, "days to generate when no trace file is given")
 		vms       = flag.Int("vms", 5415, "VMs to generate when no trace file is given")
@@ -46,6 +47,12 @@ func main() {
 		checkRun  = flag.Bool("check", false, "run a Fig. 6 subset with every runtime invariant enabled and report violations")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := validateTraceOut(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *checkRun {
 		// Verification mode defaults to a small subset unless sizes/days
@@ -236,6 +243,38 @@ func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer) error
 	}
 	fmt.Println("\nall invariants held")
 	return nil
+}
+
+// validateTraceOut guards the historical meaning of -trace (it used to
+// name the workload input, now -workload): before running anything, the
+// recording destination must be absent, empty, or a previous trace
+// recording (which always starts with the '[' of the JSON array form).
+// Anything else — a .gob/.csv workload, say — is refused rather than
+// silently overwritten.
+func validateTraceOut(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	//lint:ignore errcheck close error on a read-only file cannot lose data
+	defer f.Close()
+	var first [1]byte
+	n, err := f.Read(first[:])
+	if n == 0 && err == io.EOF {
+		return nil // empty file: nothing to lose
+	}
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if first[0] == '[' {
+		return nil // prior trace recording: overwriting is expected
+	}
+	return fmt.Errorf("-trace output %s exists and is not a previous trace recording; "+
+		"-trace writes a Chrome-trace JSON — pass a workload input via -workload, "+
+		"or choose a different -trace path", path)
 }
 
 // writeTrace dumps the recorded spans as Chrome-trace JSON; a nil tracer

@@ -16,10 +16,12 @@ type SweepOptions struct {
 	Workers int
 	// Tracer, when non-nil, gives each worker its own span track
 	// ("worker-00", "worker-01", ...) recording one "dcsim.job" span per
-	// run with the run's internal spans nested inside. Which worker
-	// executes which job reflects real scheduling, so parallel sweep
-	// traces are not byte-reproducible across runs — single-run serial
-	// traces are.
+	// run with the run's internal spans nested inside; each job is
+	// rebased onto the end of the worker's previous job so the track's
+	// timeline advances monotonically even though every run restarts its
+	// own clock at zero. Which worker executes which job reflects real
+	// scheduling, so parallel sweep traces are not byte-reproducible
+	// across runs — single-run serial traces are.
 	Tracer *telemetry.Tracer
 	// Metrics, when non-nil, receives every run's counters and gauges.
 	Metrics *telemetry.Registry
@@ -60,6 +62,7 @@ func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.C
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				tk.Rebase() // runs reset their clock; keep the track monotonic
 				cons := policies[j.polIdx]()
 				cfg := DefaultConfig(trace, sizes[j.sizeIdx], cons)
 				cfg.Telemetry = tk

@@ -97,6 +97,41 @@ func TestChromeTraceSameSeedByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerTrackMonotonic funnels a multi-job sweep through one
+// worker and checks the worker track's dcsim.job spans advance
+// monotonically with real durations. Each run resets its logical clock
+// to zero, so without the per-job Rebase the second job would rewind
+// the track, stack at ts 0, and clamp its duration.
+func TestSweepWorkerTrackMonotonic(t *testing.T) {
+	tr := testTrace(t)
+	tracer := telemetry.New(nil, 0)
+	_, err := Fig6Sweep(tr, []int{30, 60}, []func() optimizer.Consolidator{
+		func() optimizer.Consolidator { return optimizer.NewIPAC() },
+	}, SweepOptions{Workers: 1, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []telemetry.SpanRecord
+	for _, r := range tracer.Snapshot() {
+		if r.Name == "dcsim.job" && r.Track == "worker-00" {
+			jobs = append(jobs, r)
+		}
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("got %d dcsim.job spans on worker-00, want 2", len(jobs))
+	}
+	prevEnd := 0.0
+	for i, j := range jobs {
+		if j.Dur <= 0 {
+			t.Errorf("job %d duration = %v, want > 0", i, j.Dur)
+		}
+		if j.Start < prevEnd {
+			t.Errorf("job %d starts at %v, before the previous job ended at %v", i, j.Start, prevEnd)
+		}
+		prevEnd = j.Start + j.Dur
+	}
+}
+
 // TestRunPublishesMetrics checks a run feeds the metrics registry the
 // consolidation counters and state gauges.
 func TestRunPublishesMetrics(t *testing.T) {

@@ -163,8 +163,9 @@ type family struct {
 // is never on a hot path. A nil *Registry hands out nil instruments,
 // making disabled metrics free.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu        sync.Mutex
+	families  map[string]*family
+	conflicts map[string]string // conflict key → exposition comment line
 }
 
 // NewRegistry returns an empty registry.
@@ -204,6 +205,12 @@ func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []La
 		r.families[name] = f
 	}
 	if f.typ != typ {
+		if r.conflicts == nil {
+			r.conflicts = map[string]string{}
+		}
+		r.conflicts[name+"\x00"+typ] = fmt.Sprintf(
+			"# conflict: %s requested as %s but registered as %s; conflicting series not exported",
+			name, typ, f.typ)
 		return newSeries(typ, buckets, labels) // detached
 	}
 	key := labelKey(labels)
@@ -322,25 +329,38 @@ func renderLabels(labels []Label, extra *Label) string {
 // WriteProm writes the registry in Prometheus text exposition format
 // (version 0.0.4): families sorted by name, HELP and TYPE emitted once
 // per family, series sorted by label signature, label values escaped.
-// The output is deterministic for a fixed registry state.
+// Type-conflicting registrations are surfaced as leading "# conflict"
+// comment lines. The output is deterministic for a fixed registry
+// state. The registry mutex is held for the whole render: lookup
+// inserts into the per-family series maps under the same lock, so
+// releasing it mid-iteration would race with first-time series
+// creation from concurrent scrapes and publishers.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
-	for _, n := range names {
-		fams = append(fams, r.families[n])
-	}
-	r.mu.Unlock()
 
 	var b strings.Builder
-	for _, f := range fams {
+	if len(r.conflicts) > 0 {
+		lines := make([]string, 0, len(r.conflicts))
+		for _, line := range r.conflicts {
+			lines = append(lines, line)
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range names {
+		f := r.families[n]
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 		keys := make([]string, 0, len(f.series))

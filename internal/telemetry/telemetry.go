@@ -191,8 +191,11 @@ type Track struct {
 
 	// logical time override: set via SetTime by harnesses that carry
 	// their own step clock (dcsim); when unset the tracer clock rules.
+	// base shifts the logical origin (see Rebase) so one track can host
+	// consecutive runs that each restart their clock at zero.
 	hasTime bool
 	now     float64
+	base    float64
 	depth   int
 
 	mu      sync.Mutex // guards recs/head/seq/dropped against Snapshot
@@ -213,13 +216,28 @@ func (tk *Track) Name() string {
 // SetTime sets the track's logical clock, overriding the tracer clock
 // for every subsequent Start/End/Event on this track. Deterministic
 // harnesses without a continuous simulator clock (dcsim's trace-step
-// loop) call it once per step.
+// loop) call it once per step. sec is relative to the track's current
+// origin (0 until Rebase moves it).
 func (tk *Track) SetTime(sec float64) {
 	if tk == nil {
 		return
 	}
 	tk.hasTime = true
-	tk.now = sec
+	tk.now = tk.base + sec
+}
+
+// Rebase moves the track's logical-time origin forward to the current
+// timestamp: subsequent SetTime(sec) calls map sec onto origin+sec.
+// Harnesses that reuse one track for consecutive runs which each reset
+// their own clock (dcsim.Run starts every run at SetTime(0)) call it
+// between runs — without it the second run would rewind the track,
+// clamping enclosing span durations to zero and stacking every run at
+// ts 0 in the exported trace.
+func (tk *Track) Rebase() {
+	if tk == nil {
+		return
+	}
+	tk.base = tk.Now()
 }
 
 // Now returns the track's current timestamp in seconds: the logical

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -114,6 +116,33 @@ func TestClockModes(t *testing.T) {
 	tr2 := New(nil, 0)
 	if got := tr2.Track("a").Now(); got != 0 {
 		t.Fatalf("clockless Now = %v, want 0", got)
+	}
+}
+
+// TestRebase reuses one track for two "runs" that each restart their
+// logical clock at zero — the pattern of dcsim sweep workers. Rebase
+// between them must keep the timeline monotonic so the second run's
+// spans neither rewind to ts 0 nor clamp to zero duration.
+func TestRebase(t *testing.T) {
+	tr := New(nil, 0)
+	tk := tr.Track("worker")
+	for run := 0; run < 2; run++ {
+		tk.Rebase()
+		job := tk.Start("job")
+		tk.SetTime(0) // the run resets its own clock...
+		tk.SetTime(5) // ...and advances it
+		job.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	first, second := recs[0], recs[1]
+	if first.Start != 0 || first.Dur != 5 {
+		t.Fatalf("first job = [%v, dur %v], want [0, dur 5]", first.Start, first.Dur)
+	}
+	if second.Start != 5 || second.Dur != 5 {
+		t.Fatalf("second job = [%v, dur %v], want [5, dur 5]: the run's SetTime(0) rewound the track", second.Start, second.Dur)
 	}
 }
 
@@ -243,6 +272,35 @@ func TestRegistryIdentity(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "# TYPE c_total gauge") {
 		t.Fatal("conflicting type leaked into exposition")
+	}
+	// The conflict itself is surfaced as a leading comment line.
+	if !strings.Contains(buf.String(), "# conflict: c_total requested as gauge but registered as counter") {
+		t.Fatalf("exposition lacks conflict comment:\n%s", buf.String())
+	}
+}
+
+// TestWritePromConcurrentLookup races first-time series creation against
+// rendering: WriteProm must hold the registry lock while iterating the
+// per-family series maps, or the race detector trips here.
+func TestWritePromConcurrentLookup(t *testing.T) {
+	reg := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			reg.Counter("c_total", "h", Label{"app", fmt.Sprintf("app-%03d", i)}).Inc()
+			reg.Histogram("h_seconds", "h", nil, Label{"app", fmt.Sprintf("app-%03d", i)}).Observe(0.1)
+		}
+	}()
+	for {
+		if err := reg.WriteProm(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
 	}
 }
 
