@@ -20,9 +20,12 @@ import (
 	"strconv"
 	"strings"
 
+	"encoding/json"
+
 	"vdcpower/internal/check"
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/dcsim"
+	"vdcpower/internal/fault"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/report"
 	"vdcpower/internal/telemetry"
@@ -45,8 +48,19 @@ func main() {
 		series    = flag.Int("series", 0, "instead of the sweep, dump a per-step power/active/demand series for a run with this many VMs")
 		snapshot  = flag.String("snapshot", "", "with -series: write the final data-center state as JSON to this file")
 		checkRun  = flag.Bool("check", false, "run a Fig. 6 subset with every runtime invariant enabled and report violations")
+		faultsP   = flag.String("faults", "", "fault-injection profile JSON (see internal/fault); every run gets its own deterministic injector")
+		reportP   = flag.String("report", "", "with -check: also write a machine-readable JSON verification report to this file")
 	)
 	flag.Parse()
+
+	var prof *fault.Profile
+	if *faultsP != "" {
+		p, err := fault.LoadProfile(*faultsP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof = &p
+	}
 
 	if *traceOut != "" {
 		if err := validateTraceOut(*traceOut); err != nil {
@@ -96,7 +110,7 @@ func main() {
 	}
 
 	if *checkRun {
-		if err := runChecked(tr, sizes, tracer); err != nil {
+		if err := runChecked(tr, sizes, tracer, prof, *reportP); err != nil {
 			log.Fatal(err)
 		}
 		if err := writeTrace(tracer, *traceOut); err != nil {
@@ -109,6 +123,9 @@ func main() {
 		t := report.New("per-step series (IPAC)", "step", "hour", "power_W", "active_servers", "demand_GHz")
 		cfg := dcsim.DefaultConfig(tr, *series, optimizer.NewIPAC())
 		cfg.Telemetry = tracer.Track("main")
+		if prof != nil {
+			cfg.Faults = fault.New(*prof)
+		}
 		cfg.OnStep = func(k int, powerW float64, active int, demand float64) {
 			t.AddRow(k, fmt.Sprintf("%.2f", float64(k)*tr.StepSeconds/3600),
 				fmt.Sprintf("%.1f", powerW), active, fmt.Sprintf("%.1f", demand))
@@ -155,7 +172,7 @@ func main() {
 		names = append(names, mk().Name())
 	}
 
-	points, err := dcsim.Fig6Sweep(tr, sizes, policies, dcsim.SweepOptions{Workers: *workers, Tracer: tracer})
+	points, err := dcsim.Fig6Sweep(tr, sizes, policies, dcsim.SweepOptions{Workers: *workers, Tracer: tracer, FaultProfile: prof})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -188,11 +205,36 @@ func main() {
 	fmt.Printf("\naverage IPAC saving vs pMapper: %.1f%% (paper reports 40.7%%)\n", mean*100)
 }
 
+// checkReport is the machine-readable verdict of a -check run (-report):
+// CI jobs assert on violations and, under a fault profile, on a nonzero
+// injected-fault count.
+type checkReport struct {
+	Invariants     int              `json:"invariants"`
+	Violations     int              `json:"violations"`
+	FaultsInjected int              `json:"faults_injected"`
+	Runs           []checkRunReport `json:"runs"`
+}
+
+type checkRunReport struct {
+	Policy         string  `json:"policy"`
+	VMs            int     `json:"vms"`
+	Events         int     `json:"events"`
+	Violations     int     `json:"violations"`
+	FaultsInjected int     `json:"faults_injected"`
+	DegradedPasses int     `json:"degraded_passes"`
+	Crashes        int     `json:"crashes"`
+	EnergyPerVMWh  float64 `json:"energy_per_vm_wh"`
+}
+
 // runChecked reruns the Figure 6 comparison serially with the full
 // invariant registry observing every run: cluster conservation laws,
 // optimizer guarantees (with a cost-policy audit wired into each
-// consolidator), and energy accounting. Any violation is a fatal error.
-func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer) error {
+// consolidator), energy accounting, and the fault-degradation laws. Each
+// run gets its own injector built from prof (nil injects nothing), so
+// chaos verification is reproducible run by run. Any violation is a fatal
+// error; reportPath, when nonempty, additionally receives the JSON
+// verdict.
+func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof *fault.Profile, reportPath string) error {
 	type checkedPolicy struct {
 		name string
 		mk   func() (optimizer.Consolidator, *check.PolicyAuditor)
@@ -211,7 +253,7 @@ func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer) error
 			return p, aud
 		}},
 	}
-	violations := 0
+	doc := checkReport{Invariants: len(check.All()) + 1}
 	for _, n := range sizes {
 		for _, pol := range policies {
 			cons, aud := pol.mk()
@@ -219,6 +261,9 @@ func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer) error
 			cfg := dcsim.DefaultConfig(tr, n, cons)
 			cfg.WatchdogEverySteps = 4 // exercise the overload reliever too
 			cfg.Checker = checker
+			if prof != nil {
+				cfg.Faults = fault.New(*prof)
+			}
 			// One track per run: tracks are sequential execution units,
 			// and the checked sweep runs serially.
 			cfg.Telemetry = tracer.Track(fmt.Sprintf("%s-%d", pol.name, n))
@@ -230,18 +275,54 @@ func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer) error
 			if checker.NumViolations() > 0 {
 				status = "VIOLATIONS"
 			}
-			fmt.Printf("%-8s n=%-5d events=%-6d invariants=%d violations=%d %s (%.1f Wh/VM)\n",
-				pol.name, n, checker.Events(), len(check.All())+1, checker.NumViolations(), status, res.EnergyPerVMWh)
+			fmt.Printf("%-8s n=%-5d events=%-6d invariants=%d violations=%d faults=%-4d %s (%.1f Wh/VM)\n",
+				pol.name, n, checker.Events(), len(check.All())+1, checker.NumViolations(), res.FaultsInjected, status, res.EnergyPerVMWh)
 			for _, v := range checker.Violations() {
 				fmt.Printf("    %s\n", v)
 			}
-			violations += checker.NumViolations()
+			doc.Violations += checker.NumViolations()
+			doc.FaultsInjected += res.FaultsInjected
+			doc.Runs = append(doc.Runs, checkRunReport{
+				Policy:         pol.name,
+				VMs:            n,
+				Events:         checker.Events(),
+				Violations:     checker.NumViolations(),
+				FaultsInjected: res.FaultsInjected,
+				DegradedPasses: res.DegradedPasses,
+				Crashes:        res.Crashes,
+				EnergyPerVMWh:  res.EnergyPerVMWh,
+			})
 		}
 	}
-	if violations > 0 {
-		return fmt.Errorf("%d invariant violation(s)", violations)
+	if reportPath != "" {
+		if err := writeReport(doc, reportPath); err != nil {
+			return err
+		}
+	}
+	if doc.Violations > 0 {
+		return fmt.Errorf("%d invariant violation(s)", doc.Violations)
 	}
 	fmt.Println("\nall invariants held")
+	return nil
+}
+
+// writeReport dumps the -check verdict as JSON.
+func writeReport(doc checkReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		//lint:ignore errcheck the encode error is already being returned
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote verification report to %s\n", path)
 	return nil
 }
 

@@ -37,6 +37,15 @@ const (
 	// EvPacking fires after one MinimumSlack call observed through
 	// ObserveMinimumSlack.
 	EvPacking
+	// EvMigration fires at each two-phase migration transition (reserve,
+	// commit, rollback) when the harness wires the migration observer.
+	EvMigration
+	// EvCrash fires after a server crash was applied, carrying the IDs of
+	// any VMs lost with it (empty under the evacuate policy).
+	EvCrash
+	// EvControl fires after one response-time controller step, carrying
+	// the hold/open-loop state for the staleness law.
+	EvControl
 )
 
 // String names the event kind.
@@ -52,6 +61,12 @@ func (k Kind) String() string {
 		return "watchdog"
 	case EvPacking:
 		return "packing"
+	case EvMigration:
+		return "migration"
+	case EvCrash:
+		return "crash"
+	case EvControl:
+		return "control"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -83,6 +98,33 @@ type Event struct {
 
 	// MinSlack carries one observed Algorithm 1 invocation.
 	MinSlack *MinSlackObservation
+
+	// Migration carries one two-phase migration transition (EvMigration).
+	Migration *MigrationObservation
+	// LostVMs lists VM IDs dropped by a server crash under the "lose"
+	// policy (EvCrash); conservation laws remove them from their baseline.
+	LostVMs []string
+	// Control carries one controller step's degradation state (EvControl).
+	Control *ControlObservation
+}
+
+// MigrationObservation captures one two-phase migration transition.
+type MigrationObservation struct {
+	VMID  string
+	From  string
+	To    string
+	Phase string // cluster.TxPhase: reserved, committed, rolled_back
+}
+
+// ControlObservation captures one response-time controller step for the
+// hold-window staleness law. It is a plain struct (no core dependency) the
+// harness fills from core.StepResult.
+type ControlObservation struct {
+	App        string
+	Held       bool
+	HeldStreak int
+	HoldWindow int // the controller's configured bound (with defaults applied)
+	OpenLoop   bool
 }
 
 // Violation records one broken invariant.

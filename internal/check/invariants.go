@@ -56,14 +56,23 @@ func PackingInvariants() []Invariant {
 	return []Invariant{minSlackFeasible{}, minSlackVsFFD{}}
 }
 
-// All returns the full registry: cluster, optimizer, power, and packing
-// invariants. Add VetoesRespected(auditor) when a cost policy is wrapped.
+// FaultInvariants returns the degradation laws introduced with the fault
+// plane: two-phase migrations never double-place, and stale measurements
+// never keep closing the loop past the hold window.
+func FaultInvariants() []Invariant {
+	return []Invariant{noDoublePlacement{}, holdWindowBounded{}}
+}
+
+// All returns the full registry: cluster, optimizer, power, packing, and
+// fault-degradation invariants. Add VetoesRespected(auditor) when a cost
+// policy is wrapped.
 func All() []Invariant {
 	var out []Invariant
 	out = append(out, ClusterInvariants()...)
 	out = append(out, OptimizerInvariants()...)
 	out = append(out, PowerInvariants()...)
 	out = append(out, PackingInvariants()...)
+	out = append(out, FaultInvariants()...)
 	return out
 }
 
@@ -77,6 +86,17 @@ type vmConservation struct {
 func (i *vmConservation) Name() string { return "cluster/vm-conservation" }
 
 func (i *vmConservation) Check(ev Event) error {
+	// A crash under the "lose" policy legitimately shrinks the population:
+	// the harness reports the lost IDs and the baseline follows, so only
+	// unexplained losses violate the law.
+	if len(ev.LostVMs) > 0 && i.baseline != nil {
+		for _, id := range ev.LostVMs {
+			if !i.baseline[id] {
+				return fmt.Errorf("crash reports VM %s lost, but it was not in the baseline", id)
+			}
+			delete(i.baseline, id)
+		}
+	}
 	if ev.DC == nil {
 		return nil
 	}
@@ -248,7 +268,7 @@ func (reportConsistent) Check(ev Event) error {
 		return nil
 	}
 	r := ev.Report
-	if r.Migrations < 0 || r.Vetoed < 0 || r.Rounds < 0 || r.Unresolved < 0 {
+	if r.Migrations < 0 || r.Vetoed < 0 || r.Rounds < 0 || r.Unresolved < 0 || r.FailedMoves < 0 {
 		return fmt.Errorf("negative counter in report: %s", r)
 	}
 	if r.Migrations != len(r.Moves) {

@@ -43,11 +43,17 @@ const (
 	Active State = iota
 	// Sleeping means the server is suspended and consumes only PSleep.
 	Sleeping
+	// Failed means the server has crashed: it hosts nothing, draws no
+	// power, and accepts no placements for the rest of the run.
+	Failed
 )
 
 func (s State) String() string {
-	if s == Sleeping {
+	switch s {
+	case Sleeping:
 		return "sleeping"
+	case Failed:
+		return "failed"
 	}
 	return "active"
 }
@@ -111,6 +117,10 @@ func (s *Server) Sleep() {
 
 // Wake powers the server back on at maximum frequency.
 func (s *Server) Wake() {
+	if s.state == Failed {
+		//lint:ignore panicpolicy state-machine invariant: a crashed server stays down for the rest of the run
+		panic(fmt.Sprintf("cluster: server %s: cannot wake a failed server", s.ID))
+	}
 	s.state = Active
 	s.freq = s.Spec.MaxFreq
 }
@@ -172,8 +182,11 @@ func (s *Server) Overloaded() bool { return s.TotalDemand() > s.Spec.Capacity()+
 
 // Power returns current power draw in watts.
 func (s *Server) Power() float64 {
-	if s.state == Sleeping {
+	switch s.state {
+	case Sleeping:
 		return s.Spec.PSleep
+	case Failed:
+		return 0
 	}
 	return s.Spec.Power(s.freq, s.Utilization())
 }
@@ -273,9 +286,11 @@ type Migration struct {
 
 // DataCenter is the collection of servers plus a VM→server index.
 type DataCenter struct {
-	Servers []*Server
-	index   map[string]*Server // VM ID → hosting server
-	trace   *telemetry.Track   // set via SetTrace; nil keeps tracing off
+	Servers  []*Server
+	index    map[string]*Server      // VM ID → hosting server
+	trace    *telemetry.Track        // set via SetTrace; nil keeps tracing off
+	inflight map[string]*MigrationTx // VM ID → reserved two-phase migration
+	observer func(*MigrationTx)      // set via SetMigrationObserver; may be nil
 }
 
 // SetTrace implements telemetry.Traceable: migrations, server wakes and
@@ -284,7 +299,11 @@ func (dc *DataCenter) SetTrace(tk *telemetry.Track) { dc.trace = tk }
 
 // NewDataCenter builds a data center from servers with unique IDs.
 func NewDataCenter(servers []*Server) (*DataCenter, error) {
-	dc := &DataCenter{Servers: servers, index: make(map[string]*Server)}
+	dc := &DataCenter{
+		Servers:  servers,
+		index:    make(map[string]*Server),
+		inflight: make(map[string]*MigrationTx),
+	}
 	seen := map[string]bool{}
 	for _, s := range servers {
 		if seen[s.ID] {
@@ -309,6 +328,9 @@ func (dc *DataCenter) Place(v *VM, srv *Server) error {
 	if srv.cordoned {
 		return fmt.Errorf("cluster: server %s is cordoned for maintenance", srv.ID)
 	}
+	if srv.state == Failed {
+		return fmt.Errorf("cluster: server %s has failed", srv.ID)
+	}
 	if srv.state == Sleeping {
 		srv.Wake()
 		dc.trace.Event("cluster.wake").Str("server", srv.ID).End()
@@ -322,32 +344,15 @@ func (dc *DataCenter) Place(v *VM, srv *Server) error {
 func (dc *DataCenter) HostOf(id string) *Server { return dc.index[id] }
 
 // Migrate moves v to target (live migration). The source server is left
-// active; the optimizer decides separately whether to sleep it.
+// active; the optimizer decides separately whether to sleep it. Migrate
+// is the atomic form of the two-phase BeginMigration/Commit protocol:
+// reserve and commit in one call, for callers with no abort path.
 func (dc *DataCenter) Migrate(v *VM, target *Server) (Migration, error) {
-	src, ok := dc.index[v.ID]
-	if !ok {
-		return Migration{}, fmt.Errorf("cluster: VM %s is not placed", v.ID)
+	tx, err := dc.BeginMigration(v, target)
+	if err != nil {
+		return Migration{}, err
 	}
-	if src == target {
-		return Migration{}, fmt.Errorf("cluster: VM %s already on %s", v.ID, target.ID)
-	}
-	if target.cordoned {
-		return Migration{}, fmt.Errorf("cluster: server %s is cordoned for maintenance", target.ID)
-	}
-	if !src.unhost(v) {
-		return Migration{}, fmt.Errorf("cluster: index corruption for VM %s", v.ID)
-	}
-	if target.state == Sleeping {
-		target.Wake()
-		dc.trace.Event("cluster.wake").Str("server", target.ID).End()
-	}
-	target.host(v)
-	dc.index[v.ID] = target
-	// Recorded as a zero-duration complete span (not an instant) so trace
-	// viewers show migrations as children of the consolidation pass.
-	dc.trace.Start("cluster.migrate").Str("vm", v.ID).
-		Str("from", src.ID).Str("to", target.ID).End()
-	return Migration{VM: v, From: src, To: target}, nil
+	return tx.Commit()
 }
 
 // Remove unplaces a VM entirely (application decommissioned).
@@ -424,9 +429,17 @@ func (dc *DataCenter) CheckInvariants() error {
 		if s.state == Sleeping && len(s.vms) > 0 {
 			return fmt.Errorf("cluster: sleeping server %s hosts %d VMs", s.ID, len(s.vms))
 		}
+		if s.state == Failed && len(s.vms) > 0 {
+			return fmt.Errorf("cluster: failed server %s hosts %d VMs", s.ID, len(s.vms))
+		}
 	}
 	if count != len(dc.index) {
 		return fmt.Errorf("cluster: index has %d entries, servers host %d VMs", len(dc.index), count)
+	}
+	for id, tx := range dc.inflight {
+		if dc.index[id] != tx.src {
+			return fmt.Errorf("cluster: in-flight migration of VM %s not hosted on its source %s", id, tx.src.ID)
+		}
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ type ServerSnapshot struct {
 	ID       string     `json:"id"`
 	Spec     power.Spec `json:"spec"`
 	Sleeping bool       `json:"sleeping"`
+	Failed   bool       `json:"failed,omitempty"`
 	Cordoned bool       `json:"cordoned,omitempty"`
 	FreqGHz  float64    `json:"freq_ghz"`
 	VMs      []VM       `json:"vms"`
@@ -34,6 +35,7 @@ func (dc *DataCenter) Snapshot() Snapshot {
 			ID:       srv.ID,
 			Spec:     srv.Spec,
 			Sleeping: srv.state == Sleeping,
+			Failed:   srv.state == Failed,
 			Cordoned: srv.cordoned,
 			FreqGHz:  srv.freq,
 		}
@@ -62,11 +64,20 @@ func Restore(s Snapshot) (*DataCenter, error) {
 			}
 			srv.host(&vm)
 		}
+		if ss.Sleeping && ss.Failed {
+			return nil, fmt.Errorf("cluster: snapshot has server %s both sleeping and failed", ss.ID)
+		}
 		if ss.Sleeping {
 			if srv.NumVMs() > 0 {
 				return nil, fmt.Errorf("cluster: snapshot has sleeping server %s with VMs", ss.ID)
 			}
 			srv.Sleep()
+		}
+		if ss.Failed {
+			if srv.NumVMs() > 0 {
+				return nil, fmt.Errorf("cluster: snapshot has failed server %s with VMs", ss.ID)
+			}
+			srv.state = Failed
 		}
 		if ss.Cordoned {
 			srv.Cordon()

@@ -109,6 +109,61 @@ func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
 	}
 }
 
+// TestSnapshotMidMigration checkpoints while a two-phase migration is in
+// flight. Reservations are deliberately not serialized — the VM is hosted
+// on its source until commit, so the snapshot records the only durable
+// truth — and restoring must land in a consistent placement: VM on the
+// source, no in-flight entries, the reservation-woken target captured in
+// whatever power state it reached.
+func TestSnapshotMidMigration(t *testing.T) {
+	dc := snapshotDC(t)
+	v1 := dc.Servers[0].VMs()[0]
+	tx, err := dc.BeginMigration(v1, dc.Servers[2]) // sleeping: reservation wakes it
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(dc.Snapshot())
+	if err != nil {
+		t.Fatalf("restoring mid-migration: %v", err)
+	}
+	if host := back.HostOf(v1.ID); host == nil || host.ID != dc.Servers[0].ID {
+		t.Fatalf("in-flight VM restored on %v, want source %s", host, dc.Servers[0].ID)
+	}
+	if n := len(back.InFlight()); n != 0 {
+		t.Fatalf("restored DC carries %d in-flight reservation(s)", n)
+	}
+	if back.Servers[2].State() != Active {
+		t.Fatalf("reservation-woken target restored %s, want Active", back.Servers[2].State())
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored copy is fully operational: the same move can be redone
+	// from scratch and committed.
+	restoredVM := back.Servers[0].VMs()[0]
+	tx2, err := back.BeginMigration(restoredVM, back.Servers[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if back.HostOf(restoredVM.ID) != back.Servers[2] {
+		t.Fatal("redone migration did not land on the target")
+	}
+	// And the original transaction is untouched by the checkpoint: it can
+	// still roll back cleanly.
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if dc.HostOf(v1.ID) != dc.Servers[0] {
+		t.Fatal("rollback after checkpoint lost the source placement")
+	}
+	if err := dc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReadSnapshotRejectsGarbage(t *testing.T) {
 	if _, err := ReadSnapshot(strings.NewReader("{broken")); err == nil {
 		t.Fatal("garbage accepted")

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxPhase labels the lifecycle of a two-phase migration.
+type TxPhase string
+
+// Two-phase migration lifecycle. A migration is reserved (the target is
+// woken and pinned, the VM keeps running on the source throughout the
+// pre-copy), then either committed (ownership flips atomically at the
+// stop-and-copy instant) or rolled back (the VM stays on the source, the
+// woken target is re-slept if nothing else claimed it). No intermediate
+// state ever hosts the VM twice or zero times.
+const (
+	TxReserved   TxPhase = "reserved"
+	TxCommitted  TxPhase = "committed"
+	TxRolledBack TxPhase = "rolled_back"
+)
+
+// MigrationTx is one in-flight two-phase live migration, created by
+// BeginMigration. Exactly one of Commit or Rollback must follow.
+type MigrationTx struct {
+	dc      *DataCenter
+	vm      *VM
+	src     *Server
+	dst     *Server
+	wokeDst bool
+	phase   TxPhase
+}
+
+// VM returns the migrating VM.
+func (tx *MigrationTx) VM() *VM { return tx.vm }
+
+// Source returns the server the VM runs on until commit.
+func (tx *MigrationTx) Source() *Server { return tx.src }
+
+// Target returns the reserved destination server.
+func (tx *MigrationTx) Target() *Server { return tx.dst }
+
+// Phase returns the transaction's lifecycle phase.
+func (tx *MigrationTx) Phase() TxPhase { return tx.phase }
+
+// SetMigrationObserver installs a callback fired at every two-phase
+// transition (reserve, commit, rollback) — harnesses feed these events to
+// the invariant checker so mid-flight placements are validated too. A nil
+// observer disables observation.
+func (dc *DataCenter) SetMigrationObserver(fn func(*MigrationTx)) { dc.observer = fn }
+
+// observe fires the observer if one is installed.
+func (dc *DataCenter) observe(tx *MigrationTx) {
+	if dc.observer != nil {
+		dc.observer(tx)
+	}
+}
+
+// BeginMigration reserves a live migration of v to target: the target is
+// woken (so capacity is real before the pre-copy starts) and the move is
+// registered in-flight, but the VM keeps running — and stays hosted — on
+// its source until Commit. An aborted pre-copy calls Rollback and the
+// placement is untouched.
+func (dc *DataCenter) BeginMigration(v *VM, target *Server) (*MigrationTx, error) {
+	src, ok := dc.index[v.ID]
+	if !ok {
+		return nil, fmt.Errorf("cluster: VM %s is not placed", v.ID)
+	}
+	if src == target {
+		return nil, fmt.Errorf("cluster: VM %s already on %s", v.ID, target.ID)
+	}
+	if target.cordoned {
+		return nil, fmt.Errorf("cluster: server %s is cordoned for maintenance", target.ID)
+	}
+	if target.state == Failed {
+		return nil, fmt.Errorf("cluster: server %s has failed", target.ID)
+	}
+	if prev, busy := dc.inflight[v.ID]; busy {
+		return nil, fmt.Errorf("cluster: VM %s already migrating to %s", v.ID, prev.dst.ID)
+	}
+	tx := &MigrationTx{dc: dc, vm: v, src: src, dst: target, phase: TxReserved}
+	if target.state == Sleeping {
+		target.Wake()
+		tx.wokeDst = true
+		dc.trace.Event("cluster.wake").Str("server", target.ID).End()
+	}
+	dc.inflight[v.ID] = tx
+	dc.observe(tx)
+	return tx, nil
+}
+
+// Commit completes the migration: ownership flips from source to target
+// at the stop-and-copy instant. The transaction must be in the reserved
+// phase and both endpoints must have survived the pre-copy.
+func (tx *MigrationTx) Commit() (Migration, error) {
+	if tx.phase != TxReserved {
+		return Migration{}, fmt.Errorf("cluster: commit of %s migration for VM %s", tx.phase, tx.vm.ID)
+	}
+	dc := tx.dc
+	if dc.index[tx.vm.ID] != tx.src {
+		return Migration{}, fmt.Errorf("cluster: VM %s left source %s mid-migration", tx.vm.ID, tx.src.ID)
+	}
+	if tx.dst.state != Active {
+		return Migration{}, fmt.Errorf("cluster: migration target %s is %s", tx.dst.ID, tx.dst.state)
+	}
+	if !tx.src.unhost(tx.vm) {
+		return Migration{}, fmt.Errorf("cluster: index corruption for VM %s", tx.vm.ID)
+	}
+	tx.dst.host(tx.vm)
+	dc.index[tx.vm.ID] = tx.dst
+	delete(dc.inflight, tx.vm.ID)
+	tx.phase = TxCommitted
+	// Recorded as a zero-duration complete span (not an instant) so trace
+	// viewers show migrations as children of the consolidation pass.
+	dc.trace.Start("cluster.migrate").Str("vm", tx.vm.ID).
+		Str("from", tx.src.ID).Str("to", tx.dst.ID).End()
+	dc.observe(tx)
+	return Migration{VM: tx.vm, From: tx.src, To: tx.dst}, nil
+}
+
+// Rollback abandons the migration: the VM stays on its source, and the
+// target is re-slept if this reservation woke it and nothing else has
+// claimed it since (no hosted VMs, no other in-flight reservation).
+func (tx *MigrationTx) Rollback() error {
+	if tx.phase != TxReserved {
+		return fmt.Errorf("cluster: rollback of %s migration for VM %s", tx.phase, tx.vm.ID)
+	}
+	dc := tx.dc
+	delete(dc.inflight, tx.vm.ID)
+	tx.phase = TxRolledBack
+	if tx.wokeDst && tx.dst.state == Active && len(tx.dst.vms) == 0 && !dc.hasReservation(tx.dst) {
+		tx.dst.Sleep()
+		dc.trace.Event("cluster.resleep").Str("server", tx.dst.ID).End()
+	}
+	dc.trace.Event("cluster.migrate_abort").Str("vm", tx.vm.ID).
+		Str("from", tx.src.ID).Str("to", tx.dst.ID).End()
+	dc.observe(tx)
+	return nil
+}
+
+// hasReservation reports whether any in-flight migration targets srv.
+func (dc *DataCenter) hasReservation(srv *Server) bool {
+	for _, tx := range dc.inflight {
+		if tx.dst == srv {
+			return true
+		}
+	}
+	return false
+}
+
+// InFlight returns the in-flight migration transactions in deterministic
+// (VM ID) order.
+func (dc *DataCenter) InFlight() []*MigrationTx {
+	if len(dc.inflight) == 0 {
+		return nil
+	}
+	out := make([]*MigrationTx, 0, len(dc.inflight))
+	for _, tx := range dc.inflight {
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].vm.ID < out[j].vm.ID })
+	return out
+}

@@ -11,13 +11,20 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"vdcpower/internal/cluster"
+	"vdcpower/internal/fault"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/mpc"
 	"vdcpower/internal/sysid"
 	"vdcpower/internal/telemetry"
 )
+
+// defaultHoldWindow is how many consecutive held measurements the
+// controller tolerates before going open-loop (ControllerConfig.HoldWindow
+// overrides).
+const defaultHoldWindow = 4
 
 // ControlledApp is the sensor/actuator surface the response time
 // controller needs from an application: in the simulated testbed it is
@@ -63,6 +70,17 @@ type ControllerConfig struct {
 	// Metric selects the regulated SLA statistic. The zero value is the
 	// paper's 90-percentile.
 	Metric SLAMetric
+	// HoldWindow bounds how many consecutive periods the controller keeps
+	// closing the loop on a held (missing or rejected) measurement. Within
+	// the window the MPC still runs with its move damped by the hold
+	// streak; beyond it the controller goes open-loop, freezing the
+	// last-good allocation (which tracks demand — the converged MPC
+	// allocation is the demand-proportional fallback) until a valid
+	// measurement returns. 0 means the default of 4 periods.
+	HoldWindow int
+	// SensorID scopes fault-plane sensor decisions to this controller
+	// (defaults to "app"); harnesses set it to the application name.
+	SensorID string
 }
 
 // DefaultControllerConfig returns the tuning used by the paper-style
@@ -94,14 +112,40 @@ func DefaultControllerConfig(model *sysid.Model, setpoint float64) ControllerCon
 // ResponseTimeController is the application-level controller of Figure 1:
 // one per multi-tier application, invoked once per control period.
 type ResponseTimeController struct {
-	app   ControlledApp
-	ctl   *mpc.Controller
-	cfg   ControllerConfig
-	tHist []float64
-	cHist []mat.Vec
-	lastT float64
-	steps int
-	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
+	app        ControlledApp
+	ctl        *mpc.Controller
+	cfg        ControllerConfig
+	tHist      []float64
+	cHist      []mat.Vec
+	lastT      float64
+	steps      int
+	heldStreak int              // consecutive periods without a valid measurement
+	trace      *telemetry.Track // set via SetTrace; nil keeps tracing off
+	faults     *fault.Injector  // set via SetFaults; nil keeps injection off
+}
+
+// SetFaults implements fault.Injectable: measurements pass through the
+// injector's sensor plane (dropouts, outliers, stuck values).
+func (c *ResponseTimeController) SetFaults(in *fault.Injector) { c.faults = in }
+
+// sensorID names this controller's sensor for fault-plane hashing.
+func (c *ResponseTimeController) sensorID() string {
+	if c.cfg.SensorID != "" {
+		return c.cfg.SensorID
+	}
+	return "app"
+}
+
+// HoldWindow reports the effective hold window bound (default applied) —
+// harnesses feed it to the check package's staleness law.
+func (c *ResponseTimeController) HoldWindow() int { return c.holdWindow() }
+
+// holdWindow returns the configured hold window with its default.
+func (c *ResponseTimeController) holdWindow() int {
+	if c.cfg.HoldWindow > 0 {
+		return c.cfg.HoldWindow
+	}
+	return defaultHoldWindow
 }
 
 // SetTrace implements telemetry.Traceable: each Step records a
@@ -116,7 +160,10 @@ func (c *ResponseTimeController) SetTrace(tk *telemetry.Track) {
 type StepResult struct {
 	T90             float64   // measured SLA metric (90-percentile by default), seconds
 	Samples         int       // completed requests in the window
-	Held            bool      // window too small: measurement held over
+	Held            bool      // no valid measurement: previous one held over
+	Dropped         bool      // measurement rejected (NaN/Inf or injected dropout)
+	HeldStreak      int       // consecutive periods without a valid measurement
+	OpenLoop        bool      // hold window exhausted: last-good allocation frozen
 	Allocations     []float64 // allocations applied for the next period
 	TerminalRelaxed bool      // MPC had to relax the terminal constraint
 }
@@ -192,18 +239,56 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 	if minW == 0 {
 		minW = 1
 	}
+	valid := false
 	if len(window) >= minW {
-		c.lastT = c.cfg.Metric.Measure(window)
+		t := c.cfg.Metric.Measure(window)
+		t, _ = c.faults.SensorRead(c.steps, c.sensorID(), t)
+		// Measurement guard: a non-finite percentile (poisoned window,
+		// injected dropout) must never enter the ARX regressor — a single
+		// NaN there poisons every subsequent MPC solve. Negative values
+		// pass: linear ARX plants can transiently predict them.
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			res.Dropped = true
+		} else {
+			c.lastT = t
+			valid = true
+		}
+	}
+	if valid {
+		c.heldStreak = 0
 	} else {
 		res.Held = true
+		c.heldStreak++
 	}
+	res.HeldStreak = c.heldStreak
 	res.T90 = c.lastT
-	measure.Int("samples", res.Samples).Float("t90", res.T90).Bool("held", res.Held).End()
+	measure.Int("samples", res.Samples).Float("t90", res.T90).
+		Bool("held", res.Held).Bool("dropped", res.Dropped).End()
 
-	// Shift measurement history.
+	// Shift measurement history (the held last-good value when invalid).
 	c.tHist = append([]float64{c.lastT}, c.tHist...)
 	if len(c.tHist) > c.cfg.Model.Na+1 {
 		c.tHist = c.tHist[:c.cfg.Model.Na+1]
+	}
+
+	if c.heldStreak > c.holdWindow() {
+		// Hold window exhausted: the held measurement is too stale to close
+		// the loop on. Go open-loop — freeze the last-good allocation (the
+		// converged MPC allocation tracks demand, so this is the
+		// demand-proportional fallback) until a valid measurement returns.
+		res.OpenLoop = true
+		next := c.cHist[0].Clone()
+		for i := range next {
+			c.app.SetAllocation(i, next[i])
+		}
+		c.cHist = append([]mat.Vec{next}, c.cHist...)
+		if len(c.cHist) > c.cfg.Model.Nb+1 {
+			c.cHist = c.cHist[:c.cfg.Model.Nb+1]
+		}
+		res.Allocations = next.Clone()
+		c.steps++
+		period.Bool("open_loop", true).Int("held_streak", c.heldStreak).End()
+		return res, nil
 	}
 
 	out, err := c.ctl.Compute(c.tHist, c.cHist)
@@ -213,10 +298,17 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 	}
 	res.TerminalRelaxed = out.TerminalRelaxed
 
+	// Damp the move while closing the loop on a held measurement: stale
+	// feedback earns proportionally less authority.
+	damp := 1.0
+	if c.heldStreak > 0 {
+		damp = 1 / float64(1+c.heldStreak)
+	}
+
 	actuate := c.trace.Start("core.actuate")
 	next := c.cHist[0].Clone()
 	for i := range next {
-		next[i] += out.Delta[i]
+		next[i] += out.Delta[i] * damp
 		// Defensive clamp: the QP already enforces the box, but floating
 		// point can graze it.
 		if next[i] < c.cfg.CMin[i] {
@@ -254,6 +346,11 @@ type Arbitrator struct {
 	// Trace, when non-nil, records one "arbitrator.pass" span per
 	// Arbitrate call.
 	Trace *telemetry.Track
+	// Faults, when non-nil, can fail the DVFS actuation. The degradation
+	// policy never runs the server below demand because of a failed knob:
+	// the previous P-state is kept when it still covers the aggregate
+	// demand, otherwise the server fails safe to maximum frequency.
+	Faults *fault.Injector
 }
 
 // Grant is one VM's arbitrated allocation.
@@ -275,11 +372,24 @@ func (a *Arbitrator) Arbitrate() ([]Grant, float64) {
 		scale = capacity / total // proportional scale-down when overloaded
 	}
 	f := srv.Spec.LowestFreqFor(total * (1 + a.Headroom))
+	dvfsFailed := false
+	if a.Faults.DVFSFails(a.Faults.Step(), srv.ID) {
+		// Actuation failed. Keep the current P-state if it still covers
+		// demand; otherwise fail safe to maximum frequency so a broken
+		// knob can only waste power, never violate the SLA.
+		dvfsFailed = true
+		if srv.Spec.CapacityAt(srv.Freq()) >= total {
+			f = srv.Freq()
+		} else {
+			f = srv.Spec.MaxFreq
+		}
+	}
 	srv.SetFreq(f)
 	grants := make([]Grant, 0, srv.NumVMs())
 	for _, v := range srv.VMs() {
 		grants = append(grants, Grant{VMID: v.ID, Demand: v.Demand, Granted: v.Demand * scale})
 	}
-	sp.Int("vms", len(grants)).Float("freq_ghz", f).Bool("oversubscribed", scale < 1).End()
+	sp.Int("vms", len(grants)).Float("freq_ghz", f).
+		Bool("oversubscribed", scale < 1).Bool("dvfs_failed", dvfsFailed).End()
 	return grants, f
 }

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"vdcpower/internal/check"
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/core"
+	"vdcpower/internal/fault"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/power"
@@ -99,6 +101,14 @@ type Config struct {
 	// optimizer/watchdog passes, B&B nodes) and per-step power/active
 	// gauges. Nil disables publication at ~zero cost.
 	Metrics *telemetry.Registry
+
+	// Faults, when non-nil, injects the deterministic fault plane into the
+	// run: DVFS actuation failures, migration aborts (absorbed by the
+	// optimizer's retry protocol), transient consolidator/watchdog pass
+	// errors (the pass is skipped, the run continues), and server crashes
+	// (VMs evacuated or lost per the profile's policy). Same-seed fault
+	// runs are bit-reproducible. Nil disables injection at ~zero cost.
+	Faults *fault.Injector
 }
 
 // DefaultConfig mirrors Section VI-B for the given trace slice size.
@@ -138,6 +148,21 @@ type Result struct {
 	// WatchdogMoves counts migrations performed by the on-demand
 	// overload reliever (included in Migrations).
 	WatchdogMoves int
+	// FailedMoves counts planned migrations abandoned after exhausting
+	// their fault-plane retries.
+	FailedMoves int
+	// DegradedPasses counts consolidator/watchdog passes skipped on an
+	// injected transient error (the run continued degraded).
+	DegradedPasses int
+	// Crashes counts servers failed by the fault plane; VMsEvacuated and
+	// VMsLost split the fates of their hosted VMs.
+	Crashes      int
+	VMsEvacuated int
+	VMsLost      int
+	// FaultsInjected totals every fault the plane injected; FaultLog is
+	// the full typed record (empty without a fault plane).
+	FaultsInjected int
+	FaultLog       []fault.Record
 }
 
 // String renders the result on one line.
@@ -213,6 +238,31 @@ func Run(cfg Config) (Result, error) {
 			t.SetTrace(tk)
 		}
 	}
+	if cfg.Faults != nil {
+		cfg.Faults.AttachMetrics(cfg.Metrics)
+		if f, ok := cfg.Consolidator.(fault.Injectable); ok {
+			f.SetFaults(cfg.Faults)
+		}
+	}
+	// With a checker attached, every two-phase migration transition is
+	// observed as it happens, so the no-double-placement law sees the
+	// reserved state, not just the settled post-pass placement.
+	curStep := -1
+	if cfg.Checker != nil {
+		dc.SetMigrationObserver(func(tx *cluster.MigrationTx) {
+			cfg.Checker.Observe(check.Event{
+				Kind: check.EvMigration,
+				Step: curStep,
+				DC:   dc,
+				Migration: &check.MigrationObservation{
+					VMID:  tx.VM().ID,
+					From:  tx.Source().ID,
+					To:    tx.Target().ID,
+					Phase: string(tx.Phase()),
+				},
+			})
+		})
+	}
 	// Registry instruments resolve once, before the hot loop; on a nil
 	// registry they come back nil and every update below no-ops.
 	var (
@@ -223,6 +273,7 @@ func Run(cfg Config) (Result, error) {
 		mNodes      = cfg.Metrics.Counter("vdcpower_bnb_nodes_total", "Minimum Slack branch-and-bound nodes expanded")
 		gPower      = cfg.Metrics.Gauge("vdcpower_power_watts", "total data-center power draw")
 		gActive     = cfg.Metrics.Gauge("vdcpower_active_servers", "servers currently powered on")
+		mDegraded   = cfg.Metrics.Counter("vdcpower_degraded_steps_total", "optimizer passes skipped on an injected error while the run continued")
 	)
 
 	// Initial placement: FFD at the first step's demands — a neutral
@@ -263,11 +314,32 @@ func Run(cfg Config) (Result, error) {
 	}()
 	var meter power.Meter
 	activeSum := 0.0
+	// finish fills the aggregate fields from whatever the run accumulated,
+	// so error paths return a usable partial Result alongside the error
+	// (stepsDone counts fully accounted steps).
+	finish := func(stepsDone int) {
+		res.Steps = stepsDone
+		res.TotalEnergyWh = meter.Wh()
+		res.EnergyPerVMWh = meter.Wh() / float64(cfg.NumVMs)
+		if stepsDone > 0 {
+			res.MeanActive = activeSum / float64(stepsDone)
+		}
+		res.FinalActive = dc.NumActive()
+		res.FaultsInjected = cfg.Faults.Injected()
+		res.FaultLog = cfg.Faults.Log()
+	}
 	for k := 0; k < tr.NumSteps(); k++ {
 		tk.SetTime(float64(k) * tr.StepSeconds)
+		curStep = k
+		cfg.Faults.SetStep(k)
 		// New demands from the trace.
 		for i, v := range vms {
 			v.Demand = tr.At(i, k) * peaks[i]
+		}
+		// Whole-server crashes fire before this step's passes, so the
+		// optimizer and the DVFS arbiter see the post-crash fleet.
+		if cfg.Faults != nil {
+			applyCrashes(dc, cfg, k, &res)
 		}
 		if k%cfg.OptimizeEverySteps == 0 {
 			overloaded := 0
@@ -279,11 +351,20 @@ func Run(cfg Config) (Result, error) {
 			rep, err := cfg.Consolidator.Consolidate(dc)
 			csp.Int("migrations", rep.Migrations).Int("vetoed", rep.Vetoed).End()
 			if err != nil {
-				return Result{}, err
+				// An injected transient error degrades the pass — skip it
+				// and keep the run alive; a real error still aborts, but
+				// returns the partial result accumulated so far.
+				if !fault.IsInjected(err) {
+					finish(k)
+					return res, err
+				}
+				res.DegradedPasses++
+				mDegraded.Inc()
 			}
 			res.Migrations += rep.Migrations
 			res.Vetoed += rep.Vetoed
 			res.Unresolved += rep.Unresolved
+			res.FailedMoves += rep.FailedMoves
 			mPasses.Inc()
 			mMigrations.Add(float64(rep.Migrations))
 			mVetoed.Add(float64(rep.Vetoed))
@@ -302,14 +383,20 @@ func Run(cfg Config) (Result, error) {
 			wCfg := packing.DefaultMinSlackConfig()
 			wCfg.Trace = tk
 			wsp := tk.Start("dcsim.watchdog").Int("step", k)
-			rep, err := optimizer.ResolveOverloads(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom}, wCfg)
+			rep, err := optimizer.ResolveOverloadsWithFaults(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom}, wCfg, cfg.Faults)
 			wsp.Int("migrations", rep.Migrations).End()
 			if err != nil {
-				return Result{}, err
+				if !fault.IsInjected(err) {
+					finish(k)
+					return res, err
+				}
+				res.DegradedPasses++
+				mDegraded.Inc()
 			}
 			res.Migrations += rep.Migrations
 			res.WatchdogMoves += rep.Migrations
 			res.Unresolved += rep.Unresolved
+			res.FailedMoves += rep.FailedMoves
 			mWatchdog.Inc()
 			mMigrations.Add(float64(rep.Migrations))
 			if cfg.Checker != nil {
@@ -334,6 +421,10 @@ func Run(cfg Config) (Result, error) {
 		}
 		stepPower := 0.0
 		for _, s := range dc.Servers {
+			if s.State() == cluster.Failed {
+				// Crashed servers draw nothing, not even sleep power.
+				continue
+			}
 			if s.State() != cluster.Active {
 				if cfg.CountSleepPower {
 					stepPower += s.Spec.PSleep
@@ -341,8 +432,12 @@ func Run(cfg Config) (Result, error) {
 				continue
 			}
 			if cfg.Consolidator.UsesDVFS() {
-				if tk != nil {
-					arb := core.Arbitrator{Server: s, Headroom: cfg.Headroom, Trace: tk}
+				if tk != nil || cfg.Faults != nil {
+					// Tracing or fault injection routes through the
+					// arbitrator (same frequency choice, plus spans and
+					// the DVFS-failure degradation policy); the untraced,
+					// fault-free path keeps the allocation-free call.
+					arb := core.Arbitrator{Server: s, Headroom: cfg.Headroom, Trace: tk, Faults: cfg.Faults}
 					arb.Arbitrate()
 				} else {
 					s.SetFreq(s.Spec.LowestFreqFor(s.TotalDemand() * (1 + cfg.Headroom)))
@@ -380,12 +475,9 @@ func Run(cfg Config) (Result, error) {
 			cfg.OnStep(k, stepPower, nActive, demand)
 		}
 	}
-	res.TotalEnergyWh = meter.Wh()
-	res.EnergyPerVMWh = meter.Wh() / float64(cfg.NumVMs)
-	res.MeanActive = activeSum / float64(tr.NumSteps())
-	res.FinalActive = dc.NumActive()
+	finish(tr.NumSteps())
 	if err := dc.CheckInvariants(); err != nil {
-		return Result{}, err
+		return res, err
 	}
 	if cfg.OnDone != nil {
 		cfg.OnDone(dc)
@@ -449,6 +541,90 @@ func initialPlacement(dc *cluster.DataCenter, vms []*cluster.VM, demands []float
 		}
 	}
 	return nil
+}
+
+// applyCrashes fails the servers the fault plane schedules for step k, then
+// disposes of their VMs per the crash policy: evacuate re-places them on
+// the surviving fleet, lose drops them and reports the loss to the checker
+// so the conservation laws shrink their baseline instead of flagging a
+// phantom violation.
+func applyCrashes(dc *cluster.DataCenter, cfg Config, k int, res *Result) {
+	candidates := make([]string, 0, len(dc.Servers))
+	byID := make(map[string]*cluster.Server, len(dc.Servers))
+	for _, s := range dc.Servers {
+		byID[s.ID] = s
+		if s.State() == cluster.Active {
+			candidates = append(candidates, s.ID)
+		}
+	}
+	for _, cr := range cfg.Faults.Crashes(k, candidates) {
+		srv := byID[cr.Server]
+		if srv == nil || srv.State() == cluster.Failed {
+			continue
+		}
+		orphans := dc.Crash(srv)
+		res.Crashes++
+		var lost []string
+		if cr.Policy == fault.Lose {
+			res.VMsLost += len(orphans)
+			for _, v := range orphans {
+				lost = append(lost, v.ID)
+			}
+		} else {
+			res.VMsEvacuated += len(orphans)
+			evacuate(dc, orphans)
+		}
+		if cfg.Checker != nil {
+			cfg.Checker.Observe(check.Event{Kind: check.EvCrash, Step: k, DC: dc, LostVMs: lost})
+		}
+	}
+}
+
+// evacuate re-places crash orphans over the surviving fleet: first fit by
+// decreasing demand onto the first non-failed, non-cordoned server with CPU
+// and memory room (waking sleeping servers as needed). When nothing fits,
+// the VM is forced onto the surviving server with the most CPU slack — a
+// transient overload the watchdog can relieve beats losing customer state.
+func evacuate(dc *cluster.DataCenter, orphans []*cluster.VM) {
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].Demand > orphans[j].Demand {
+			return true
+		}
+		if orphans[j].Demand > orphans[i].Demand {
+			return false
+		}
+		return orphans[i].ID < orphans[j].ID
+	})
+	for _, v := range orphans {
+		var target, fallback *cluster.Server
+		bestSlack := math.Inf(-1)
+		for _, s := range dc.Servers {
+			if s.State() == cluster.Failed || s.Cordoned() {
+				continue
+			}
+			slack := s.Spec.Capacity() - s.TotalDemand()
+			if slack > bestSlack {
+				bestSlack = slack
+				fallback = s
+			}
+			if target == nil && slack >= v.Demand && s.TotalMemory()+v.MemoryGB <= s.Spec.MemoryGB {
+				target = s
+			}
+		}
+		if target == nil {
+			target = fallback
+		}
+		if target == nil {
+			// The whole fleet is failed or cordoned; nothing to do — the
+			// VM is gone and conservation laws will flag it, correctly.
+			continue
+		}
+		// Place cannot fail here: the VM was just detached (unplaced) and
+		// the target is neither failed nor cordoned.
+		if err := dc.Place(v, target); err != nil {
+			panic(fmt.Sprintf("dcsim: evacuation re-place failed: %v", err)) //lint:ignore panicpolicy placement invariant broken
+		}
+	}
 }
 
 // Fig6Point is one x-position of Figure 6: energy per VM over the whole

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"vdcpower/internal/fault"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/workload"
@@ -25,6 +26,11 @@ type SweepOptions struct {
 	Tracer *telemetry.Tracer
 	// Metrics, when non-nil, receives every run's counters and gauges.
 	Metrics *telemetry.Registry
+	// FaultProfile, when non-nil, injects the same fault profile into
+	// every run. Each job gets its own Injector (injectors are stateful:
+	// stuck sensors, attempt counters), so runs stay isolated and each
+	// remains individually reproducible.
+	FaultProfile *fault.Profile
 }
 
 // Fig6Parallel computes the same sweep as Fig6 but fans the independent
@@ -67,6 +73,9 @@ func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.C
 				cfg := DefaultConfig(trace, sizes[j.sizeIdx], cons)
 				cfg.Telemetry = tk
 				cfg.Metrics = opt.Metrics
+				if opt.FaultProfile != nil {
+					cfg.Faults = fault.New(*opt.FaultProfile)
+				}
 				sp := tk.Start("dcsim.job").Int("vms", sizes[j.sizeIdx]).Str("policy", cons.Name())
 				res, err := Run(cfg)
 				sp.Float("per_vm_wh", res.EnergyPerVMWh).Bool("failed", err != nil).End()

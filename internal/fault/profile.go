@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Defaults applied when a profile leaves a tuning field zero.
+const (
+	defaultOutlierFactor       = 10.0
+	defaultStuckPeriods        = 3
+	defaultAbortAfterPasses    = 2
+	defaultMigrationBackoffSec = 5.0
+)
+
+// CrashPolicy decides what happens to a crashed server's VMs.
+type CrashPolicy string
+
+// Crash policies.
+const (
+	// Evacuate re-places the crashed server's VMs on the surviving fleet
+	// (waking servers or overcommitting if it must; the watchdog relieves
+	// any resulting overload). VM conservation holds.
+	Evacuate CrashPolicy = "evacuate"
+	// Lose drops the crashed server's VMs from the simulation — the
+	// checker is told which VM IDs were lost so conservation laws adjust
+	// their baseline instead of reporting false violations.
+	Lose CrashPolicy = "lose"
+)
+
+// valid reports whether the policy is known ("" means default).
+func (p CrashPolicy) valid() bool { return p == "" || p == Evacuate || p == Lose }
+
+// SensorProfile perturbs response-time measurements.
+type SensorProfile struct {
+	// DropoutProb is the per-read probability the measurement is lost
+	// (the controller sees NaN and engages its hold window).
+	DropoutProb float64 `json:"dropout_prob,omitempty"`
+	// OutlierProb is the per-read probability the measurement is scaled
+	// by OutlierFactor (default 10x) — a garbage percentile.
+	OutlierProb   float64 `json:"outlier_prob,omitempty"`
+	OutlierFactor float64 `json:"outlier_factor,omitempty"`
+	// StuckProb is the per-read probability the sensor freezes at the
+	// current value for StuckPeriods reads (default 3).
+	StuckProb    float64 `json:"stuck_prob,omitempty"`
+	StuckPeriods int     `json:"stuck_periods,omitempty"`
+}
+
+// DVFSProfile fails frequency actuations.
+type DVFSProfile struct {
+	// FailProb is the per-(server, step) probability a P-state request
+	// is not applied.
+	FailProb float64 `json:"fail_prob,omitempty"`
+}
+
+// MigrationProfile aborts live migrations.
+type MigrationProfile struct {
+	// AbortProb is the per-attempt probability a migration aborts
+	// mid-copy (the VM stays on the source).
+	AbortProb float64 `json:"abort_prob,omitempty"`
+	// AbortAfterPasses models where the abort hits: after this many
+	// pre-copy passes (default 2; see cluster.MigrationModel).
+	AbortAfterPasses int `json:"abort_after_passes,omitempty"`
+	// MaxRetries bounds the retry loop after an abort (default 0: no
+	// retries). Retries back off deterministically from BackoffSec.
+	MaxRetries int     `json:"max_retries,omitempty"`
+	BackoffSec float64 `json:"backoff_sec,omitempty"`
+}
+
+// OptimizerProfile fails whole consolidation passes.
+type OptimizerProfile struct {
+	// ErrorProb is the per-pass probability the consolidator returns a
+	// transient error; degraded harnesses skip the pass and continue.
+	ErrorProb float64 `json:"error_prob,omitempty"`
+}
+
+// CrashSpec schedules one server crash.
+type CrashSpec struct {
+	// Step is the trace step the crash fires at.
+	Step int `json:"step"`
+	// Server names the victim; empty picks one active server by hash.
+	Server string `json:"server,omitempty"`
+	// Policy overrides the profile-level crash policy for this crash.
+	Policy CrashPolicy `json:"policy,omitempty"`
+}
+
+// CrashProfile fails whole servers.
+type CrashProfile struct {
+	// At lists scheduled crashes.
+	At []CrashSpec `json:"at,omitempty"`
+	// Prob is the per-(active server, step) crash probability.
+	Prob float64 `json:"prob,omitempty"`
+	// Policy is the default fate of a crashed server's VMs (evacuate).
+	Policy CrashPolicy `json:"policy,omitempty"`
+}
+
+// ServeProfile fails serve control steps.
+type ServeProfile struct {
+	// ErrorProb is the per-step probability the control step fails.
+	ErrorProb float64 `json:"error_prob,omitempty"`
+	// UntilStep stops injection at this step (exclusive) when > 0, so
+	// recovery after a fault burst is observable.
+	UntilStep int `json:"until_step,omitempty"`
+}
+
+// Profile is one fault-injection configuration, loadable from JSON
+// (cmd/dcsim -faults profile.json). The zero profile injects nothing.
+type Profile struct {
+	// Seed scopes every hash decision; two injectors with equal profiles
+	// make identical decisions.
+	Seed      int64            `json:"seed"`
+	Sensor    SensorProfile    `json:"sensor,omitempty"`
+	DVFS      DVFSProfile      `json:"dvfs,omitempty"`
+	Migration MigrationProfile `json:"migration,omitempty"`
+	Optimizer OptimizerProfile `json:"optimizer,omitempty"`
+	Crash     CrashProfile     `json:"crash,omitempty"`
+	Serve     ServeProfile     `json:"serve,omitempty"`
+}
+
+// probRange checks one probability field.
+func probRange(name string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("fault: %s = %v outside [0,1]", name, p)
+	}
+	return nil
+}
+
+// Validate checks every probability and enum in the profile.
+func (p Profile) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"sensor.dropout_prob", p.Sensor.DropoutProb},
+		{"sensor.outlier_prob", p.Sensor.OutlierProb},
+		{"sensor.stuck_prob", p.Sensor.StuckProb},
+		{"dvfs.fail_prob", p.DVFS.FailProb},
+		{"migration.abort_prob", p.Migration.AbortProb},
+		{"optimizer.error_prob", p.Optimizer.ErrorProb},
+		{"crash.prob", p.Crash.Prob},
+		{"serve.error_prob", p.Serve.ErrorProb},
+	}
+	for _, c := range checks {
+		if err := probRange(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if p.Sensor.OutlierFactor < 0 {
+		return fmt.Errorf("fault: sensor.outlier_factor = %v is negative", p.Sensor.OutlierFactor)
+	}
+	if p.Migration.MaxRetries < 0 {
+		return fmt.Errorf("fault: migration.max_retries = %d is negative", p.Migration.MaxRetries)
+	}
+	if p.Migration.BackoffSec < 0 {
+		return fmt.Errorf("fault: migration.backoff_sec = %v is negative", p.Migration.BackoffSec)
+	}
+	if !p.Crash.Policy.valid() {
+		return fmt.Errorf("fault: unknown crash policy %q", p.Crash.Policy)
+	}
+	for i, sc := range p.Crash.At {
+		if sc.Step < 0 {
+			return fmt.Errorf("fault: crash.at[%d].step = %d is negative", i, sc.Step)
+		}
+		if !sc.Policy.valid() {
+			return fmt.Errorf("fault: crash.at[%d] has unknown policy %q", i, sc.Policy)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the profile can inject anything at all.
+func (p Profile) Enabled() bool {
+	return p.Sensor.DropoutProb > 0 || p.Sensor.OutlierProb > 0 || p.Sensor.StuckProb > 0 ||
+		p.DVFS.FailProb > 0 || p.Migration.AbortProb > 0 || p.Optimizer.ErrorProb > 0 ||
+		p.Crash.Prob > 0 || len(p.Crash.At) > 0 || p.Serve.ErrorProb > 0
+}
+
+// ReadProfile parses and validates a JSON profile.
+func ReadProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("fault: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// LoadProfile reads a JSON profile from a file.
+func LoadProfile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	//lint:ignore errcheck close error on a read-only file cannot lose data
+	defer f.Close()
+	return ReadProfile(f)
+}

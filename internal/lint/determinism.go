@@ -7,7 +7,8 @@ import (
 
 // simPackages are the module-relative packages whose results must be
 // bit-for-bit reproducible from a seed: the two simulators, the testbed,
-// and the optimization stack they drive.
+// the optimization stack they drive, and the fault-injection plane
+// (chaos runs must replay exactly from a profile seed).
 var simPackages = []string{
 	"internal/dcsim",
 	"internal/appsim",
@@ -15,6 +16,7 @@ var simPackages = []string{
 	"internal/optimizer",
 	"internal/packing",
 	"internal/queueing",
+	"internal/fault",
 }
 
 // bannedTimeFuncs read the wall clock, which differs between runs.
@@ -40,8 +42,8 @@ func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc: "forbid time.Now/Since/Until and global math/rand in simulation packages " +
-			"(dcsim, appsim, testbed, optimizer, packing, queueing); randomness must " +
-			"flow through a seeded *rand.Rand so runs reproduce bit-for-bit from a seed",
+			"(dcsim, appsim, testbed, optimizer, packing, queueing, fault); randomness " +
+			"must flow through a seeded *rand.Rand so runs reproduce bit-for-bit from a seed",
 		Applies: func(pkgPath string) bool { return pathHasSuffix(pkgPath, simPackages) },
 		Run:     runDeterminism,
 	}

@@ -41,6 +41,14 @@ func draw(seed int64) float64 {
 			want: nil,
 		},
 		{
+			name:    "global rand in the fault injector",
+			pkgPath: "vdcpower/internal/fault",
+			src: `package fault
+import "math/rand"
+func flip(p float64) bool { return rand.Float64() < p }`,
+			want: []string{"rand.Float64"},
+		},
+		{
 			name:    "non-simulation package is out of scope",
 			pkgPath: "vdcpower/internal/serve",
 			src: `package serve

@@ -132,6 +132,19 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 		if len(cv) != c.m {
 			return Result{}, fmt.Errorf("mpc: allocation dimension %d, want %d", len(cv), c.m)
 		}
+		for _, x := range cv {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return Result{}, fmt.Errorf("mpc: non-finite allocation history %v", x)
+			}
+		}
+	}
+	// A single NaN in the regressor would propagate through every rollout
+	// and poison the QP; reject it here so callers' measurement guards have
+	// a hard backstop.
+	for _, t := range tPast {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return Result{}, fmt.Errorf("mpc: non-finite response history %v", t)
+		}
 	}
 
 	nu := cfg.M * c.m // number of unknowns

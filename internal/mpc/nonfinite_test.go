@@ -1,0 +1,43 @@
+package mpc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vdcpower/internal/mat"
+)
+
+// TestComputeRejectsNonFiniteHistory pins the NaN backstop: a poisoned
+// regressor must be rejected at the door, not propagated through the QP.
+func TestComputeRejectsNonFiniteHistory(t *testing.T) {
+	ctl, err := New(defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodT := []float64{2.0, 2.0}
+	goodC := []mat.Vec{{1, 1}, {1, 1}, {1, 1}}
+	if _, err := ctl.Compute(goodT, goodC); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		t    []float64
+		c    []mat.Vec
+	}{
+		{"NaN response", []float64{math.NaN(), 2.0}, goodC},
+		{"Inf response", []float64{2.0, math.Inf(1)}, goodC},
+		{"NaN allocation", goodT, []mat.Vec{{1, math.NaN()}, {1, 1}, {1, 1}}},
+		{"-Inf allocation", goodT, []mat.Vec{{1, 1}, {math.Inf(-1), 1}, {1, 1}}},
+	}
+	for _, tc := range cases {
+		_, err := ctl.Compute(tc.t, tc.c)
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}

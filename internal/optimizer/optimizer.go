@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vdcpower/internal/cluster"
+	"vdcpower/internal/fault"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/telemetry"
 )
@@ -31,17 +32,21 @@ type Report struct {
 	Vetoed       int // migrations rejected by the cost policy
 	Rounds       int // consolidation rounds executed
 	Unresolved   int // overloaded VMs that could not be re-placed
+	FailedMoves  int // planned migrations abandoned after exhausting retries
 	ActiveBefore int
 	ActiveAfter  int
 	// Moves records every performed migration, in order, so callers can
 	// charge migration costs (network traffic, application downtime).
 	Moves []cluster.Migration
+	// FaultLog records the injected faults (migration aborts, pass errors)
+	// absorbed during this pass, so degraded runs stay auditable.
+	FaultLog []fault.Record
 }
 
 // String renders the report on one line.
 func (r Report) String() string {
-	return fmt.Sprintf("migrations=%d vetoed=%d rounds=%d unresolved=%d active %d→%d",
-		r.Migrations, r.Vetoed, r.Rounds, r.Unresolved, r.ActiveBefore, r.ActiveAfter)
+	return fmt.Sprintf("migrations=%d vetoed=%d rounds=%d unresolved=%d failed=%d active %d→%d",
+		r.Migrations, r.Vetoed, r.Rounds, r.Unresolved, r.FailedMoves, r.ActiveBefore, r.ActiveAfter)
 }
 
 // WithoutDVFS wraps a consolidator so its servers run at maximum

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vdcpower/internal/cluster"
+	"vdcpower/internal/fault"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/telemetry"
 )
@@ -57,9 +58,17 @@ type IPAC struct {
 	// MaxRounds bounds the drain loop per invocation. <= 0 means the
 	// number of servers (the natural maximum).
 	MaxRounds int
+	// Faults, when non-nil, injects transient pass errors and migration
+	// aborts; IPAC degrades by skipping the failed move (bounded retries
+	// with deterministic backoff) instead of aborting the pass.
+	Faults *fault.Injector
 
 	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
 }
+
+// SetFaults implements fault.Injectable; harnesses wire the fault plane by
+// type assertion, so the Consolidator interface stays fault-free.
+func (o *IPAC) SetFaults(in *fault.Injector) { o.Faults = in }
 
 // SetTrace implements telemetry.Traceable: consolidation rounds, B&B
 // searches, and cost-policy vetoes record onto tk. Harnesses discover
@@ -102,6 +111,15 @@ func (o *IPAC) Consolidate(dc *cluster.DataCenter) (Report, error) {
 		root.Int("rounds", rep.Rounds).Int("migrations", rep.Migrations).
 			Int("vetoed", rep.Vetoed).Int("active_after", rep.ActiveAfter).End()
 	}()
+	if err := o.Faults.OptimizerError(o.Name()); err != nil {
+		// Transient injected pass failure: report it typed so harnesses
+		// skip this pass and continue (fault.IsInjected distinguishes it
+		// from real errors).
+		rep.FaultLog = append(rep.FaultLog, fault.Record{
+			Kind: fault.OptimizerError, Step: o.Faults.Step(), Target: o.Name()})
+		rep.ActiveAfter = dc.NumActive()
+		return rep, err
+	}
 	if err := o.resolveOverloads(dc, &rep); err != nil {
 		return rep, err
 	}
@@ -194,14 +212,17 @@ func (o *IPAC) drain(dc *cluster.DataCenter, donor *cluster.Server, rep *Report)
 				Str("from", donor.ID).Str("to", target.ID).End()
 			continue
 		}
-		mig, err := dc.Migrate(vm, target)
+		moved, err := migrateWithRetry(dc, vm, target, o.Faults, rep, o.trace)
 		if err != nil {
 			// Should not happen: the plan was validated by the constraint.
 			//lint:ignore panicpolicy invariant: the plan was validated by the constraint, failure to apply it is a packing bug
 			panic(fmt.Sprintf("optimizer: planned migration failed: %v", err))
 		}
-		rep.Moves = append(rep.Moves, mig)
-		rep.Migrations++
+		if !moved {
+			// Injected abort exhausted its retries: skip-and-continue. The
+			// VM stays on the donor, so this round cannot empty it.
+			emptied = false
+		}
 	}
 	if emptied {
 		donor.Sleep()
@@ -214,7 +235,7 @@ func (o *IPAC) drain(dc *cluster.DataCenter, donor *cluster.Server, rep *Report)
 // PAC, waking sleeping servers if necessary. Shedding always commits:
 // it is a correctness fix, not an optimization.
 func (o *IPAC) resolveOverloads(dc *cluster.DataCenter, rep *Report) error {
-	return resolveOverloads(dc, o.Constraint, o.MinSlack, rep)
+	return resolveOverloads(dc, o.Constraint, o.MinSlack, o.Faults, rep)
 }
 
 // ResolveOverloads is the on-demand overload reliever of Section III:
@@ -225,13 +246,21 @@ func (o *IPAC) resolveOverloads(dc *cluster.DataCenter, rep *Report) error {
 // It sheds VMs from overloaded servers and re-places them via PAC,
 // reporting the moves; it never consolidates.
 func ResolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, cfg packing.MinSlackConfig) (Report, error) {
+	return ResolveOverloadsWithFaults(dc, cons, cfg, nil)
+}
+
+// ResolveOverloadsWithFaults is ResolveOverloads under a fault plane:
+// relief migrations go through the two-phase retry protocol, and moves
+// that exhaust their retries leave the overload reported as unresolved
+// instead of failing the pass.
+func ResolveOverloadsWithFaults(dc *cluster.DataCenter, cons packing.Constraint, cfg packing.MinSlackConfig, inj *fault.Injector) (Report, error) {
 	rep := Report{ActiveBefore: dc.NumActive()}
-	err := resolveOverloads(dc, cons, cfg, &rep)
+	err := resolveOverloads(dc, cons, cfg, inj, &rep)
 	rep.ActiveAfter = dc.NumActive()
 	return rep, err
 }
 
-func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg packing.MinSlackConfig, rep *Report) error {
+func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg packing.MinSlackConfig, inj *fault.Injector, rep *Report) error {
 	sp := msCfg.Trace.Start("optimizer.resolve_overloads")
 	before := rep.Migrations
 	defer func() {
@@ -270,11 +299,11 @@ func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg pac
 	if len(shed) == 0 {
 		return nil
 	}
-	// Bins: every non-cordoned server (sleeping ones may be woken),
-	// minus the shed VMs.
+	// Bins: every non-cordoned, non-failed server (sleeping ones may be
+	// woken), minus the shed VMs.
 	var bins []*packing.Bin
 	for _, s := range dc.Servers {
-		if s.Cordoned() {
+		if s.Cordoned() || s.State() == cluster.Failed {
 			continue
 		}
 		b := &packing.Bin{
@@ -310,12 +339,13 @@ func resolveOverloads(dc *cluster.DataCenter, cons packing.Constraint, msCfg pac
 			continue // re-packed in place
 		}
 		// Overload relief bypasses the cost policy: SLAs outrank cost.
-		mig, err := dc.Migrate(sh.vm, target)
+		moved, err := migrateWithRetry(dc, sh.vm, target, inj, rep, msCfg.Trace)
 		if err != nil {
 			return fmt.Errorf("optimizer: overload migration failed: %w", err)
 		}
-		rep.Moves = append(rep.Moves, mig)
-		rep.Migrations++
+		if !moved {
+			rep.Unresolved++ // retries exhausted: the overload stays
+		}
 	}
 	return nil
 }

@@ -57,8 +57,8 @@ func (p *PMapper) Consolidate(dc *cluster.DataCenter) (Report, error) {
 	// reading of "first-fit" — phase 2 is explicitly FFD).
 	var bins []*packing.Bin
 	for _, s := range dc.Servers {
-		if s.Cordoned() {
-			continue // maintenance: not a valid target
+		if s.Cordoned() || s.State() == cluster.Failed {
+			continue // maintenance or crashed: not a valid target
 		}
 		bins = append(bins, &packing.Bin{
 			ID:         s.ID,

@@ -44,15 +44,27 @@ func (w *brokenWriter) Header() http.Header {
 func (w *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
 func (w *brokenWriter) WriteHeader(int)           {}
 
-func TestStartRecordsStepError(t *testing.T) {
+func TestStartSurvivesStepErrors(t *testing.T) {
 	s := testServer(t)
 	logs := captureLog(t)
 	if s.LastErr() != nil {
 		t.Fatalf("fresh server has LastErr %v", s.LastErr())
 	}
 	boom := errors.New("boom")
-	s.step = func() error { return boom }
+	var mu sync.Mutex
+	fail := true
+	calls := 0
+	s.step = func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if fail {
+			return boom
+		}
+		return nil
+	}
 	s.Start(time.Millisecond)
+	defer s.Stop()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.LastErr() == nil {
 		if time.Now().After(deadline) {
@@ -63,7 +75,8 @@ func TestStartRecordsStepError(t *testing.T) {
 	if !errors.Is(s.LastErr(), boom) {
 		t.Fatalf("LastErr = %v, want %v", s.LastErr(), boom)
 	}
-	// The status document carries the halt reason.
+	// The loop is degraded, not dead: steps keep being attempted and the
+	// status and health documents carry the error.
 	rr := get(t, s.Handler(), "/status")
 	var st Status
 	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
@@ -72,23 +85,40 @@ func TestStartRecordsStepError(t *testing.T) {
 	if st.LastError != "boom" {
 		t.Fatalf("status.LastError = %q, want boom", st.LastError)
 	}
-	s.Stop()
+	rr = get(t, s.Handler(), "/health")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /health = %d, want 503", rr.Code)
+	}
+	// Failures stop: the loop recovers, clears the error, and /health
+	// flips back to 200 — even if the circuit breaker opened meanwhile
+	// (its half-open probe succeeds).
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	for s.LastErr() != nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("loop never recovered; logs: %v", logs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rr = get(t, s.Handler(), "/health")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("recovered /health = %d, want 200", rr.Code)
+	}
 	found := false
 	for _, m := range logs() {
-		if strings.Contains(m, "background loop halted") {
+		if strings.Contains(m, "continuing degraded") {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("halt was not logged: %v", logs())
+		t.Fatalf("degradation was not logged: %v", logs())
 	}
-	// Restarting clears the recorded error.
-	s.step = func() error { return nil }
-	s.Start(time.Millisecond)
-	defer s.Stop()
-	if s.LastErr() != nil {
-		t.Fatalf("LastErr not cleared on restart: %v", s.LastErr())
+	mu.Lock()
+	if calls < 2 {
+		t.Fatalf("loop attempted only %d steps after an error", calls)
 	}
+	mu.Unlock()
 }
 
 func TestHealthyStatusHasNoLastError(t *testing.T) {

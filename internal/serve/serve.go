@@ -14,8 +14,17 @@ import (
 	"sync"
 	"time"
 
+	"vdcpower/internal/fault"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
+)
+
+// Circuit-breaker defaults: after defaultBreakerThreshold consecutive step
+// failures the loop stops attempting real steps for
+// defaultBreakerCooldown ticks, then half-opens with a single probe step.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 10
 )
 
 // logf reports non-fatal serving problems (failed response writes); a
@@ -32,13 +41,27 @@ type Server struct {
 	maxHistory int
 	stop       chan struct{}
 	wg         sync.WaitGroup
-	lastErr    error        // first error that halted the background loop
+	lastErr    error        // most recent step error; nil after a successful step
 	step       func() error // Step, indirected so tests can inject failures
+
+	// Degraded-mode state: the background loop survives step errors. After
+	// breakerThreshold consecutive failures the breaker opens and real
+	// steps are skipped for breakerCooldown ticks, then one probe step
+	// half-opens it — success closes the breaker, failure re-arms the
+	// cooldown.
+	faults           *fault.Injector
+	totalSteps       int // control steps attempted (fault-plane step index)
+	consecFails      int
+	breakerOpen      bool
+	cooldownLeft     int
+	breakerThreshold int
+	breakerCooldown  int
 
 	metrics  *telemetry.Registry
 	tracer   *telemetry.Tracer
 	stepWall *telemetry.Histogram
 	stepErrs *telemetry.Counter
+	degraded *telemetry.Counter
 	snapshot func() (Status, error) // snapshotStatus, indirected so tests can inject failures
 }
 
@@ -56,14 +79,37 @@ func New(tb *testbed.Testbed) *Server {
 		"wall-clock latency of one control period (measure, MPC solves, and actuation for every app)",
 		telemetry.ExponentialBuckets(1e-4, 4, 10))
 	s.stepErrs = s.metrics.Counter("vdcpower_step_errors_total",
-		"control steps that failed and halted the background loop")
+		"control steps that failed (the background loop continues degraded)")
+	s.degraded = s.metrics.Counter("vdcpower_degraded_steps_total",
+		"control steps failed or skipped while the loop ran degraded")
+	s.breakerThreshold = defaultBreakerThreshold
+	s.breakerCooldown = defaultBreakerCooldown
 	return s
 }
 
-// Step advances the control loop by one period.
+// AttachFaults wires the deterministic fault plane into the server and its
+// testbed: each control step first consults the injector's serve plane (an
+// injected step error exercises degraded mode end to end), and the testbed
+// threads the injector through controllers, arbitrators, and consolidator.
+func (s *Server) AttachFaults(inj *fault.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = inj
+	s.tb.AttachFaults(inj)
+	inj.AttachMetrics(s.metrics)
+}
+
+// Step advances the control loop by one period. The fault plane is
+// consulted first: an injected step error fails the period before the
+// testbed runs, exactly like a wedged collector or actuator would.
 func (s *Server) Step() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	k := s.totalSteps
+	s.totalSteps++
+	if err := s.faults.StepError(k); err != nil {
+		return err
+	}
 	start := telemetry.WallClock()
 	recs, err := s.tb.Run(s.tb.Cfg.Period, nil)
 	if err != nil {
@@ -78,10 +124,13 @@ func (s *Server) Step() error {
 }
 
 // Start advances the loop continuously in the background, one control
-// period every interval of wall-clock time. Call Stop to halt. If a step
-// fails the loop halts and the error is retained: LastErr returns it and
-// the /status document carries it, so a wedged loop is visible instead
-// of silently freezing the dashboard.
+// period every interval of wall-clock time. Call Stop to halt. A failing
+// step no longer kills the loop: the error is retained (LastErr, /status,
+// /health report it) and the loop keeps ticking degraded. After
+// breakerThreshold consecutive failures the circuit breaker opens — steps
+// are skipped for breakerCooldown ticks to let a wedged dependency
+// recover — then a single probe step half-opens it; success closes the
+// breaker and clears the error, failure re-arms the cooldown.
 func (s *Server) Start(interval time.Duration) {
 	s.mu.Lock()
 	if s.stop != nil {
@@ -90,6 +139,8 @@ func (s *Server) Start(interval time.Duration) {
 	}
 	s.stop = make(chan struct{})
 	s.lastErr = nil
+	s.consecFails = 0
+	s.breakerOpen = false
 	stop := s.stop
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -102,21 +153,65 @@ func (s *Server) Start(interval time.Duration) {
 			case <-stop:
 				return
 			case <-t.C:
-				if err := s.step(); err != nil {
-					s.mu.Lock()
-					s.lastErr = err
-					s.mu.Unlock()
-					s.stepErrs.Inc()
-					logf("serve: background loop halted: %v", err)
-					return
+				if !s.allowStep() {
+					s.degraded.Inc()
+					continue
 				}
+				s.recordStep(s.step())
 			}
 		}
 	}()
 }
 
-// LastErr returns the error that halted the background loop, or nil
-// while it is healthy (or was never started).
+// allowStep decides whether this tick runs a real step or is absorbed by
+// an open circuit breaker. The last cooldown tick half-opens the breaker:
+// the step runs as a probe.
+func (s *Server) allowStep() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.breakerOpen {
+		return true
+	}
+	if s.cooldownLeft > 1 {
+		s.cooldownLeft--
+		return false
+	}
+	s.cooldownLeft = 0
+	return true // half-open probe
+}
+
+// recordStep folds one step outcome into the degraded-mode state.
+func (s *Server) recordStep(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.lastErr = nil
+		s.consecFails = 0
+		if s.breakerOpen {
+			s.breakerOpen = false
+			logf("serve: circuit breaker closed after successful probe")
+		}
+		return
+	}
+	s.lastErr = err
+	s.consecFails++
+	s.stepErrs.Inc()
+	s.degraded.Inc()
+	switch {
+	case s.breakerOpen:
+		s.cooldownLeft = s.breakerCooldown
+		logf("serve: circuit breaker probe failed, re-opening: %v", err)
+	case s.consecFails >= s.breakerThreshold:
+		s.breakerOpen = true
+		s.cooldownLeft = s.breakerCooldown
+		logf("serve: circuit breaker opened after %d consecutive step failures: %v", s.consecFails, err)
+	default:
+		logf("serve: control step failed, continuing degraded: %v", err)
+	}
+}
+
+// LastErr returns the most recent step error while the loop is degraded,
+// or nil while it is healthy (the error clears on the next good step).
 func (s *Server) LastErr() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -144,7 +239,8 @@ type AppStatus struct {
 }
 
 // Status is the live state document served at /status. LastError is the
-// error that halted the background loop, empty while it is healthy.
+// most recent step error while the loop runs degraded, empty while it is
+// healthy.
 type Status struct {
 	SimTimeSec    float64     `json:"sim_time_sec"`
 	PowerW        float64     `json:"power_w"`
@@ -186,6 +282,7 @@ func (s *Server) snapshotStatus() Status {
 
 // Handler returns the HTTP API:
 //
+//	GET  /health                        readiness: 200 ok / 503 degraded
 //	GET  /status                        live state as JSON
 //	GET  /history?n=100                 recent per-period records as JSON
 //	GET  /metrics                       Prometheus text exposition
@@ -205,6 +302,7 @@ func (s *Server) Handler() http.Handler {
 			h(w, r)
 		})
 	}
+	handle("/health", s.handleHealth)
 	handle("/status", s.handleStatus)
 	handle("/history", s.handleHistory)
 	handle("/metrics", s.handleMetrics)
@@ -257,6 +355,49 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err := snap.WriteJSON(w); err != nil {
 		logf("serve: writing snapshot response: %v", err)
 	}
+}
+
+// Health is the readiness document served at /health: "ok" with HTTP 200
+// while the loop is stepping cleanly, "degraded" with HTTP 503 while the
+// last step failed or the circuit breaker is open. Probes (Kubernetes-style
+// readiness checks, the chaos-smoke CI job) only need the status code.
+type Health struct {
+	Status              string `json:"status"` // ok | degraded
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	BreakerOpen         bool   `json:"breaker_open"`
+	LastError           string `json:"last_error,omitempty"`
+	Steps               int    `json:"steps"`
+	FaultsInjected      int    `json:"faults_injected"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	h := Health{
+		Status:              "ok",
+		ConsecutiveFailures: s.consecFails,
+		BreakerOpen:         s.breakerOpen,
+		Steps:               s.totalSteps,
+		FaultsInjected:      s.faults.Injected(),
+	}
+	if s.lastErr != nil {
+		h.LastError = s.lastErr.Error()
+	}
+	degraded := s.lastErr != nil || s.breakerOpen
+	s.mu.Unlock()
+	if degraded {
+		h.Status = "degraded"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if err := json.NewEncoder(w).Encode(h); err != nil {
+			logf("serve: writing health response: %v", err)
+		}
+		return
+	}
+	writeJSON(w, h)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

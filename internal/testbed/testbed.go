@@ -17,6 +17,7 @@ import (
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/core"
 	"vdcpower/internal/devs"
+	"vdcpower/internal/fault"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
@@ -101,6 +102,9 @@ type Testbed struct {
 
 	tracer  *telemetry.Tracer
 	metrics *telemetry.Registry
+
+	faults      *fault.Injector
+	periodCount int // control periods executed across every Run call
 }
 
 // New builds the testbed, runs the identification experiment on the first
@@ -167,6 +171,7 @@ func New(cfg Config) (*Testbed, error) {
 
 	for _, app := range tb.Apps {
 		ctlCfg := core.DefaultControllerConfig(tb.Model, cfg.Setpoint)
+		ctlCfg.SensorID = app.Name // scope fault-plane sensor decisions per app
 		for i := range ctlCfg.CMin {
 			ctlCfg.CMin[i] = cfg.CMin
 			ctlCfg.CMax[i] = cfg.CMax
@@ -251,7 +256,34 @@ func (tb *Testbed) AttachOptimizer(cons optimizer.Consolidator, everyPeriods int
 			t.SetTrace(tb.tracer.Track("optimizer"))
 		}
 	}
+	if tb.faults != nil {
+		if f, ok := cons.(fault.Injectable); ok {
+			f.SetFaults(tb.faults)
+		}
+	}
 	return nil
+}
+
+// AttachFaults wires the deterministic fault plane through every layer of
+// the testbed: controllers read their response-time sensor through the
+// injector (keyed by app name), arbitrators consult DVFS actuation
+// failures, and an attached consolidator injects migration aborts and
+// transient pass errors. Run advances the injector's step cursor once per
+// control period, counted across every Run call, so serve's
+// one-period-at-a-time stepping keeps the same fault schedule as one long
+// run. Nil detaches.
+func (tb *Testbed) AttachFaults(inj *fault.Injector) {
+	tb.faults = inj
+	for _, ctl := range tb.Controllers {
+		ctl.SetFaults(inj)
+	}
+	for _, arb := range tb.Arbitrators {
+		arb.Faults = inj
+	}
+	if f, ok := tb.cons.(fault.Injectable); ok {
+		f.SetFaults(inj)
+	}
+	inj.AttachMetrics(tb.metrics)
 }
 
 // AttachTelemetry wires span tracing and metrics into the testbed. It
@@ -279,6 +311,7 @@ func (tb *Testbed) AttachTelemetry(capacity int, reg *telemetry.Registry) *telem
 	if t, ok := tb.cons.(telemetry.Traceable); ok {
 		t.SetTrace(otk)
 	}
+	tb.faults.AttachMetrics(reg)
 	return tr
 }
 
@@ -321,9 +354,11 @@ func (tb *Testbed) consolidate(period int) error {
 	}
 	nodesBefore := searchNodes(tb.cons)
 	rep, err := tb.cons.Consolidate(tb.DC)
-	if err != nil {
+	if err != nil && !fault.IsInjected(err) {
 		return err
 	}
+	// An injected transient error still logs its (empty) report and fault
+	// records below, then surfaces to Run, which skips the pass.
 	tb.metrics.Counter("vdcpower_optimizer_passes_total", "consolidator invocations",
 		telemetry.Label{Key: "policy", Value: tb.cons.Name()}).Inc()
 	tb.metrics.Counter("vdcpower_migrations_total", "VM live migrations committed by the consolidation layer").Add(float64(rep.Migrations))
@@ -345,7 +380,7 @@ func (tb *Testbed) consolidate(period int) error {
 			OverloadedBefore: overloaded,
 		})
 	}
-	return nil
+	return err
 }
 
 // PeriodRecord captures one control period of one run.
@@ -383,6 +418,12 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		if hook != nil {
 			hook(k, tb.Sim.Now()-t0)
 		}
+		// The fault plane's step cursor counts periods across Run calls,
+		// so stepping one period at a time (serve) injects the same
+		// schedule as one long run.
+		p := tb.periodCount
+		tb.periodCount++
+		tb.faults.SetStep(p)
 		tb.Sim.RunUntil(tb.Sim.Now() + tb.Cfg.Period)
 		psp := tk.Start("testbed.period").Int("period", k)
 		rec := PeriodRecord{Time: tb.Sim.Now() - t0, T90: make([]float64, len(tb.Apps))}
@@ -402,10 +443,25 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 			for j, d := range ctl.Demands() {
 				tb.vms[i][j].Demand = d
 			}
+			if tb.checker != nil {
+				tb.checker.Observe(check.Event{
+					Kind: check.EvControl,
+					Step: p,
+					Control: &check.ControlObservation{
+						App:        tb.Apps[i].Name,
+						Held:       res.Held,
+						HeldStreak: res.HeldStreak,
+						HoldWindow: ctl.HoldWindow(),
+						OpenLoop:   res.OpenLoop,
+					},
+				})
+			}
 		}
-		// Data-center level: consolidation on the long time scale.
+		// Data-center level: consolidation on the long time scale. An
+		// injected transient error degrades the pass — skipped, retried at
+		// the next interval; real errors still abort the run.
 		if tb.cons != nil && (k+1)%tb.consEvery == 0 {
-			if err := tb.consolidate(k); err != nil {
+			if err := tb.consolidate(k); err != nil && !fault.IsInjected(err) {
 				psp.End()
 				return nil, err
 			}
