@@ -1,7 +1,12 @@
 // Benchmarks regenerating every figure of the paper's evaluation section
-// (Section VII) at reduced scale, plus the ablations called out in
-// DESIGN.md. Each benchmark reports the headline quantity of its figure
-// via b.ReportMetric so `go test -bench=.` doubles as a results table:
+// (Section VII) at reduced scale, plus the DESIGN.md ablations, the
+// telemetry-overhead pair, the chaos profile and the vdclint pass.
+//
+// Every benchmark here is a thin adapter over the internal/bench
+// scenario registry — the same registry cmd/vdcbench measures for the
+// perf-regression gate — so `go test -bench` and vdcbench time identical
+// work. Each adapter reports its scenario's headline metrics via
+// b.ReportMetric, so `go test -bench=.` doubles as a results table:
 //
 //	Fig. 2  ms-mean-abs-err   distance of every app's mean p90 from 1000 ms
 //	Fig. 3  surge power rise  watts added while absorbing the surge
@@ -11,344 +16,76 @@
 package vdcpower_test
 
 import (
-	"math"
 	"testing"
 
-	"vdcpower/internal/dcsim"
-	"vdcpower/internal/lint"
-	"vdcpower/internal/mat"
-	"vdcpower/internal/mpc"
-	"vdcpower/internal/optimizer"
-	"vdcpower/internal/packing"
-	"vdcpower/internal/stats"
-	"vdcpower/internal/sysid"
-	"vdcpower/internal/telemetry"
-	"vdcpower/internal/testbed"
-	"vdcpower/internal/workload"
+	"vdcpower/internal/bench"
 )
 
-// benchConfig is the reduced-scale testbed configuration shared by the
-// figure benchmarks: 4 apps on 2 servers instead of 8 on 4 keeps each
-// iteration under a second without changing the control structure.
-func benchConfig() testbed.Config {
-	cfg := testbed.DefaultConfig()
-	cfg.NumApps = 4
-	cfg.NumServers = 2
-	cfg.IdentPeriods = 80
-	cfg.IdentWarmupSec = 20
-	return cfg
-}
+// benchEnv carries the full-scale shared fixtures (the Fig. 6 trace is
+// generated once per `go test` process, never inside a timed loop).
+var benchEnv = bench.NewEnv(bench.ScaleFull)
 
-// benchTrace builds the shared Fig. 6 trace at reduced scale.
-func benchTrace(b *testing.B) *workload.Trace {
+// benchRegistry is built once; scenarios are stateless closures.
+var benchRegistry = bench.Default()
+
+// benchScenario runs the named registry scenario as a Go benchmark:
+// Prepare outside the timer, allocation tracking on, one scenario run
+// per iteration, headline metrics reported from the final iteration.
+func benchScenario(b *testing.B, name string) {
 	b.Helper()
-	tr, err := workload.Generate(workload.GenConfig{NumVMs: 300, Days: 2, StepsPerHour: 4, Seed: 2008})
-	if err != nil {
-		b.Fatal(err)
+	sc, ok := benchRegistry.Get(name)
+	if !ok {
+		b.Fatalf("scenario %q not in the bench registry", name)
 	}
-	return tr
-}
-
-// BenchmarkFig2ResponseTimeAllApps regenerates Figure 2: all applications
-// held at the 1000 ms set point.
-func BenchmarkFig2ResponseTimeAllApps(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := testbed.Fig2(benchConfig())
-		if err != nil {
+	if sc.Prepare != nil {
+		if err := sc.Prepare(benchEnv); err != nil {
 			b.Fatal(err)
 		}
-		sum := 0.0
-		for _, r := range rows {
-			sum += math.Abs(r.Mean - 1.0)
-		}
-		b.ReportMetric(1000*sum/float64(len(rows)), "ms-mean-abs-err")
 	}
-}
-
-// BenchmarkFig3aWorkloadStep regenerates Figure 3(a): the stressed
-// application's response time before/during/after the surge.
-func BenchmarkFig3aWorkloadStep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := testbed.Fig3(benchConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Recovery error: distance from the set point late in the surge.
-		var late []float64
-		for _, p := range res.ResponseTime {
-			if p.Time >= 900 && p.Time < 1200 {
-				late = append(late, p.Value)
-			}
-		}
-		b.ReportMetric(1000*math.Abs(stats.Mean(late)-1.0), "ms-recovery-err")
-	}
-}
-
-// BenchmarkFig3bClusterPower regenerates Figure 3(b): the cluster power
-// rise while the surge is being absorbed.
-func BenchmarkFig3bClusterPower(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := testbed.Fig3(benchConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		window := func(lo, hi float64) []float64 {
-			var xs []float64
-			for _, p := range res.Power {
-				if p.Time >= lo && p.Time < hi {
-					xs = append(xs, p.Value)
-				}
-			}
-			return xs
-		}
-		rise := stats.Mean(window(800, 1200)) - stats.Mean(window(300, 600))
-		b.ReportMetric(rise, "surge-power-rise-W")
-	}
-}
-
-// BenchmarkFig4ConcurrencySweep regenerates Figure 4: set-point tracking
-// across concurrency levels the model was not identified at.
-func BenchmarkFig4ConcurrencySweep(b *testing.B) {
-	levels := []int{30, 50, 80}
-	for i := 0; i < b.N; i++ {
-		rows, err := testbed.Fig4(benchConfig(), levels)
-		if err != nil {
-			b.Fatal(err)
-		}
-		sum := 0.0
-		for _, r := range rows {
-			sum += math.Abs(r.Mean - 1.0)
-		}
-		b.ReportMetric(1000*sum/float64(len(rows)), "ms-mean-abs-err")
-	}
-}
-
-// BenchmarkFig5SetpointSweep regenerates Figure 5: tracking across
-// set points from 600 to 1300 ms.
-func BenchmarkFig5SetpointSweep(b *testing.B) {
-	sps := []float64{0.6, 0.9, 1.3}
-	for i := 0; i < b.N; i++ {
-		rows, err := testbed.Fig5(benchConfig(), sps)
-		if err != nil {
-			b.Fatal(err)
-		}
-		sum := 0.0
-		for j, r := range rows {
-			sum += math.Abs(r.Mean - sps[j])
-		}
-		b.ReportMetric(1000*sum/float64(len(sps)), "ms-mean-abs-err")
-	}
-}
-
-// BenchmarkFig6EnergyPerVM regenerates Figure 6 at reduced scale: energy
-// per VM for IPAC vs pMapper across data-center sizes.
-func BenchmarkFig6EnergyPerVM(b *testing.B) {
-	tr := benchTrace(b)
-	sizes := []int{60, 300}
-	for i := 0; i < b.N; i++ {
-		points, err := dcsim.Fig6(tr, sizes, []func() optimizer.Consolidator{
-			func() optimizer.Consolidator { return optimizer.NewIPAC() },
-			func() optimizer.Consolidator { return optimizer.NewPMapper() },
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		saving := 0.0
-		for _, p := range points {
-			saving += 1 - p.PerVMWh["IPAC"]/p.PerVMWh["pMapper"]
-		}
-		b.ReportMetric(100*saving/float64(len(points)), "saving-pct")
-	}
-}
-
-// fig6Subset runs one IPAC Figure 6 point — the single-run unit of the
-// sweep — with tracing either disabled (nil track, the shipped default)
-// or enabled, so the Off/On pair below measures the telemetry overhead.
-func fig6Subset(b *testing.B, tr *workload.Trace, tk *telemetry.Track) {
-	b.Helper()
-	cfg := dcsim.DefaultConfig(tr, 150, optimizer.NewIPAC())
-	cfg.Telemetry = tk
-	if _, err := dcsim.Run(cfg); err != nil {
-		b.Fatal(err)
-	}
-}
-
-// BenchmarkFig6TelemetryOff is the baseline for the nil-safe opt-out
-// claim: the same run as BenchmarkFig6TelemetryOn with no recorder
-// attached. The two must agree within run-to-run noise (see
-// EXPERIMENTS.md "Telemetry overhead").
-func BenchmarkFig6TelemetryOff(b *testing.B) {
-	tr := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
+	var last bench.Metrics
 	for i := 0; i < b.N; i++ {
-		fig6Subset(b, tr, nil)
+		m, err := sc.Run(benchEnv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	for _, k := range last.Keys() {
+		b.ReportMetric(last[k], k)
 	}
 }
 
-// BenchmarkFig6TelemetryOn runs the same Figure 6 point with a span
-// track recording every consolidation pass, B&B search, and DVFS sweep.
-func BenchmarkFig6TelemetryOn(b *testing.B) {
-	tr := benchTrace(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tracer := telemetry.New(nil, 0)
-		fig6Subset(b, tr, tracer.Track("main"))
-	}
-}
+func BenchmarkFig2ResponseTimeAllApps(b *testing.B) { benchScenario(b, "fig2/response-time") }
 
-// BenchmarkAblationDVFS isolates the DVFS contribution to IPAC's saving
-// (ablation A of DESIGN.md).
-func BenchmarkAblationDVFS(b *testing.B) {
-	tr := benchTrace(b)
-	for i := 0; i < b.N; i++ {
-		with, err := dcsim.Run(dcsim.DefaultConfig(tr, 150, optimizer.NewIPAC()))
-		if err != nil {
-			b.Fatal(err)
-		}
-		without, err := dcsim.Run(dcsim.DefaultConfig(tr, 150, optimizer.WithoutDVFS{Inner: optimizer.NewIPAC()}))
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(100*(1-with.EnergyPerVMWh/without.EnergyPerVMWh), "dvfs-saving-pct")
-	}
-}
+func BenchmarkFig3Surge(b *testing.B) { benchScenario(b, "fig3/surge") }
 
-// BenchmarkAblationPacking compares Minimum Slack against FFD packing
-// quality on identical random single-bin instances (ablation B).
-func BenchmarkAblationPacking(b *testing.B) {
-	// Deterministic awkward sizes: FFD grabs the 8 first and strands
-	// capacity; the optimal 12-GHz packing is 7+5 (plus small change).
-	sizes := []float64{8, 7, 5, 4.5, 2.9, 1.3, 0.9, 0.6}
-	items := make([]packing.Item, len(sizes))
-	for i := range items {
-		items[i] = packing.Item{ID: string(rune('a' + i)), CPU: sizes[i], Mem: 1}
-	}
-	cons := packing.VectorConstraint{}
-	cfg := packing.DefaultMinSlackConfig()
-	cfg.Epsilon = 0
-	totalGain := 0.0
-	for i := 0; i < b.N; i++ {
-		msBin := &packing.Bin{ID: "ms", CPUCap: 12, MemCap: 100}
-		res := packing.MinimumSlack(msBin, items, cons, cfg)
-		ffdBin := &packing.Bin{ID: "ffd", CPUCap: 12, MemCap: 100}
-		packing.FirstFitDecreasing(items, []*packing.Bin{ffdBin}, cons)
-		totalGain += ffdBin.Slack() - res.Slack
-	}
-	b.ReportMetric(totalGain/float64(b.N), "slack-gain-GHz")
-}
+func BenchmarkFig4ConcurrencySweep(b *testing.B) { benchScenario(b, "fig4/concurrency-sweep") }
 
-// BenchmarkAblationWatchdog measures how the on-demand overload reliever
-// (paper reference [25]) trades migrations for fewer SLA-violating
-// server-steps (ablation D).
-func BenchmarkAblationWatchdog(b *testing.B) {
-	tr := benchTrace(b)
-	for i := 0; i < b.N; i++ {
-		plain, err := dcsim.Run(dcsim.DefaultConfig(tr, 150, optimizer.NewIPAC()))
-		if err != nil {
-			b.Fatal(err)
-		}
-		cfg := dcsim.DefaultConfig(tr, 150, optimizer.NewIPAC())
-		cfg.WatchdogEverySteps = 1
-		wd, err := dcsim.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(plain.OverloadSteps-wd.OverloadSteps), "overload-steps-avoided")
-		b.ReportMetric(float64(wd.WatchdogMoves), "watchdog-moves")
-	}
-}
+func BenchmarkFig5SetpointSweep(b *testing.B) { benchScenario(b, "fig5/setpoint-sweep") }
 
-// BenchmarkAblationEconomicMPC compares the paper's pure-tracking cost
-// (Eq. 2) against the level-penalty extension: same SLA, less total CPU.
-func BenchmarkAblationEconomicMPC(b *testing.B) {
-	model := &sysid.Model{
-		Na: 1, Nb: 2, NumInputs: 2,
-		A:     []float64{0.4},
-		B:     []mat.Vec{{-0.5, -0.4}, {-0.15, -0.1}},
-		Gamma: 3.0,
-	}
-	run := func(levelPenalty float64) float64 {
-		cfg := mpc.Config{
-			Model: model, P: 8, M: 2, Q: 1,
-			R:           mat.Vec{0.1, 0.1},
-			TrefPeriods: 2, Setpoint: 1.0,
-			CMin: mat.Vec{0.1, 0.1}, CMax: mat.Vec{4, 4},
-			LevelPenalty: levelPenalty,
-		}
-		ctl, err := mpc.New(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Start over-provisioned: the pure-tracking cost descends only
-		// until the set point is met and parks; the economic cost keeps
-		// drifting to the cheapest feasible allocation.
-		tHist := []float64{0.3, 0.3}
-		cur := mat.Vec{3, 3}
-		cHist := []mat.Vec{cur.Clone(), cur.Clone()}
-		for k := 0; k < 100; k++ {
-			out, err := ctl.Compute(tHist, cHist)
-			if err != nil {
-				b.Fatal(err)
-			}
-			cur = cur.Add(out.Delta)
-			cHist = append([]mat.Vec{cur.Clone()}, cHist...)
-			if len(cHist) > 3 {
-				cHist = cHist[:3]
-			}
-			y := model.Predict(tHist, cHist)
-			tHist = append([]float64{y}, tHist...)
-			if len(tHist) > 2 {
-				tHist = tHist[:2]
-			}
-		}
-		return cur[0] + cur[1]
-	}
-	for i := 0; i < b.N; i++ {
-		plain := run(0)
-		econ := run(0.01)
-		b.ReportMetric(plain-econ, "GHz-saved")
-	}
-}
+func BenchmarkFig6EnergyPerVM(b *testing.B) { benchScenario(b, "fig6/energy-per-vm") }
 
-// BenchmarkAblationMigrationCost measures how a bandwidth-priced cost
-// policy trades migrations for energy (ablation C).
-func BenchmarkAblationMigrationCost(b *testing.B) {
-	tr := benchTrace(b)
-	for i := 0; i < b.N; i++ {
-		free, err := dcsim.Run(dcsim.DefaultConfig(tr, 150, optimizer.NewIPAC()))
-		if err != nil {
-			b.Fatal(err)
-		}
-		priced := optimizer.NewIPAC()
-		priced.Policy = optimizer.BandwidthPriced{WattsPerGB: 15}
-		pr, err := dcsim.Run(dcsim.DefaultConfig(tr, 150, priced))
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(free.Migrations-pr.Migrations), "migrations-avoided")
-		b.ReportMetric(100*(pr.EnergyPerVMWh/free.EnergyPerVMWh-1), "energy-cost-pct")
-	}
-}
+func BenchmarkFig6TelemetryOff(b *testing.B) { benchScenario(b, "fig6/telemetry-off") }
 
-// BenchmarkVdclint tracks the cost of the static-analysis pass itself:
-// loading and type-checking every package of the module from source and
-// running the full analyzer registry (see README.md "Static analysis &
-// reproducibility invariants"). The module must be lint-clean, so this
-// doubles as an enforcement point in the perf trajectory.
-func BenchmarkVdclint(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		mod, err := lint.LoadModule(".")
-		if err != nil {
-			b.Fatal(err)
-		}
-		pkgs, err := mod.Load("./...")
-		if err != nil {
-			b.Fatal(err)
-		}
-		findings := mod.Analyze(pkgs, lint.Analyzers())
-		if len(findings) != 0 {
-			b.Fatalf("module is not lint-clean: %v", findings)
-		}
-		b.ReportMetric(float64(len(pkgs)), "packages")
-	}
-}
+func BenchmarkFig6TelemetryOn(b *testing.B) { benchScenario(b, "fig6/telemetry-on") }
+
+func BenchmarkChaos(b *testing.B) { benchScenario(b, "fig6/chaos") }
+
+func BenchmarkAblationDVFS(b *testing.B) { benchScenario(b, "ablation/dvfs") }
+
+func BenchmarkAblationWatchdog(b *testing.B) { benchScenario(b, "ablation/watchdog") }
+
+func BenchmarkAblationMigrationCost(b *testing.B) { benchScenario(b, "ablation/migration-cost") }
+
+func BenchmarkAblationEconomicMPC(b *testing.B) { benchScenario(b, "ablation/economic-mpc") }
+
+func BenchmarkMPCSolve(b *testing.B) { benchScenario(b, "mpc/solve") }
+
+func BenchmarkPackingMinSlack(b *testing.B) { benchScenario(b, "packing/minslack") }
+
+func BenchmarkPackingFFD(b *testing.B) { benchScenario(b, "packing/ffd") }
+
+func BenchmarkVdclint(b *testing.B) { benchScenario(b, "lint/module") }

@@ -1,0 +1,168 @@
+// Package bench is the measurement subsystem of the repository: a
+// registry of benchmark scenarios wrapping the paper's figures and the
+// DESIGN.md ablations, a sampler that runs each scenario with warmup and
+// repeated measured reps, robust statistics over the rep samples
+// (median, MAD, bootstrap confidence intervals), a versioned JSON
+// result schema (BENCH_<label>.json), and a compare engine that
+// classifies two result files scenario-by-scenario as improved,
+// regressed or unchanged — the perf-regression gate CI runs on every
+// change (see cmd/vdcbench).
+//
+// Three rules keep the numbers honest:
+//
+//  1. One code path. The root bench_test.go benchmarks are thin
+//     adapters over this registry, so `go test -bench` and vdcbench
+//     time identical work.
+//
+//  2. Setup is never timed. Shared fixtures (the Fig. 6 workload
+//     trace) are built once per Env via sync.Once and warmed by
+//     Scenario.Prepare before the clock starts.
+//
+//  3. The wall clock lives at one edge. Everything in this package is
+//     deterministic except the sampler's default clock in sampler.go;
+//     vdclint's determinism analyzer enforces that no other file reads
+//     wall time, and tests inject a logical clock.
+//
+// A shift only counts as a regression when it is both large (median
+// ratio beyond the configured threshold) and statistically significant
+// (Mann-Whitney U below alpha) — run-to-run noise produces neither.
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// Metrics are the headline quantities a scenario reports per measured
+// rep, keyed by a short unit-suffixed name ("saving-pct", "spans").
+// They carry figure results and telemetry counters alongside the
+// sampler's timing columns.
+type Metrics map[string]float64
+
+// Keys returns the metric names sorted for deterministic rendering.
+func (m Metrics) Keys() []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scenario is one registered benchmark: a named unit of repeatable work
+// whose single execution is the timed op.
+type Scenario struct {
+	// Name is the slash-namespaced identity ("fig6/energy-per-vm"); it
+	// keys results in BENCH_*.json and must match scenarioNameRe.
+	Name string
+	// Doc is the one-line description shown by vdcbench -list.
+	Doc string
+	// Prepare, when non-nil, warms shared fixtures before any timed
+	// work (never measured). It must be idempotent: every rep of every
+	// scenario sharing a fixture may call it.
+	Prepare func(*Env) error
+	// Run executes one measured iteration against the environment and
+	// returns the scenario's headline metrics.
+	Run func(*Env) (Metrics, error)
+}
+
+// scenarioNameRe constrains names to lowercase slug segments separated
+// by slashes, so names are stable JSON keys and safe file-name stems.
+var scenarioNameRe = regexp.MustCompile(`^[a-z0-9]+(?:[-.][a-z0-9]+)*(?:/[a-z0-9]+(?:[-.][a-z0-9]+)*)*$`)
+
+// Registry is an ordered, name-unique collection of scenarios.
+type Registry struct {
+	order  []*Scenario
+	byName map[string]*Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Scenario{}}
+}
+
+// Register adds sc, rejecting invalid names, duplicate names and nil
+// Run functions.
+func (r *Registry) Register(sc *Scenario) error {
+	if sc == nil || sc.Run == nil {
+		return fmt.Errorf("bench: scenario without a Run function")
+	}
+	if !scenarioNameRe.MatchString(sc.Name) {
+		return fmt.Errorf("bench: invalid scenario name %q", sc.Name)
+	}
+	if _, dup := r.byName[sc.Name]; dup {
+		return fmt.Errorf("bench: duplicate scenario %q", sc.Name)
+	}
+	r.order = append(r.order, sc)
+	r.byName[sc.Name] = sc
+	return nil
+}
+
+// mustRegister is the registration form used by the static Default
+// registry, whose entries are compile-time constants.
+func (r *Registry) mustRegister(sc *Scenario) {
+	if err := r.Register(sc); err != nil {
+		//lint:ignore panicpolicy the default registry is static; a bad entry is a programming error
+		panic(err)
+	}
+}
+
+// All returns the scenarios in registration order. The slice is shared;
+// callers must not mutate it.
+func (r *Registry) All() []*Scenario {
+	return r.order
+}
+
+// Get returns the scenario with the given name.
+func (r *Registry) Get(name string) (*Scenario, bool) {
+	sc, ok := r.byName[name]
+	return sc, ok
+}
+
+// Match returns the scenarios whose names match the anchored regular
+// expression pattern, in registration order. An empty pattern selects
+// everything.
+func (r *Registry) Match(pattern string) ([]*Scenario, error) {
+	if pattern == "" {
+		return r.All(), nil
+	}
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("bench: bad scenario pattern %q: %v", pattern, err)
+	}
+	var out []*Scenario
+	for _, sc := range r.order {
+		if re.MatchString(sc.Name) {
+			out = append(out, sc)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: pattern %q matches no scenario", pattern)
+	}
+	return out, nil
+}
+
+// WithSlowdown returns a copy of sc whose Run executes the original
+// factor times per op — an exact, work-based slowdown multiplier. It
+// exists to self-test the regression gate end to end (vdcbench
+// -slowdown): a gate that cannot flag a deliberate 2x slowdown is not
+// protecting anything.
+func WithSlowdown(sc *Scenario, factor int) *Scenario {
+	if factor <= 1 {
+		return sc
+	}
+	slow := *sc
+	slow.Run = func(e *Env) (Metrics, error) {
+		var last Metrics
+		for i := 0; i < factor; i++ {
+			m, err := sc.Run(e)
+			if err != nil {
+				return nil, err
+			}
+			last = m
+		}
+		return last, nil
+	}
+	return &slow
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	ok := &Scenario{Name: "group/name-1.x", Run: func(*Env) (Metrics, error) { return nil, nil }}
+	if err := r.Register(ok); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	cases := []struct {
+		sc   *Scenario
+		want string
+	}{
+		{nil, "without a Run"},
+		{&Scenario{Name: "no-run"}, "without a Run"},
+		{&Scenario{Name: "Bad/Upper", Run: ok.Run}, "invalid scenario name"},
+		{&Scenario{Name: "trailing/", Run: ok.Run}, "invalid scenario name"},
+		{&Scenario{Name: "", Run: ok.Run}, "invalid scenario name"},
+		{&Scenario{Name: "group/name-1.x", Run: ok.Run}, "duplicate"},
+	}
+	for _, c := range cases {
+		err := r.Register(c.sc)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Register(%+v) = %v, want error containing %q", c.sc, err, c.want)
+		}
+	}
+}
+
+func TestRegistryLookupAndOrder(t *testing.T) {
+	r := Default()
+	all := r.All()
+	if len(all) < 15 {
+		t.Fatalf("default registry has %d scenarios, want >= 15", len(all))
+	}
+	for _, sc := range all {
+		got, ok := r.Get(sc.Name)
+		if !ok || got != sc {
+			t.Errorf("Get(%q) did not round-trip", sc.Name)
+		}
+		if sc.Doc == "" {
+			t.Errorf("scenario %q has no doc line", sc.Name)
+		}
+	}
+	if _, ok := r.Get("no/such"); ok {
+		t.Error("Get of unknown scenario succeeded")
+	}
+	// Registration order is stable and figure-first.
+	if all[0].Name != "fig2/response-time" {
+		t.Errorf("first scenario = %q", all[0].Name)
+	}
+}
+
+func TestRegistryMatch(t *testing.T) {
+	r := Default()
+	figs, err := r.Match("fig6/.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Errorf("fig6/.* matched %d scenarios, want 4", len(figs))
+	}
+	for _, sc := range figs {
+		if !strings.HasPrefix(sc.Name, "fig6/") {
+			t.Errorf("pattern leaked %q", sc.Name)
+		}
+	}
+	// The pattern is anchored: "fig6" alone matches nothing.
+	if _, err := r.Match("fig6"); err == nil {
+		t.Error("unanchored prefix unexpectedly matched")
+	}
+	if _, err := r.Match("("); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	everything, err := r.Match("")
+	if err != nil || len(everything) != len(r.All()) {
+		t.Errorf("empty pattern: %d scenarios, err %v", len(everything), err)
+	}
+}
+
+func TestWithSlowdown(t *testing.T) {
+	calls := 0
+	sc := &Scenario{Name: "x", Run: func(*Env) (Metrics, error) {
+		calls++
+		return Metrics{"n": float64(calls)}, nil
+	}}
+	slow := WithSlowdown(sc, 3)
+	m, err := slow.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("factor-3 slowdown ran the op %d times", calls)
+	}
+	if m["n"] != 3 {
+		t.Errorf("slowdown did not return the final rep's metrics: %v", m)
+	}
+	if WithSlowdown(sc, 1) != sc || WithSlowdown(sc, 0) != sc {
+		t.Error("factor <= 1 should return the scenario unchanged")
+	}
+}
+
+func TestMetricsKeysSorted(t *testing.T) {
+	m := Metrics{"b": 1, "a": 2, "c": 3}
+	got := m.Keys()
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("Keys() = %v", got)
+	}
+}
+
+func TestMustRegisterPanicsOnBadEntry(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("mustRegister did not panic on an invalid entry")
+		}
+	}()
+	r.mustRegister(&Scenario{Name: "Bad Name", Run: func(*Env) (Metrics, error) { return nil, nil }})
+}
+
+func TestWithSlowdownPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	sc := &Scenario{Name: "x", Run: func(*Env) (Metrics, error) {
+		calls++
+		if calls == 2 {
+			return nil, boom
+		}
+		return nil, nil
+	}}
+	if _, err := WithSlowdown(sc, 4).Run(nil); !errors.Is(err, boom) {
+		t.Errorf("slowdown swallowed the error: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("slowdown kept running after an error: %d calls", calls)
+	}
+}

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// makeScenario builds a ScenarioResult from ns samples, with alloc and
+// byte columns defaulting to a constant well above the alloc floor.
+func makeScenario(name string, ns []float64, allocs ...[]float64) ScenarioResult {
+	al := make([]float64, len(ns))
+	for i := range al {
+		al[i] = 1000
+	}
+	if len(allocs) > 0 {
+		al = allocs[0]
+	}
+	by := make([]float64, len(ns))
+	for i := range by {
+		by[i] = 1 << 20
+	}
+	return ScenarioResult{Name: name, Warmup: 2, Reps: len(ns), NsPerOp: ns, AllocsPerOp: al, BytesPerOp: by}
+}
+
+func makeDoc(label string, scale Scale, scs ...ScenarioResult) *Doc {
+	return &Doc{Schema: SchemaVersion, Label: label, Scale: string(scale), Warmup: 2, Reps: 8, Scenarios: scs}
+}
+
+func constSamples(v float64, jitter []float64) []float64 {
+	out := make([]float64, len(jitter))
+	for i, j := range jitter {
+		out[i] = v + j
+	}
+	return out
+}
+
+// tightJitter keeps samples distinct (Mann-Whitney dislikes pure ties)
+// but within a fraction of a percent of the nominal value.
+var tightJitter = []float64{0, 1, 2, 3, 4, 5, 6, 7}
+
+func TestCompareKnownShifts(t *testing.T) {
+	oldDoc := makeDoc("old", ScaleQuick,
+		makeScenario("a/steady", constSamples(1e6, tightJitter)),
+		makeScenario("b/faster", constSamples(1e6, tightJitter)),
+		makeScenario("c/slower", constSamples(1e6, tightJitter)),
+	)
+	newDoc := makeDoc("new", ScaleQuick,
+		makeScenario("a/steady", constSamples(1e6+3, tightJitter)),
+		makeScenario("b/faster", constSamples(0.4e6, tightJitter)), // 2.5x faster
+		makeScenario("c/slower", constSamples(2e6, tightJitter)),   // 2x slower
+	)
+	c, err := Compare(oldDoc, newDoc, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Class{}
+	for _, d := range c.Deltas {
+		got[d.Name] = d.Class
+	}
+	want := map[string]Class{"a/steady": ClassUnchanged, "b/faster": ClassImproved, "c/slower": ClassRegressed}
+	for name, cls := range want {
+		if got[name] != cls {
+			t.Errorf("%s classified %s, want %s", name, got[name], cls)
+		}
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "c/slower" {
+		t.Errorf("Regressions() = %+v, want exactly c/slower", regs)
+	}
+	if r := regs[0].Ratio; r < 1.9 || r > 2.1 {
+		t.Errorf("c/slower ratio = %v, want ~2", r)
+	}
+	if regs[0].P >= DefaultThresholds().Alpha {
+		t.Errorf("c/slower p = %v, not significant", regs[0].P)
+	}
+
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"c/slower", "regressed", "1 improved, 1 regressed, 1 unchanged"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("WriteText output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestCompareNoFalsePositivesAtHighVariance is the gate's calibration
+// test: both columns drawn from the same heavy-noise distribution must
+// (almost) never be flagged. The two-pronged test — large AND
+// significant — is what keeps the false-positive rate below alpha even
+// when run-to-run variance is ~40% of the median.
+func TestCompareNoFalsePositivesAtHighVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20080806))
+	const trials = 200
+	flagged := 0
+	th := DefaultThresholds()
+	for trial := 0; trial < trials; trial++ {
+		draw := func() []float64 {
+			xs := make([]float64, 8)
+			for i := range xs {
+				// Log-normal-ish: median 1e6, multiplicative noise up to ~2x.
+				xs[i] = 1e6 * math.Exp(0.4*rng.NormFloat64())
+			}
+			return xs
+		}
+		oldDoc := makeDoc("old", ScaleQuick, makeScenario("noisy/sc", draw()))
+		newDoc := makeDoc("new", ScaleQuick, makeScenario("noisy/sc", draw()))
+		c, err := Compare(oldDoc, newDoc, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Deltas[0].Class != ClassUnchanged {
+			flagged++
+		}
+	}
+	// alpha = 0.01 two-sided bounds the expected flag rate at ~2/200
+	// before the ratio prong tightens it further; allow a little slack.
+	if flagged > 4 {
+		t.Errorf("%d/%d same-distribution trials flagged; the gate is too twitchy", flagged, trials)
+	}
+}
+
+func TestCompareAllocGatingAndFloor(t *testing.T) {
+	ns := constSamples(1e6, tightJitter)
+	// Alloc regression: 1000 -> 3000 allocs/op (above the floor).
+	oldDoc := makeDoc("old", ScaleQuick,
+		makeScenario("alloc/high", ns, constSamples(1000, tightJitter)),
+		makeScenario("alloc/tiny", ns, constSamples(4, []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75})),
+	)
+	newDoc := makeDoc("new", ScaleQuick,
+		makeScenario("alloc/high", ns, constSamples(3000, tightJitter)),
+		// 4 -> 16 allocs/op: a 4x ratio, but both medians sit under the
+		// floor, so it is noise, not a regression.
+		makeScenario("alloc/tiny", ns, constSamples(16, []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75})),
+	)
+
+	// Without GateAllocs the overall class follows time only.
+	th := DefaultThresholds()
+	c, err := Compare(oldDoc, newDoc, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Deltas {
+		if d.Class != ClassUnchanged {
+			t.Errorf("%s: allocs gated the overall class without GateAllocs: %s", d.Name, d.Class)
+		}
+	}
+	if c.Deltas[0].AllocClass != ClassRegressed {
+		t.Errorf("alloc/high AllocClass = %s, want regressed", c.Deltas[0].AllocClass)
+	}
+
+	th.GateAllocs = true
+	c, err = Compare(oldDoc, newDoc, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Delta{}
+	for _, d := range c.Deltas {
+		byName[d.Name] = d
+	}
+	if byName["alloc/high"].Class != ClassRegressed {
+		t.Errorf("alloc/high not gated: %s", byName["alloc/high"].Class)
+	}
+	if d := byName["alloc/tiny"]; d.Class != ClassUnchanged || d.AllocClass != ClassUnchanged {
+		t.Errorf("alloc/tiny below the floor still flagged: %s/%s", d.Class, d.AllocClass)
+	}
+}
+
+func TestCompareAddedRemovedAndScaleMismatch(t *testing.T) {
+	ns := constSamples(1e6, tightJitter)
+	oldDoc := makeDoc("old", ScaleQuick, makeScenario("keep/sc", ns), makeScenario("gone/sc", ns))
+	newDoc := makeDoc("new", ScaleQuick, makeScenario("keep/sc", ns), makeScenario("fresh/sc", ns))
+	c, err := Compare(oldDoc, newDoc, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Class{}
+	for _, d := range c.Deltas {
+		got[d.Name] = d.Class
+	}
+	if got["fresh/sc"] != ClassAdded || got["gone/sc"] != ClassRemoved || got["keep/sc"] != ClassUnchanged {
+		t.Errorf("added/removed handling wrong: %v", got)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Error("added/removed scenarios must never gate")
+	}
+
+	fullDoc := makeDoc("full", ScaleFull, makeScenario("keep/sc", ns))
+	if _, err := Compare(oldDoc, fullDoc, DefaultThresholds()); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Errorf("cross-scale compare not refused: %v", err)
+	}
+
+	bad := makeDoc("bad", ScaleQuick)
+	if _, err := Compare(bad, newDoc, DefaultThresholds()); err == nil {
+		t.Error("invalid old document accepted")
+	}
+	if _, err := Compare(oldDoc, bad, DefaultThresholds()); err == nil {
+		t.Error("invalid new document accepted")
+	}
+}
+
+func TestCompareZeroThresholdsGetDefaults(t *testing.T) {
+	ns := constSamples(1e6, tightJitter)
+	oldDoc := makeDoc("old", ScaleQuick, makeScenario("a/sc", ns))
+	newDoc := makeDoc("new", ScaleQuick, makeScenario("a/sc", ns))
+	c, err := Compare(oldDoc, newDoc, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultThresholds()
+	if c.Th.MinShift != def.MinShift || c.Th.Alpha != def.Alpha {
+		t.Errorf("zero thresholds not defaulted: %+v", c.Th)
+	}
+}
+
+func TestRatioOf(t *testing.T) {
+	if r := ratioOf(0, 0); r != 1 {
+		t.Errorf("ratioOf(0,0) = %v", r)
+	}
+	if r := ratioOf(0, 5); !math.IsInf(r, 1) {
+		t.Errorf("ratioOf(0,5) = %v", r)
+	}
+	if r := ratioOf(2, 6); r != 3 {
+		t.Errorf("ratioOf(2,6) = %v", r)
+	}
+}
+
+// failAfter fails every write after the first n calls, so looping n over
+// a range drives every error-return branch of a renderer.
+type failAfter struct {
+	n     int
+	calls int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls > f.n {
+		return 0, errShortWrite
+	}
+	return len(p), nil
+}
+
+var errShortWrite = errors.New("short write")
+
+func TestWriteTextPropagatesWriterErrors(t *testing.T) {
+	ns := constSamples(1e6, tightJitter)
+	oldDoc := makeDoc("old", ScaleQuick, makeScenario("keep/sc", ns), makeScenario("gone/sc", ns))
+	newDoc := makeDoc("new", ScaleQuick, makeScenario("keep/sc", ns), makeScenario("fresh/sc", ns))
+	th := DefaultThresholds()
+	th.GateAllocs = true
+	c, err := Compare(oldDoc, newDoc, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy writer renders all three row shapes plus the gated header.
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "allocs gated") || !strings.Contains(out, "(none)") {
+		t.Errorf("render missing gated header or added/removed rows:\n%s", out)
+	}
+	counter := &failAfter{n: 1 << 30}
+	if err := c.WriteText(counter); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < counter.calls; n++ {
+		if err := c.WriteText(&failAfter{n: n}); !errors.Is(err, errShortWrite) {
+			t.Errorf("failure at write %d not propagated: %v", n, err)
+		}
+	}
+}

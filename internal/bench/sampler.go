@@ -1,0 +1,148 @@
+// The sampler is the bench package's only wall-clock edge: wallNow below
+// is the one permitted direct clock read (vdclint's determinism and
+// telemetry analyzers enforce that no other file in internal/bench
+// touches time.Now/Since/Until). Everything downstream of the recorded
+// samples — statistics, schema, compare — is pure.
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"vdcpower/internal/stats"
+)
+
+// Defaults applied when Options leave a field zero.
+const (
+	DefaultWarmup     = 2
+	DefaultReps       = 10
+	bootstrapSamples  = 1000
+	bootstrapConf     = 0.95
+	bootstrapSeedSalt = 0x76646362 // "vdcb": decouples the CI rng from other seeded streams
+)
+
+// Options configure one measurement.
+type Options struct {
+	// Warmup is the number of unmeasured runs after Prepare (negative
+	// means none, zero selects DefaultWarmup). Warmup reps absorb
+	// first-touch effects: lazy initialization, cache population, JIT'd
+	// branch predictors.
+	Warmup int
+	// Reps is the number of measured repetitions (zero selects
+	// DefaultReps). Robust statistics need several: below ~8 reps the
+	// Mann-Whitney gate loses resolution.
+	Reps int
+	// Clock returns monotonic seconds. Nil selects the wall clock —
+	// the production edge; tests inject a logical clock to make the
+	// sampler itself deterministic.
+	Clock func() float64
+	// BeforeTimed/AfterTimed, when set, bracket the measured reps
+	// (after warmup). The driver hangs per-scenario CPU/heap profiling
+	// off them so profiles exclude fixture setup and warmup.
+	BeforeTimed func() error
+	AfterTimed  func()
+}
+
+// wallNow is the default sampler clock — wall time in seconds on the
+// runtime's monotonic clock. These are the only direct clock reads the
+// determinism/telemetry analyzers permit in this package (sampler.go is
+// the registered wall-clock edge).
+func wallNow() float64 {
+	return time.Since(samplerStart).Seconds()
+}
+
+// samplerStart anchors wallNow on the monotonic clock.
+var samplerStart = time.Now()
+
+// Measure runs sc against env with warmup and repeated measured reps
+// and returns the per-rep samples with their robust summary. Memory
+// columns come from the runtime's allocation counters (monotonic, so GC
+// timing cannot skew them); the headline Metrics are taken from the
+// final rep.
+func Measure(sc *Scenario, env *Env, opt Options) (ScenarioResult, error) {
+	if opt.Reps == 0 {
+		opt.Reps = DefaultReps
+	}
+	if opt.Warmup == 0 {
+		opt.Warmup = DefaultWarmup
+	}
+	if opt.Warmup < 0 {
+		opt.Warmup = 0
+	}
+	if opt.Reps < 1 {
+		return ScenarioResult{}, fmt.Errorf("bench: %s: reps must be >= 1", sc.Name)
+	}
+	clock := opt.Clock
+	if clock == nil {
+		clock = wallNow
+	}
+
+	if sc.Prepare != nil {
+		if err := sc.Prepare(env); err != nil {
+			return ScenarioResult{}, fmt.Errorf("bench: %s: prepare: %w", sc.Name, err)
+		}
+	}
+	for i := 0; i < opt.Warmup; i++ {
+		if _, err := sc.Run(env); err != nil {
+			return ScenarioResult{}, fmt.Errorf("bench: %s: warmup rep %d: %w", sc.Name, i, err)
+		}
+	}
+
+	if opt.BeforeTimed != nil {
+		if err := opt.BeforeTimed(); err != nil {
+			return ScenarioResult{}, fmt.Errorf("bench: %s: before-timed hook: %w", sc.Name, err)
+		}
+	}
+	if opt.AfterTimed != nil {
+		defer opt.AfterTimed()
+	}
+
+	res := ScenarioResult{
+		Name:        sc.Name,
+		Doc:         sc.Doc,
+		Warmup:      opt.Warmup,
+		Reps:        opt.Reps,
+		NsPerOp:     make([]float64, 0, opt.Reps),
+		AllocsPerOp: make([]float64, 0, opt.Reps),
+		BytesPerOp:  make([]float64, 0, opt.Reps),
+	}
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < opt.Reps; i++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := clock()
+		metrics, err := sc.Run(env)
+		t1 := clock()
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("bench: %s: rep %d: %w", sc.Name, i, err)
+		}
+		res.NsPerOp = append(res.NsPerOp, (t1-t0)*1e9)
+		res.AllocsPerOp = append(res.AllocsPerOp, float64(ms1.Mallocs-ms0.Mallocs))
+		res.BytesPerOp = append(res.BytesPerOp, float64(ms1.TotalAlloc-ms0.TotalAlloc))
+		if i == opt.Reps-1 && len(metrics) > 0 {
+			res.Metrics = map[string]float64(metrics)
+		}
+	}
+	res.summarize(bootstrapRNG(sc.Name))
+	return res, nil
+}
+
+// bootstrapRNG derives a deterministic per-scenario rng for the
+// confidence-interval bootstrap, so re-summarizing the same samples
+// reproduces the same interval.
+func bootstrapRNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	//lint:ignore errcheck hash.Hash.Write never returns an error
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(int64(h.Sum64() ^ bootstrapSeedSalt)))
+}
+
+// summarize fills the robust-summary columns from the raw samples.
+func (r *ScenarioResult) summarize(rng *rand.Rand) {
+	r.MedianNs = stats.Median(r.NsPerOp)
+	r.MADNs = stats.MAD(r.NsPerOp)
+	r.CI95LoNs, r.CI95HiNs = stats.BootstrapCI(r.NsPerOp, stats.Median, bootstrapSamples, bootstrapConf, rng)
+}

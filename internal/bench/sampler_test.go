@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// scriptClock returns a clock that advances by the scripted number of
+// seconds on each *pair* of reads (start/stop): rep i takes durs[i].
+func scriptClock(durs []float64) func() float64 {
+	now := 0.0
+	reads := 0
+	i := 0
+	return func() float64 {
+		if reads%2 == 1 && i < len(durs) {
+			now += durs[i]
+			i++
+		}
+		reads++
+		return now
+	}
+}
+
+func TestMeasureDeterministicWithInjectedClock(t *testing.T) {
+	runs := 0
+	sc := &Scenario{
+		Name: "test/clocked",
+		Run: func(*Env) (Metrics, error) {
+			runs++
+			return Metrics{"runs": float64(runs)}, nil
+		},
+	}
+	// Warmup reps do not read the clock, so the script covers only the
+	// 4 measured reps: 10ms, 12ms, 11ms, 90ms (one outlier).
+	res, err := Measure(sc, nil, Options{
+		Warmup: 2,
+		Reps:   4,
+		Clock:  scriptClock([]float64{0.010, 0.012, 0.011, 0.090}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 6 {
+		t.Errorf("scenario ran %d times, want 2 warmup + 4 reps", runs)
+	}
+	want := []float64{10e6, 12e6, 11e6, 90e6}
+	if len(res.NsPerOp) != len(want) {
+		t.Fatalf("got %d samples", len(res.NsPerOp))
+	}
+	for i, w := range want {
+		if diff := res.NsPerOp[i] - w; diff > 1 || diff < -1 {
+			t.Errorf("sample %d = %v ns, want %v", i, res.NsPerOp[i], w)
+		}
+	}
+	// Robust summary: the median ignores the 90ms outlier.
+	if res.MedianNs < 11e6-1 || res.MedianNs > 11.5e6+1 {
+		t.Errorf("median = %v ns, want ~11.5e6", res.MedianNs)
+	}
+	if res.MADNs > 5e6 {
+		t.Errorf("MAD = %v ns dominated by the outlier", res.MADNs)
+	}
+	if !(res.CI95LoNs <= res.MedianNs && res.MedianNs <= res.CI95HiNs) {
+		t.Errorf("median %v outside CI [%v, %v]", res.MedianNs, res.CI95LoNs, res.CI95HiNs)
+	}
+	if res.Metrics["runs"] != 6 {
+		t.Errorf("metrics not taken from the final rep: %v", res.Metrics)
+	}
+	if res.Name != "test/clocked" || res.Reps != 4 || res.Warmup != 2 {
+		t.Errorf("result header wrong: %+v", res)
+	}
+
+	// Same samples, same bootstrap seed => identical CI on re-summarize.
+	lo, hi := res.CI95LoNs, res.CI95HiNs
+	res.summarize(bootstrapRNG(res.Name))
+	if res.CI95LoNs != lo || res.CI95HiNs != hi {
+		t.Error("summary not reproducible for fixed samples")
+	}
+}
+
+func TestMeasurePrepareAndHooks(t *testing.T) {
+	var order []string
+	sc := &Scenario{
+		Name:    "test/hooks",
+		Prepare: func(*Env) error { order = append(order, "prepare"); return nil },
+		Run:     func(*Env) (Metrics, error) { order = append(order, "run"); return nil, nil },
+	}
+	_, err := Measure(sc, nil, Options{
+		Warmup:      1,
+		Reps:        1,
+		Clock:       scriptClock([]float64{0.001}),
+		BeforeTimed: func() error { order = append(order, "before"); return nil },
+		AfterTimed:  func() { order = append(order, "after") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "prepare,run,before,run,after"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	boom := errors.New("boom")
+	runErr := &Scenario{Name: "test/err", Run: func(*Env) (Metrics, error) { return nil, boom }}
+	if _, err := Measure(runErr, nil, Options{Reps: 2, Clock: scriptClock(nil)}); !errors.Is(err, boom) {
+		t.Errorf("run error not surfaced: %v", err)
+	}
+	prepErr := &Scenario{
+		Name:    "test/prep",
+		Prepare: func(*Env) error { return boom },
+		Run:     func(*Env) (Metrics, error) { return nil, nil },
+	}
+	if _, err := Measure(prepErr, nil, Options{Reps: 1, Clock: scriptClock(nil)}); !errors.Is(err, boom) {
+		t.Errorf("prepare error not surfaced: %v", err)
+	}
+	hookErr := &Scenario{Name: "test/hook", Run: func(*Env) (Metrics, error) { return nil, nil }}
+	_, err := Measure(hookErr, nil, Options{Reps: 1, Clock: scriptClock(nil), BeforeTimed: func() error { return boom }})
+	if !errors.Is(err, boom) {
+		t.Errorf("hook error not surfaced: %v", err)
+	}
+	if _, err := Measure(hookErr, nil, Options{Reps: -1, Clock: scriptClock(nil)}); err == nil {
+		t.Error("negative reps accepted")
+	}
+}
+
+func TestMeasureDefaultsAndWallClock(t *testing.T) {
+	runs := 0
+	sc := &Scenario{Name: "test/defaults", Run: func(*Env) (Metrics, error) { runs++; return nil, nil }}
+	// No clock injected: the wall-clock edge itself is exercised.
+	res, err := Measure(sc, nil, Options{Warmup: -1, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Errorf("Warmup<0 should mean no warmup; ran %d times", runs)
+	}
+	for i, ns := range res.NsPerOp {
+		if ns < 0 {
+			t.Errorf("wall-clocked sample %d negative: %v", i, ns)
+		}
+	}
+	if len(res.AllocsPerOp) != 3 || len(res.BytesPerOp) != 3 {
+		t.Errorf("memory columns misaligned: %d/%d", len(res.AllocsPerOp), len(res.BytesPerOp))
+	}
+
+	runs = 0
+	if _, err := Measure(sc, nil, Options{Clock: scriptClock(nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != DefaultWarmup+DefaultReps {
+		t.Errorf("defaults ran %d times, want %d", runs, DefaultWarmup+DefaultReps)
+	}
+}
+
+func TestMeasureAllocCounting(t *testing.T) {
+	var sink [][]byte
+	sc := &Scenario{
+		Name: "test/allocs",
+		Run: func(*Env) (Metrics, error) {
+			// ~64 KiB across 64 allocations per op.
+			for i := 0; i < 64; i++ {
+				sink = append(sink, make([]byte, 1024))
+			}
+			return nil, nil
+		},
+	}
+	res, err := Measure(sc, nil, Options{Warmup: -1, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	for i := range res.NsPerOp {
+		if res.AllocsPerOp[i] < 64 {
+			t.Errorf("rep %d counted %v allocs, want >= 64", i, res.AllocsPerOp[i])
+		}
+		if res.BytesPerOp[i] < 64*1024 {
+			t.Errorf("rep %d counted %v bytes, want >= 64Ki", i, res.BytesPerOp[i])
+		}
+	}
+}

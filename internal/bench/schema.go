@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// SchemaVersion is the version stamped into every result document.
+// Readers reject other versions outright: silently reinterpreting an
+// old baseline is how a regression gate rots.
+const SchemaVersion = 1
+
+// Doc is one benchmark session serialized as BENCH_<label>.json.
+type Doc struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// Label names the session ("baseline", "ci", a branch name).
+	Label string `json:"label"`
+	// CreatedAt is an RFC3339 wall-clock stamp set by the driver edge;
+	// deterministic producers (tests, golden files) leave it empty.
+	CreatedAt string `json:"created_at,omitempty"`
+	// GoVersion/GOOS/GOARCH record the toolchain and platform —
+	// cross-platform comparisons deserve suspicion.
+	GoVersion string `json:"go_version,omitempty"`
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+	// Scale is the fixture scale every scenario ran at; Compare
+	// refuses to gate across scales.
+	Scale string `json:"scale"`
+	// Warmup and Reps record the sampling parameters.
+	Warmup int `json:"warmup"`
+	Reps   int `json:"reps"`
+	// Scenarios holds one result per scenario, in registry order.
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult is the measured record of one scenario: raw per-rep
+// samples (kept so the compare engine can run order statistics, not
+// just point estimates) plus the robust summary.
+type ScenarioResult struct {
+	Name   string `json:"name"`
+	Doc    string `json:"doc,omitempty"`
+	Warmup int    `json:"warmup"`
+	Reps   int    `json:"reps"`
+	// Per-rep samples, index-aligned.
+	NsPerOp     []float64 `json:"ns_per_op"`
+	AllocsPerOp []float64 `json:"allocs_per_op"`
+	BytesPerOp  []float64 `json:"bytes_per_op"`
+	// Robust summary of NsPerOp: median, median absolute deviation and
+	// the 95% bootstrap confidence interval of the median.
+	MedianNs float64 `json:"median_ns"`
+	MADNs    float64 `json:"mad_ns"`
+	CI95LoNs float64 `json:"ci95_lo_ns"`
+	CI95HiNs float64 `json:"ci95_hi_ns"`
+	// Metrics carries the scenario's headline quantities and telemetry
+	// counters from the final rep.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Validate checks structural integrity: version, scale, unique scenario
+// names, non-empty index-aligned samples, finite timings.
+func (d *Doc) Validate() error {
+	if d.Schema != SchemaVersion {
+		return fmt.Errorf("bench: schema version %d, this build reads %d", d.Schema, SchemaVersion)
+	}
+	if _, err := ParseScale(d.Scale); err != nil {
+		return err
+	}
+	if len(d.Scenarios) == 0 {
+		return fmt.Errorf("bench: document %q has no scenarios", d.Label)
+	}
+	seen := map[string]bool{}
+	for i := range d.Scenarios {
+		s := &d.Scenarios[i]
+		if !scenarioNameRe.MatchString(s.Name) {
+			return fmt.Errorf("bench: scenario %d has invalid name %q", i, s.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("bench: duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		n := len(s.NsPerOp)
+		if n == 0 {
+			return fmt.Errorf("bench: scenario %q has no samples", s.Name)
+		}
+		if len(s.AllocsPerOp) != n || len(s.BytesPerOp) != n {
+			return fmt.Errorf("bench: scenario %q has misaligned sample columns (%d ns, %d allocs, %d bytes)",
+				s.Name, n, len(s.AllocsPerOp), len(s.BytesPerOp))
+		}
+		for _, v := range s.NsPerOp {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("bench: scenario %q has a non-finite or negative timing sample %v", s.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Write serializes the document as stable, indented JSON.
+func (d *Doc) Write(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteFile writes the document to path (the BENCH_<label>.json form).
+func (d *Doc) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		//lint:ignore errcheck the write error is already being returned
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes and validates a result document. Unknown fields are
+// rejected: a typo'd baseline should fail loudly, not gate vacuously.
+func Read(r io.Reader) (*Doc, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var d Doc
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("bench: decode result document: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// ReadFile reads a result document from path.
+func ReadFile(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//lint:ignore errcheck close error on a read-only file cannot lose data
+	defer f.Close()
+	d, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}

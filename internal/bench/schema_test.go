@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDoc is a hand-constructed, fully deterministic document (no
+// CreatedAt, no toolchain stamps) so the golden bytes are stable across
+// machines and Go versions.
+func goldenDoc() *Doc {
+	a := makeScenario("fig6/energy-per-vm", []float64{1.25e8, 1.3e8, 1.28e8})
+	a.Doc = "Fig. 6 consolidation sweep"
+	a.Metrics = map[string]float64{"saving-pct": 31.5}
+	a.MedianNs, a.MADNs, a.CI95LoNs, a.CI95HiNs = 1.28e8, 2e6, 1.25e8, 1.3e8
+	b := makeScenario("mpc/solve", []float64{4.1e5, 4.0e5, 4.2e5})
+	b.Metrics = map[string]float64{"solves": 100}
+	b.MedianNs, b.MADNs, b.CI95LoNs, b.CI95HiNs = 4.1e5, 1e4, 4.0e5, 4.2e5
+	return &Doc{
+		Schema: SchemaVersion, Label: "golden", Scale: string(ScaleQuick),
+		Warmup: 2, Reps: 3, Scenarios: []ScenarioResult{a, b},
+	}
+}
+
+// TestGoldenSchema pins the serialized form of the result document. A
+// diff here means the on-disk schema changed: bump SchemaVersion, check
+// committed baselines, then regenerate with `go test ./internal/bench
+// -run TestGoldenSchema -update`.
+func TestGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenDoc().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "bench.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("serialized schema drifted from golden file %s (run with -update after bumping SchemaVersion)\n got: %s\nwant: %s",
+			path, buf.Bytes(), want)
+	}
+	// And the golden bytes round-trip through the validating reader.
+	d, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden file does not read back: %v", err)
+	}
+	if d.Label != "golden" || len(d.Scenarios) != 2 || d.Scenarios[0].Metrics["saving-pct"] != 31.5 {
+		t.Errorf("golden round-trip lost data: %+v", d)
+	}
+}
+
+func TestDocValidateRejects(t *testing.T) {
+	ns := []float64{1e6, 1.1e6, 1.2e6}
+	cases := []struct {
+		name string
+		mut  func(*Doc)
+		want string
+	}{
+		{"wrong version", func(d *Doc) { d.Schema = 99 }, "schema version"},
+		{"bad scale", func(d *Doc) { d.Scale = "huge" }, "unknown scale"},
+		{"no scenarios", func(d *Doc) { d.Scenarios = nil }, "no scenarios"},
+		{"bad name", func(d *Doc) { d.Scenarios[0].Name = "Bad Name" }, "invalid name"},
+		{"dup name", func(d *Doc) { d.Scenarios[1].Name = d.Scenarios[0].Name }, "duplicate"},
+		{"no samples", func(d *Doc) { d.Scenarios[0].NsPerOp = nil }, "no samples"},
+		{"misaligned", func(d *Doc) { d.Scenarios[0].AllocsPerOp = d.Scenarios[0].AllocsPerOp[:1] }, "misaligned"},
+		{"nan timing", func(d *Doc) { d.Scenarios[0].NsPerOp[1] = math.NaN() }, "non-finite"},
+		{"negative timing", func(d *Doc) { d.Scenarios[0].NsPerOp[1] = -5 }, "non-finite or negative"},
+	}
+	for _, c := range cases {
+		d := makeDoc("x", ScaleQuick, makeScenario("a/sc", append([]float64(nil), ns...)), makeScenario("b/sc", append([]float64(nil), ns...)))
+		c.mut(d)
+		err := d.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", c.name, err, c.want)
+		}
+		if err := d.Write(&bytes.Buffer{}); err == nil {
+			t.Errorf("%s: Write serialized an invalid document", c.name)
+		}
+	}
+}
+
+func TestReadRejectsUnknownFieldsAndGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":1,"scale":"quick","bogus_field":3}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteFileReadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	d := goldenDoc()
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != d.Label || len(got.Scenarios) != len(d.Scenarios) {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	bad := makeDoc("bad", ScaleQuick)
+	if err := bad.WriteFile(filepath.Join(dir, "bad.json")); err == nil {
+		t.Error("WriteFile serialized an invalid document")
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 // simPackages are the module-relative packages whose results must be
 // bit-for-bit reproducible from a seed: the two simulators, the testbed,
-// the optimization stack they drive, and the fault-injection plane
-// (chaos runs must replay exactly from a profile seed).
+// the optimization stack they drive, the fault-injection plane (chaos
+// runs must replay exactly from a profile seed), and the benchmark
+// harness (whose statistics and compare verdicts must replay from
+// recorded samples; only its registered sampler edge may read time).
 var simPackages = []string{
 	"internal/dcsim",
 	"internal/appsim",
@@ -17,6 +19,7 @@ var simPackages = []string{
 	"internal/packing",
 	"internal/queueing",
 	"internal/fault",
+	"internal/bench",
 }
 
 // bannedTimeFuncs read the wall clock, which differs between runs.
@@ -42,8 +45,10 @@ func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc: "forbid time.Now/Since/Until and global math/rand in simulation packages " +
-			"(dcsim, appsim, testbed, optimizer, packing, queueing, fault); randomness " +
-			"must flow through a seeded *rand.Rand so runs reproduce bit-for-bit from a seed",
+			"(dcsim, appsim, testbed, optimizer, packing, queueing, fault, bench); randomness " +
+			"must flow through a seeded *rand.Rand so runs reproduce bit-for-bit from a seed; " +
+			"clock reads are allowed only in a package's registered wall-clock edge file " +
+			"(bench: sampler.go)",
 		Applies: func(pkgPath string) bool { return pathHasSuffix(pkgPath, simPackages) },
 		Run:     runDeterminism,
 	}
@@ -65,7 +70,7 @@ func runDeterminism(p *Pass) {
 			}
 			switch fn.Pkg().Path() {
 			case "time":
-				if bannedTimeFuncs[fn.Name()] {
+				if bannedTimeFuncs[fn.Name()] && !atWallClockEdge(p, sel.Pos()) {
 					p.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation results must depend only on the seed", fn.Name())
 				}
 			case "math/rand", "math/rand/v2":

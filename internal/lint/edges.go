@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+)
+
+// wallClockEdges registers, per analyzed package, the single file
+// permitted to read the wall clock directly. The benchmark sampler is
+// the canonical case: internal/bench must be deterministic like the
+// simulators (its statistics, schema and compare engine replay from
+// recorded samples), but measuring wall time is the sampler's whole
+// job — so exactly one file holds the clock reads, and both time-based
+// analyzers enforce the boundary structurally rather than through
+// per-line suppressions that rot as the file grows.
+var wallClockEdges = map[string]string{
+	"internal/bench": "sampler.go",
+}
+
+// atWallClockEdge reports whether pos sits in the registered wall-clock
+// edge file of the pass's package.
+func atWallClockEdge(p *Pass, pos token.Pos) bool {
+	for pkg, file := range wallClockEdges {
+		if pathHasSuffix(p.Pkg.Path, []string{pkg}) &&
+			filepath.Base(p.Fset.Position(pos).Filename) == file {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package lint
+
+import "testing"
+
+// The wall-clock-edge fixtures pin the structural exemption: inside
+// internal/bench, time.Now/Since are legal only in sampler.go, and the
+// exemption covers the clock alone — global math/rand stays banned even
+// there.
+
+const benchClockSrc = `package bench
+
+import "time"
+
+func now() float64 { return time.Since(start).Seconds() }
+
+var start = time.Now()
+`
+
+func TestDeterminismBenchSamplerEdgeAllowed(t *testing.T) {
+	got := analyzeFixtureFile(t, "vdcpower/internal/bench", "sampler.go", benchClockSrc, DeterminismAnalyzer())
+	wantFindings(t, got, "determinism")
+}
+
+func TestDeterminismBenchOtherFilesStillBanned(t *testing.T) {
+	got := analyzeFixtureFile(t, "vdcpower/internal/bench", "compare.go", benchClockSrc, DeterminismAnalyzer())
+	wantFindings(t, got, "determinism", "wall clock", "wall clock")
+}
+
+func TestTelemetryBenchSamplerEdgeAllowed(t *testing.T) {
+	got := analyzeFixtureFile(t, "vdcpower/internal/bench", "sampler.go", benchClockSrc, TelemetryAnalyzer())
+	wantFindings(t, got, "telemetry")
+}
+
+func TestTelemetryBenchOtherFilesStillBanned(t *testing.T) {
+	got := analyzeFixtureFile(t, "vdcpower/internal/bench", "schema.go", benchClockSrc, TelemetryAnalyzer())
+	wantFindings(t, got, "telemetry", "telemetry clock", "telemetry clock")
+}
+
+func TestDeterminismEdgeExemptsOnlyTheClock(t *testing.T) {
+	src := `package bench
+
+import "math/rand"
+
+func draw() float64 { return rand.Float64() }
+`
+	got := analyzeFixtureFile(t, "vdcpower/internal/bench", "sampler.go", src, DeterminismAnalyzer())
+	wantFindings(t, got, "determinism", "global source")
+}
+
+func TestEdgeFileNameDoesNotLeakAcrossPackages(t *testing.T) {
+	// A sampler.go in a package without a registered edge gets no pass.
+	got := analyzeFixtureFile(t, "vdcpower/internal/dcsim", "sampler.go", benchClockSrc, DeterminismAnalyzer())
+	wantFindings(t, got, "determinism", "wall clock", "wall clock")
+}

@@ -26,9 +26,17 @@ var (
 // the surviving findings.
 func analyzeFixture(t *testing.T, pkgPath, src string, a *Analyzer) []Finding {
 	t.Helper()
+	return analyzeFixtureFile(t, pkgPath, "fixture.go", src, a)
+}
+
+// analyzeFixtureFile is analyzeFixture with an explicit file name, for
+// rules that key on the file within the package (the wall-clock edge
+// exemption matches sampler.go by name).
+func analyzeFixtureFile(t *testing.T, pkgPath, filename, src string, a *Analyzer) []Finding {
+	t.Helper()
 	fixtureMu.Lock()
 	defer fixtureMu.Unlock()
-	file, err := parser.ParseFile(fixtureFset, fmt.Sprintf("%s/fixture.go", pkgPath), src,
+	file, err := parser.ParseFile(fixtureFset, fmt.Sprintf("%s/%s", pkgPath, filename), src,
 		parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatalf("parse fixture: %v", err)

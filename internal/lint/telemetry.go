@@ -17,6 +17,7 @@ var instrumentedPackages = []string{
 	"internal/cluster",
 	"internal/serve",
 	"internal/telemetry",
+	"internal/bench",
 }
 
 // TelemetryAnalyzer forbids direct wall-clock reads in instrumented
@@ -29,9 +30,10 @@ func TelemetryAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "telemetry",
 		Doc: "forbid direct time.Now/Since/Until in telemetry-instrumented packages " +
-			"(core, mpc, cluster, serve, telemetry); timestamps must come from the " +
+			"(core, mpc, cluster, serve, telemetry, bench); timestamps must come from the " +
 			"injected telemetry clock — telemetry.WallClock at edges, the simulator " +
-			"clock or Track.SetTime elsewhere — so spans share one time base",
+			"clock or Track.SetTime elsewhere — so spans share one time base; a " +
+			"package's registered wall-clock edge file (bench: sampler.go) is exempt",
 		Applies: func(pkgPath string) bool { return pathHasSuffix(pkgPath, instrumentedPackages) },
 		Run:     runTelemetry,
 	}
@@ -51,7 +53,7 @@ func runTelemetry(p *Pass) {
 			if fn.Type().(*types.Signature).Recv() != nil {
 				return true // methods like (time.Time).Sub don't read the clock
 			}
-			if fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+			if fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] && !atWallClockEdge(p, sel.Pos()) {
 				p.Reportf(sel.Pos(), "time.%s bypasses the injected telemetry clock; use telemetry.WallClock (edges) or the track's clock so spans share one time base", fn.Name())
 			}
 			return true

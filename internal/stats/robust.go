@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Median returns the 50th percentile of xs, or NaN for an empty input.
+// The input is not modified.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// MAD returns the median absolute deviation of xs — the median of
+// |x - median(xs)| — a robust spread estimate that, unlike the standard
+// deviation, is not dominated by a single outlier rep. It returns NaN
+// for an empty input. The raw (unscaled) MAD is returned; multiply by
+// 1.4826 to estimate sigma under normality.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// BootstrapCI estimates a confidence interval for stat(xs) by the
+// percentile bootstrap: resamples draws with replacement from xs, each
+// scored by stat, and the (1-conf)/2 and (1+conf)/2 quantiles of the
+// scores bound the interval. rng supplies the resampling randomness so
+// callers control reproducibility (pass rand.New(rand.NewSource(seed))).
+// resamples <= 0 selects 1000; conf outside (0,1) selects 0.95. An empty
+// input yields (NaN, NaN).
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, conf float64, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	scores := make([]float64, resamples)
+	resample := make([]float64, len(xs))
+	for i := range scores {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		scores[i] = stat(resample)
+	}
+	sort.Float64s(scores)
+	alpha := (1 - conf) / 2
+	lo = Percentile(scores, 100*alpha)
+	hi = Percentile(scores, 100*(1-alpha))
+	return lo, hi
+}
+
+// MannWhitney runs the two-sided Mann-Whitney U test (Wilcoxon rank-sum)
+// on independent samples xs and ys and returns the U statistic (the
+// smaller of U1/U2) and the p-value under the tie-corrected normal
+// approximation with continuity correction. Small p means the two
+// samples are unlikely to come from the same distribution; the bench
+// compare engine pairs it with a median-shift threshold so only shifts
+// that are both large and significant classify as regressions.
+//
+// Degenerate inputs are conservative: an empty sample, or samples whose
+// values are all tied, return p = 1 (no evidence of a shift). The normal
+// approximation is coarse below ~8 reps per side; with n=5 vs 5 the
+// smallest attainable p is ≈0.01, so pick Alpha accordingly.
+func MannWhitney(xs, ys []float64) (u, p float64) {
+	n1, n2 := float64(len(xs)), float64(len(ys))
+	//lint:ignore floatcompare n1/n2 are integer sample counts; exact zero test is intended
+	if n1 == 0 || n2 == 0 {
+		return math.NaN(), 1
+	}
+	type obs struct {
+		v     float64
+		first bool // belongs to xs
+	}
+	all := make([]obs, 0, len(xs)+len(ys))
+	for _, x := range xs {
+		all = append(all, obs{x, true})
+	}
+	for _, y := range ys {
+		all = append(all, obs{y, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks over tie groups, accumulating the tie correction
+	// term sum(t^3 - t) as each group closes.
+	r1 := 0.0     // rank sum of xs
+	tieSum := 0.0 // sum over tie groups of t^3 - t
+	n := len(all)
+	for i := 0; i < n; {
+		j := i
+		//lint:ignore floatcompare rank ties are exact equality by definition
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := (float64(i+1) + float64(j)) / 2 // average 1-based rank of the group
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		tieSum += t*t*t - t
+		i = j
+	}
+
+	u1 := r1 - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u = math.Min(u1, u2)
+
+	mu := n1 * n2 / 2
+	nn := n1 + n2
+	variance := n1 * n2 / 12 * (nn + 1 - tieSum/(nn*(nn-1)))
+	if variance <= 0 {
+		return u, 1 // every observation tied: no ordering information
+	}
+	// Continuity-corrected z for the smaller U (always <= mu).
+	z := (mu - u - 0.5) / math.Sqrt(variance)
+	if z <= 0 {
+		return u, 1
+	}
+	p = math.Erfc(z / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}

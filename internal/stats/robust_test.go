@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	if !math.IsNaN(Median(nil)) {
+		t.Error("median of empty input should be NaN")
+	}
+	if got := Median([]float64{3}); got != 3 {
+		t.Errorf("Median([3]) = %v", got)
+	}
+	if got := Median([]float64{1, 3, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD of empty input should be NaN")
+	}
+	// median 5, deviations {4,1,0,1,4} -> MAD 1.
+	if got := MAD([]float64{1, 4, 5, 6, 9}); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	// A wild outlier moves the standard deviation but not the MAD.
+	base := []float64{10, 11, 12, 13, 14}
+	spiked := []float64{10, 11, 12, 13, 1e6}
+	if MAD(spiked) > 10*MAD(base) {
+		t.Errorf("MAD not robust: base %v spiked %v", MAD(base), MAD(spiked))
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 100 + 10*rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, Median, 500, 0.95, rand.New(rand.NewSource(2)))
+	if !(lo < hi) {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	med := Median(xs)
+	if med < lo || med > hi {
+		t.Errorf("median %v outside its own CI [%v, %v]", med, lo, hi)
+	}
+	if hi-lo > 10 {
+		t.Errorf("CI for n=200 suspiciously wide: [%v, %v]", lo, hi)
+	}
+	// Deterministic under a fixed rng seed.
+	lo2, hi2 := BootstrapCI(xs, Median, 500, 0.95, rand.New(rand.NewSource(2)))
+	if lo != lo2 || hi != hi2 {
+		t.Error("BootstrapCI not reproducible under a fixed seed")
+	}
+	// Defaults and edge cases.
+	if l, h := BootstrapCI(nil, Median, 0, 0, rng); !math.IsNaN(l) || !math.IsNaN(h) {
+		t.Errorf("empty input should yield NaNs, got [%v, %v]", l, h)
+	}
+	lo3, hi3 := BootstrapCI([]float64{5}, Median, -1, 2, rand.New(rand.NewSource(3)))
+	if lo3 != 5 || hi3 != 5 {
+		t.Errorf("single-point bootstrap = [%v, %v], want [5, 5]", lo3, hi3)
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = 100 + 5*rng.NormFloat64()
+		ys[i] = 150 + 5*rng.NormFloat64() // clearly shifted
+	}
+	_, p := MannWhitney(xs, ys)
+	if p > 1e-4 {
+		t.Errorf("clear shift not detected: p = %v", p)
+	}
+	// Symmetry: swapping the samples gives the same p.
+	_, p2 := MannWhitney(ys, xs)
+	if math.Abs(p-p2) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", p, p2)
+	}
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Across many same-distribution draws, small p must be rare (the
+	// test is calibrated): with alpha=0.01, well under 10% of 100
+	// trials may reject.
+	reject := 0
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = 100 + 20*rng.NormFloat64()
+			ys[i] = 100 + 20*rng.NormFloat64()
+		}
+		if _, p := MannWhitney(xs, ys); p < 0.01 {
+			reject++
+		}
+	}
+	if reject > 8 {
+		t.Errorf("same-distribution rejection rate too high: %d/100 at alpha=0.01", reject)
+	}
+}
+
+func TestMannWhitneyEdgeCases(t *testing.T) {
+	if _, p := MannWhitney(nil, []float64{1, 2}); p != 1 {
+		t.Errorf("empty sample p = %v, want 1", p)
+	}
+	// All values tied: no ordering information, p = 1.
+	if _, p := MannWhitney([]float64{7, 7, 7}, []float64{7, 7}); p != 1 {
+		t.Errorf("all-tied p = %v, want 1", p)
+	}
+	// Identical samples: U = mu, p = 1.
+	if _, p := MannWhitney([]float64{1, 2, 3}, []float64{1, 2, 3}); p != 1 {
+		t.Errorf("identical samples p = %v, want 1", p)
+	}
+	// Complete separation of 8 vs 8 is significant even under the
+	// normal approximation.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{11, 12, 13, 14, 15, 16, 17, 18}
+	u, p := MannWhitney(xs, ys)
+	if u != 0 {
+		t.Errorf("complete separation U = %v, want 0", u)
+	}
+	if p > 0.01 {
+		t.Errorf("complete separation p = %v, want < 0.01", p)
+	}
+	// Ties spanning both samples still produce a sane p in [0, 1].
+	if _, p := MannWhitney([]float64{1, 2, 2, 3}, []float64{2, 2, 4}); p < 0 || p > 1 {
+		t.Errorf("tied p out of range: %v", p)
+	}
+}
