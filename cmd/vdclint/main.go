@@ -1,7 +1,9 @@
 // Command vdclint runs the project-native static analyzers of
-// internal/lint over the module: determinism, floatcompare, goroutine,
-// panicpolicy, and errcheck (see README.md "Static analysis &
-// reproducibility invariants").
+// internal/lint over the module: the syntactic invariants (determinism,
+// telemetry, floatcompare, goroutine, panicpolicy, errcheck) and the
+// dataflow-grade family (units, hotalloc, mutexcopy, lockorder,
+// chanleak); see README.md "Static analysis & reproducibility
+// invariants" and DESIGN.md §11.
 //
 // Usage:
 //

@@ -103,8 +103,7 @@ func (r *Registry) Register(sc *Scenario) error {
 // registry, whose entries are compile-time constants.
 func (r *Registry) mustRegister(sc *Scenario) {
 	if err := r.Register(sc); err != nil {
-		//lint:ignore panicpolicy the default registry is static; a bad entry is a programming error
-		panic(err)
+		panic(err) // must* helper: exempt from panicpolicy by convention
 	}
 }
 

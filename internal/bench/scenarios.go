@@ -12,10 +12,12 @@ import (
 	"vdcpower/internal/mpc"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
+	"vdcpower/internal/queueing"
 	"vdcpower/internal/stats"
 	"vdcpower/internal/sysid"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
+	"vdcpower/internal/units"
 )
 
 // Default builds the full scenario registry: the paper's figures
@@ -96,6 +98,11 @@ func Default() *Registry {
 		Name: "mpc/solve",
 		Doc:  "100 closed-loop MPC periods (Eq. 2 solve per period)",
 		Run:  runMPCSolve,
+	})
+	r.mustRegister(&Scenario{
+		Name: "queueing/mva",
+		Doc:  "exact MVA solves across a population sweep of a 3-tier network",
+		Run:  runQueueingMVA,
 	})
 	r.mustRegister(&Scenario{
 		Name: "packing/minslack",
@@ -383,6 +390,25 @@ func runMPCSolve(_ *Env) (Metrics, error) {
 		return nil, err
 	}
 	return Metrics{"solves": 100}, nil
+}
+
+func runQueueingMVA(_ *Env) (Metrics, error) {
+	// The paper's 3-tier shape: web, app, and db demands per visit plus
+	// client think time. Sweeping the population exercises the O(n·k)
+	// recursion the //vdc:hotpath annotation on queueing.Solve declares.
+	net := &queueing.Network{
+		ThinkTime: 1.0,
+		Demands:   []units.Second{0.008, 0.025, 0.012},
+	}
+	total := 0.0
+	for n := 1; n <= 200; n++ {
+		r, err := queueing.Solve(net, n)
+		if err != nil {
+			return nil, err
+		}
+		total += r.ResponseTime
+	}
+	return Metrics{"solves": 200, "sum-response-s": total}, nil
 }
 
 func runPackingMinSlack(_ *Env) (Metrics, error) {

@@ -19,6 +19,7 @@ import (
 	"vdcpower/internal/mpc"
 	"vdcpower/internal/sysid"
 	"vdcpower/internal/telemetry"
+	"vdcpower/internal/units"
 )
 
 // defaultHoldWindow is how many consecutive held measurements the
@@ -34,12 +35,12 @@ type ControlledApp interface {
 	// NumTiers returns the number of VMs (tiers) of the application.
 	NumTiers() int
 	// Allocations returns the current CPU allocation of each tier (GHz).
-	Allocations() []float64
+	Allocations() []units.Hertz
 	// SetAllocation changes tier i's CPU allocation (GHz).
-	SetAllocation(tier int, ghz float64)
+	SetAllocation(tier int, ghz units.Hertz)
 	// DrainResponseTimes returns the response times (seconds) completed
 	// since the last call and resets the window.
-	DrainResponseTimes() []float64
+	DrainResponseTimes() []units.Second
 }
 
 // ControllerConfig parameterizes a response time controller.
@@ -47,7 +48,7 @@ type ControllerConfig struct {
 	// Model is the identified ARX model (Eq. 1) for this application.
 	Model *sysid.Model
 	// Setpoint is the desired 90-percentile response time Ts in seconds.
-	Setpoint float64
+	Setpoint units.Second
 	// P and M are the prediction and control horizons.
 	P, M int
 	// Q is the tracking-error weight; R the per-tier control penalty.
@@ -58,7 +59,7 @@ type ControllerConfig struct {
 	// CMin and CMax bound the absolute allocation of each tier (GHz).
 	CMin, CMax mat.Vec
 	// DeltaMax optionally bounds the per-period move (GHz); 0 = unbounded.
-	DeltaMax float64
+	DeltaMax units.Hertz
 	// LevelPenalty optionally steers the loop toward the cheapest
 	// SLA-feasible allocation (see mpc.Config.LevelPenalty); 0 keeps the
 	// paper's cost function.
@@ -85,7 +86,7 @@ type ControllerConfig struct {
 
 // DefaultControllerConfig returns the tuning used by the paper-style
 // experiments for an application with the given number of tiers.
-func DefaultControllerConfig(model *sysid.Model, setpoint float64) ControllerConfig {
+func DefaultControllerConfig(model *sysid.Model, setpoint units.Second) ControllerConfig {
 	m := model.NumInputs
 	uniform := func(x float64) mat.Vec {
 		v := make(mat.Vec, m)
@@ -115,9 +116,9 @@ type ResponseTimeController struct {
 	app        ControlledApp
 	ctl        *mpc.Controller
 	cfg        ControllerConfig
-	tHist      []float64
+	tHist      []units.Second
 	cHist      []mat.Vec
-	lastT      float64
+	lastT      units.Second
 	steps      int
 	heldStreak int              // consecutive periods without a valid measurement
 	trace      *telemetry.Track // set via SetTrace; nil keeps tracing off
@@ -158,14 +159,14 @@ func (c *ResponseTimeController) SetTrace(tk *telemetry.Track) {
 
 // StepResult reports one control period.
 type StepResult struct {
-	T90             float64   // measured SLA metric (90-percentile by default), seconds
-	Samples         int       // completed requests in the window
-	Held            bool      // no valid measurement: previous one held over
-	Dropped         bool      // measurement rejected (NaN/Inf or injected dropout)
-	HeldStreak      int       // consecutive periods without a valid measurement
-	OpenLoop        bool      // hold window exhausted: last-good allocation frozen
-	Allocations     []float64 // allocations applied for the next period
-	TerminalRelaxed bool      // MPC had to relax the terminal constraint
+	T90             units.Second  // measured SLA metric (90-percentile by default), seconds
+	Samples         int           // completed requests in the window
+	Held            bool          // no valid measurement: previous one held over
+	Dropped         bool          // measurement rejected (NaN/Inf or injected dropout)
+	HeldStreak      int           // consecutive periods without a valid measurement
+	OpenLoop        bool          // hold window exhausted: last-good allocation frozen
+	Allocations     []units.Hertz // allocations applied for the next period
+	TerminalRelaxed bool          // MPC had to relax the terminal constraint
 }
 
 // NewResponseTimeController validates the configuration and attaches the
@@ -216,16 +217,16 @@ func NewResponseTimeController(app ControlledApp, cfg ControllerConfig) (*Respon
 }
 
 // Setpoint returns the current response-time target.
-func (c *ResponseTimeController) Setpoint() float64 { return c.ctl.Setpoint() }
+func (c *ResponseTimeController) Setpoint() units.Second { return c.ctl.Setpoint() }
 
 // SetSetpoint retargets the controller at run time.
-func (c *ResponseTimeController) SetSetpoint(ts float64) { c.ctl.SetSetpoint(ts) }
+func (c *ResponseTimeController) SetSetpoint(ts units.Second) { c.ctl.SetSetpoint(ts) }
 
 // Demands returns the CPU resource demand of each tier VM in GHz — what
 // the controller most recently requested. The server-level arbitrator and
 // the data-center optimizer consume these (Figure 1's "CPU resource
 // demands" arrows).
-func (c *ResponseTimeController) Demands() []float64 { return c.cHist[0].Clone() }
+func (c *ResponseTimeController) Demands() []units.Hertz { return c.cHist[0].Clone() }
 
 // Step runs one control period: read the window's 90-percentile response
 // time, solve the MPC problem, and apply the first move to the
@@ -342,7 +343,7 @@ type Arbitrator struct {
 	Server *cluster.Server
 	// Headroom keeps a fraction of the chosen frequency's capacity free
 	// when picking the P-state, absorbing intra-period bursts.
-	Headroom float64
+	Headroom units.Fraction
 	// Trace, when non-nil, records one "arbitrator.pass" span per
 	// Arbitrate call.
 	Trace *telemetry.Track
@@ -356,13 +357,13 @@ type Arbitrator struct {
 // Grant is one VM's arbitrated allocation.
 type Grant struct {
 	VMID    string
-	Demand  float64 // requested GHz
-	Granted float64 // granted GHz (≤ demand when oversubscribed)
+	Demand  units.Hertz // requested GHz
+	Granted units.Hertz // granted GHz (≤ demand when oversubscribed)
 }
 
 // Arbitrate performs one arbitration round and returns the grants plus
 // the chosen frequency.
-func (a *Arbitrator) Arbitrate() ([]Grant, float64) {
+func (a *Arbitrator) Arbitrate() ([]Grant, units.Hertz) {
 	srv := a.Server
 	sp := a.Trace.Start("arbitrator.pass").Str("server", srv.ID)
 	total := srv.TotalDemand()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vdcpower/internal/stats"
+	"vdcpower/internal/units"
 )
 
 // SLAMetric selects which statistic of the per-period response time
@@ -47,7 +48,7 @@ func (m SLAMetric) Valid() bool { return m >= P90 && m <= Max }
 
 // Measure computes the metric over a window of response times. The
 // window must be non-empty.
-func (m SLAMetric) Measure(window []float64) float64 {
+func (m SLAMetric) Measure(window []units.Second) units.Second {
 	switch m {
 	case P95:
 		return stats.Percentile(window, 95)

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanleakAnalyzer flags goroutine-leaking channel patterns: a function
+// creates an unbuffered channel that never escapes the function, spawns
+// a goroutine that sends on (or receives from) it, but contains no
+// matching receive (or send), close, or drain on the other side. The
+// goroutine blocks on the channel operation forever — a leak that
+// accumulates under load and keeps captured state reachable.
+//
+// The analysis is deliberately conservative: a channel that is passed
+// to another function, returned, stored into a struct or map, sent over
+// another channel, or captured by a non-go function literal is assumed
+// drained elsewhere and never reported.
+func ChanleakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "chanleak",
+		Doc: "an unbuffered local channel used by a spawned goroutine needs its " +
+			"other side in the same function (receive/send/close/range/select); " +
+			"otherwise the goroutine blocks forever and leaks",
+		Run: runChanleak,
+	}
+}
+
+// chanUse accumulates how one channel variable is used in a function.
+type chanUse struct {
+	obj        *types.Var
+	makePos    token.Pos
+	sendInGo   bool // ch <- x inside a go literal
+	recvInGo   bool // <-ch inside a go literal
+	sendInFn   bool // ch <- x in the surrounding function
+	recvInFn   bool // <-ch, range ch, or a select case in the function
+	closed     bool // close(ch) anywhere in the function
+	escapes    bool
+	goBodyElse bool // goroutine body also closes/drains it
+}
+
+func runChanleak(p *Pass) {
+	decls := funcDecls(p.Pkg)
+	for _, decl := range decls {
+		analyzeChanleakFunc(p, decl)
+	}
+}
+
+// unbufferedChanMake recognizes ch := make(chan T) (or an explicit
+// zero-capacity make) and returns the defined variable.
+func unbufferedChanMake(info *types.Info, st *ast.AssignStmt) (*types.Var, token.Pos) {
+	if st.Tok != token.DEFINE || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil, token.NoPos
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok || builtinName(info, call) != "make" {
+		return nil, token.NoPos
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil, token.NoPos
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return nil, token.NoPos
+	}
+	if len(call.Args) > 1 {
+		lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+		if !ok || lit.Value != "0" {
+			return nil, token.NoPos // buffered: a lone send completes
+		}
+	}
+	id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, token.NoPos
+	}
+	v, _ := info.Defs[id].(*types.Var)
+	return v, call.Pos()
+}
+
+func analyzeChanleakFunc(p *Pass, decl *ast.FuncDecl) {
+	info := p.Pkg.Info
+	uses := map[*types.Var]*chanUse{}
+
+	// Pass 1: find unbuffered local channel makes.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if st, ok := n.(*ast.AssignStmt); ok {
+			if v, pos := unbufferedChanMake(info, st); v != nil {
+				uses[v] = &chanUse{obj: v, makePos: pos}
+			}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	chanOf := func(e ast.Expr) *chanUse {
+		v, _ := refObject(info, ast.Unparen(e)).(*types.Var)
+		if v == nil {
+			return nil
+		}
+		return uses[v]
+	}
+
+	// Pass 2: classify every use, with goroutine-body context.
+	var goDepth int
+	var classify func(n ast.Node) bool
+	classify = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned body runs concurrently. Both a literal body and
+			// call arguments evaluated at spawn time are walked with the
+			// go context; a named callee receiving the channel is an
+			// escape (handled by CallExpr below).
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				goDepth++
+				ast.Inspect(fl.Body, classify)
+				goDepth--
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, classify)
+				}
+				return false
+			}
+			return true
+		case *ast.SendStmt:
+			if u := chanOf(n.Chan); u != nil {
+				if goDepth > 0 {
+					u.sendInGo = true
+				} else {
+					u.sendInFn = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if u := chanOf(n.X); u != nil {
+					if goDepth > 0 {
+						u.recvInGo = true
+					} else {
+						u.recvInFn = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if u := chanOf(n.X); u != nil {
+				if goDepth > 0 {
+					u.recvInGo = true
+				} else {
+					u.recvInFn = true
+				}
+			}
+		case *ast.CallExpr:
+			switch builtinName(info, n) {
+			case "close":
+				if len(n.Args) == 1 {
+					if u := chanOf(n.Args[0]); u != nil {
+						u.closed = true
+					}
+				}
+				return true
+			case "len", "cap", "":
+			default:
+				return true
+			}
+			if builtinName(info, n) == "" {
+				for _, arg := range n.Args {
+					if u := chanOf(arg); u != nil {
+						u.escapes = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if u := chanOf(r); u != nil {
+					u.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// ch assigned to anything beyond its defining make escapes
+			// (struct fields, maps, other variables).
+			for i, rhs := range n.Rhs {
+				u := chanOf(rhs)
+				if u == nil {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						if v, ok := info.Defs[id].(*types.Var); ok && uses[v] == u {
+							continue // its own definition
+						}
+					}
+				}
+				u.escapes = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, classify)
+
+	for _, u := range uses {
+		if u.escapes || u.closed {
+			continue
+		}
+		switch {
+		case u.sendInGo && !u.recvInFn && !u.recvInGo:
+			p.Reportf(u.makePos, "goroutine sends on %s but this function never receives, ranges, or closes it; the send blocks forever and the goroutine leaks", u.obj.Name())
+		case u.recvInGo && !u.sendInFn && !u.sendInGo:
+			p.Reportf(u.makePos, "goroutine receives from %s but this function never sends on or closes it; the receive blocks forever and the goroutine leaks", u.obj.Name())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import "testing"
+
+func TestChanleakSendWithoutReceive(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/worker", `package worker
+
+func compute() int { return 42 }
+
+func FireAndForget() {
+	done := make(chan int)
+	go func() {
+		done <- compute() // nobody ever receives
+	}()
+}
+`, ChanleakAnalyzer())
+	wantFindings(t, got, "chanleak",
+		"goroutine sends on done but this function never receives")
+}
+
+func TestChanleakReceiveWithoutSend(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/worker", `package worker
+
+func Waiter() {
+	stop := make(chan struct{}, 0)
+	go func() {
+		<-stop // nobody ever sends or closes
+	}()
+}
+`, ChanleakAnalyzer())
+	wantFindings(t, got, "chanleak",
+		"goroutine receives from stop but this function never sends")
+}
+
+func TestChanleakMatchedSides(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/worker", `package worker
+
+func compute() int { return 42 }
+
+func AwaitResult() int {
+	out := make(chan int)
+	go func() { out <- compute() }()
+	return <-out
+}
+
+func Signal() {
+	ready := make(chan struct{})
+	go func() { <-ready }()
+	close(ready)
+}
+
+func Drain() int {
+	vals := make(chan int)
+	go func() {
+		vals <- 1
+		close(vals)
+	}()
+	sum := 0
+	for v := range vals {
+		sum += v
+	}
+	return sum
+}
+`, ChanleakAnalyzer())
+	wantFindings(t, got, "chanleak")
+}
+
+func TestChanleakBufferedAndEscaping(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/worker", `package worker
+
+func compute() int { return 42 }
+
+func consume(ch chan int) {}
+
+type holder struct{ ch chan int }
+
+func Buffered() {
+	out := make(chan int, 1)
+	go func() { out <- compute() }() // buffered: the send completes
+}
+
+func PassedOn() {
+	out := make(chan int)
+	go func() { out <- compute() }()
+	consume(out) // drained elsewhere — not our problem
+}
+
+func Returned() chan int {
+	out := make(chan int)
+	go func() { out <- compute() }()
+	return out
+}
+
+func Stored(h *holder) {
+	out := make(chan int)
+	go func() { out <- compute() }()
+	h.ch = out
+}
+`, ChanleakAnalyzer())
+	wantFindings(t, got, "chanleak")
+}
+
+func TestChanleakSuppression(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/worker", `package worker
+
+func compute() int { return 42 }
+
+func Intentional() {
+	//lint:ignore chanleak fixture: goroutine lifetime is owned by the test harness
+	done := make(chan int)
+	go func() { done <- compute() }()
+}
+`, ChanleakAnalyzer())
+	wantFindings(t, got, "chanleak")
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the shared intra-procedural dataflow core behind the
+// units, hotalloc, and concurrency analyzers. It deliberately stops
+// short of a full SSA construction: the analyzers need (a) per-function
+// abstract environments keyed by *types.Var, grown to a fixpoint over a
+// flow-insensitive walk of the body, (b) static resolution of callees
+// and selector chains, and (c) the intra-package call graph for
+// transitive summaries. All of that is derivable from go/ast + go/types
+// with no external dependencies, and it keeps a whole-module analysis
+// in single-digit seconds.
+
+// funcDecls maps each function object declared in the package to its
+// declaration, so analyzers can reach doc comments and bodies from a
+// statically resolved callee.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// signatureOf resolves the callee's signature, if the call is an
+// ordinary function or method call (not a conversion or builtin).
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// conversionType returns the target type when the call is a type
+// conversion, and nil otherwise.
+func conversionType(info *types.Info, call *ast.CallExpr) types.Type {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	return tv.Type
+}
+
+// builtinName returns the name of the builtin being called ("append",
+// "make", ...) or "" when the callee is not a builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// refObject resolves an lvalue-ish expression (identifier, selector,
+// index, deref) to the object it ultimately reads or writes, or nil.
+// For a[i] and *p it resolves the base, which is what abstract
+// environments key on.
+func refObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel] // package-qualified identifier
+	case *ast.IndexExpr:
+		return refObject(info, e.X)
+	case *ast.StarExpr:
+		return refObject(info, e.X)
+	}
+	return nil
+}

@@ -39,22 +39,24 @@ var errcheckAllowedRecvTypes = map[string]bool{
 }
 
 func runErrcheck(p *Pass) {
-	check := func(call *ast.CallExpr) {
+	check := func(call *ast.CallExpr, how string) {
 		if call == nil || !returnsError(p.Pkg.Info, call) || allowlisted(p.Pkg.Info, call) {
 			return
 		}
-		p.Reportf(call.Pos(), "error result of %s is silently discarded; handle it, assign it explicitly, or annotate with //lint:ignore errcheck <reason>", exprString(p, call.Fun))
+		p.Reportf(call.Pos(), "error result of %s%s is silently discarded; handle it, assign it explicitly, or annotate with //lint:ignore errcheck <reason>", how, exprString(p, call.Fun))
 	}
 	for _, file := range p.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
 				call, _ := s.X.(*ast.CallExpr)
-				check(call)
+				check(call, "")
 			case *ast.DeferStmt:
-				check(s.Call)
+				// The classic trap: defer f.Close() drops the flush error
+				// with no statement left to observe it.
+				check(s.Call, "deferred ")
 			case *ast.GoStmt:
-				check(s.Call)
+				check(s.Call, "goroutine call ")
 			}
 			return true
 		})

@@ -38,7 +38,49 @@ func open(name string) error {
 	defer f.Close()
 	return nil
 }`,
-			want: []string{"f.Close"},
+			want: []string{"deferred f.Close"},
+		},
+		{
+			name: "goroutine call discarding an error",
+			src: `package serve
+import "os"
+func drop(name string) {
+	go os.Remove(name)
+}`,
+			want: []string{"goroutine call os.Remove"},
+		},
+		{
+			name: "deferred closure handling the error is fine",
+			src: `package serve
+import (
+	"log"
+	"os"
+)
+func open(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
+	return nil
+}`,
+			want: nil,
+		},
+		{
+			name: "deferred allowlisted writer is fine",
+			src: `package serve
+import (
+	"fmt"
+	"os"
+)
+func trace() {
+	defer fmt.Fprintln(os.Stderr, "done")
+}`,
+			want: nil,
 		},
 		{
 			name: "explicit blank assignment is a reviewable decision",

@@ -6,15 +6,21 @@
 // on: bit-for-bit reproducibility from a seed (determinism), well-defined
 // floating-point comparisons (floatcompare), joined goroutines
 // (goroutine), no stray panics in library code (panicpolicy), and no
-// silently dropped errors (errcheck).
+// silently dropped errors (errcheck). A second, dataflow-grade family
+// reasons about values rather than syntax: dimensional consistency of
+// the paper's physical quantities (units), allocation-free hot paths
+// (hotalloc), and concurrency hygiene (mutexcopy, lockorder, chanleak).
 //
 // Findings can be suppressed at the offending line — or the line directly
 // above it — with an explicit, reasoned directive:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
-// A directive without a reason is itself reported, so every suppression
-// in the tree documents why the invariant does not apply.
+// A directive without a reason, a directive naming a rule that matches
+// no registered analyzer, and a directive that suppresses nothing (the
+// anchored line produced no finding of the named rules while those
+// analyzers ran) are all themselves reported, so every suppression in
+// the tree documents why the invariant does not apply — and stays live.
 package lint
 
 import (
@@ -82,6 +88,11 @@ func Analyzers() []*Analyzer {
 		GoroutineAnalyzer(),
 		PanicPolicyAnalyzer(),
 		ErrcheckAnalyzer(),
+		UnitsAnalyzer(),
+		HotallocAnalyzer(),
+		MutexcopyAnalyzer(),
+		LockorderAnalyzer(),
+		ChanleakAnalyzer(),
 	}
 }
 
@@ -95,13 +106,27 @@ var directiveRe = regexp.MustCompile(`^//lint:ignore(\s+(\S+))?(\s+(\S.*))?$`)
 type suppression struct {
 	file  string
 	line  int
+	col   int
 	rules map[string]bool
+	used  bool
+}
+
+// knownRules is every rule name a directive may legitimately name: the
+// full analyzer registry, independent of which subset is running.
+func knownRules() map[string]bool {
+	m := map[string]bool{}
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
 }
 
 // collectDirectives parses every //lint:ignore comment in the package.
-// Malformed directives (missing rule list or missing reason) become
-// findings so suppressions stay self-documenting.
-func collectDirectives(fset *token.FileSet, rel func(string) string, pkg *Package) (sups []suppression, bad []Finding) {
+// Malformed directives (missing rule list or missing reason) and rule
+// names that match no registered analyzer become findings so
+// suppressions stay self-documenting and typo-free.
+func collectDirectives(fset *token.FileSet, rel func(string) string, pkg *Package) (sups []*suppression, bad []Finding) {
+	known := knownRules()
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -122,28 +147,98 @@ func collectDirectives(fset *token.FileSet, rel func(string) string, pkg *Packag
 					continue
 				}
 				rules := map[string]bool{}
+				unknown := false
 				for _, r := range strings.Split(m[2], ",") {
+					if !known[r] {
+						unknown = true
+						bad = append(bad, Finding{
+							Rule: DirectiveRule,
+							File: rel(pos.Filename),
+							Line: pos.Line,
+							Col:  pos.Column,
+							Message: fmt.Sprintf("//lint:ignore names unknown rule %q; "+
+								"registered analyzers: %s", r, strings.Join(ruleNames(), ", ")),
+						})
+						continue
+					}
 					rules[r] = true
 				}
-				sups = append(sups, suppression{file: rel(pos.Filename), line: pos.Line, rules: rules})
+				if len(rules) == 0 {
+					continue // nothing left to suppress; already reported
+				}
+				sups = append(sups, &suppression{
+					file:  rel(pos.Filename),
+					line:  pos.Line,
+					col:   pos.Column,
+					rules: rules,
+					// A typo'd rule alongside a valid one is already reported;
+					// don't pile an unused-suppression finding on top.
+					used: unknown,
+				})
 			}
 		}
 	}
 	return sups, bad
 }
 
+// ruleNames lists the registry's analyzer names in reporting order.
+func ruleNames() []string {
+	var ns []string
+	for _, a := range Analyzers() {
+		ns = append(ns, a.Name)
+	}
+	return ns
+}
+
 // suppressed reports whether f is covered by a directive on the same
-// line (trailing comment) or the line directly above.
-func suppressed(f Finding, sups []suppression) bool {
+// line (trailing comment) or the line directly above, marking the
+// directive used so stale suppressions can be reported.
+func suppressed(f Finding, sups []*suppression) bool {
 	for _, s := range sups {
 		if s.file != f.File || !s.rules[f.Rule] {
 			continue
 		}
 		if f.Line == s.line || f.Line == s.line+1 {
+			s.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// unusedSuppressions reports directives that suppressed nothing. Only
+// directives whose every rule actually ran on the package are eligible —
+// a directive for an analyzer skipped via -enable/-disable or an Applies
+// filter is not stale, just dormant.
+func unusedSuppressions(sups []*suppression, ran map[string]bool) []Finding {
+	var out []Finding
+	for _, s := range sups {
+		if s.used {
+			continue
+		}
+		eligible := true
+		rules := make([]string, 0, len(s.rules))
+		for r := range s.rules {
+			rules = append(rules, r)
+			if !ran[r] {
+				eligible = false
+			}
+		}
+		if !eligible {
+			continue
+		}
+		sort.Strings(rules)
+		out = append(out, Finding{
+			Rule: DirectiveRule,
+			File: s.file,
+			Line: s.line,
+			Col:  s.col,
+			Message: fmt.Sprintf("unused //lint:ignore suppression for %s: no finding "+
+				"on this line or the line below; directives reach exactly one line — "+
+				"move it to the offending line or delete it", strings.Join(rules, ",")),
+		})
+	}
+	return out
 }
 
 // AnalyzePackages runs the analyzers over the packages, applies
@@ -158,10 +253,12 @@ func AnalyzePackages(fset *token.FileSet, rel func(string) string, pkgs []*Packa
 	for _, pkg := range pkgs {
 		sups, bad := collectDirectives(fset, rel, pkg)
 		var raw []Finding
+		ran := map[string]bool{}
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg.Path) {
 				continue
 			}
+			ran[a.Name] = true
 			a.Run(&Pass{Pkg: pkg, Fset: fset, rel: rel, findings: &raw, rule: a.Name})
 		}
 		for _, f := range raw {
@@ -170,6 +267,7 @@ func AnalyzePackages(fset *token.FileSet, rel func(string) string, pkgs []*Packa
 			}
 		}
 		all = append(all, bad...)
+		all = append(all, unusedSuppressions(sups, ran)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]

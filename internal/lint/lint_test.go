@@ -54,7 +54,7 @@ func drop(name string) {
 			want: map[string]int{},
 		},
 		{
-			name: "directive two lines above does not reach",
+			name: "directive two lines above does not reach and is reported unused",
 			src: `package serve
 import "os"
 func drop(name string) {
@@ -62,7 +62,59 @@ func drop(name string) {
 	_ = name
 	os.Remove(name)
 }`,
-			want: map[string]int{"errcheck": 1},
+			want: map[string]int{"errcheck": 1, DirectiveRule: 1},
+		},
+		{
+			name: "unknown rule name is reported",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore errchek typo in the rule name
+	os.Remove(name)
+}`,
+			want: map[string]int{"errcheck": 1, DirectiveRule: 1},
+		},
+		{
+			name: "stacked directives: only the nearest reaches, the outer is unused",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore errcheck stacked and stranded
+	//lint:ignore errcheck this one suppresses
+	os.Remove(name)
+}`,
+			want: map[string]int{DirectiveRule: 1},
+		},
+		{
+			name: "directive on a block header does not blanket the body",
+			src: `package serve
+import "os"
+func drop(names []string) {
+	//lint:ignore errcheck directives cover lines, not blocks
+	for _, n := range names {
+		os.Remove(n)
+	}
+}`,
+			want: map[string]int{"errcheck": 1, DirectiveRule: 1},
+		},
+		{
+			name: "one directive covers two findings on its line",
+			src: `package serve
+import "os"
+func drop(a, b string) {
+	os.Remove(a); os.Remove(b) //lint:ignore errcheck best-effort cleanup of both
+}`,
+			want: map[string]int{},
+		},
+		{
+			name: "dormant directive for an analyzer not running is not unused",
+			src: `package serve
+import "os"
+func drop(name string) {
+	//lint:ignore floatcompare,errcheck reason spanning two rules
+	os.Remove(name)
+}`,
+			want: map[string]int{},
 		},
 	}
 	for _, tt := range tests {
@@ -106,7 +158,10 @@ func TestFindingJSONShape(t *testing.T) {
 }
 
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"determinism", "telemetry", "floatcompare", "goroutine", "panicpolicy", "errcheck"}
+	want := []string{
+		"determinism", "telemetry", "floatcompare", "goroutine", "panicpolicy",
+		"errcheck", "units", "hotalloc", "mutexcopy", "lockorder", "chanleak",
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockorderAnalyzer detects inconsistent mutex acquisition order within
+// a package. Locks are identified at the class level — the declared
+// field (s.mu for every instance of S) or package-level variable — and
+// an edge A→B is recorded whenever B is acquired while A is held,
+// including through calls into other functions of the same package
+// (per-function acquisition summaries are propagated to a fixpoint). A
+// cycle in the acquisition graph is a latent deadlock: two goroutines
+// taking the locks from different ends block each other forever.
+func LockorderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc: "mutex acquisition order must form a DAG per package: an A→B edge is " +
+			"recorded when B.Lock() happens under A (directly or via an " +
+			"intra-package call); any cycle is reported as a latent deadlock",
+		Run: runLockorder,
+	}
+}
+
+// lockEdge is one observed ordering: to acquired while from was held.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+}
+
+// lockSummary is a function's externally visible locking behaviour:
+// the set of locks it may acquire (directly or transitively).
+type lockSummary struct {
+	acquires map[*types.Var]token.Pos
+}
+
+func runLockorder(p *Pass) {
+	info := p.Pkg.Info
+	decls := funcDecls(p.Pkg)
+
+	// Order functions deterministically by source position.
+	fns := make([]*types.Func, 0, len(decls))
+	for fn := range decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return decls[fns[i]].Pos() < decls[fns[j]].Pos() })
+
+	// Fixpoint over per-function summaries: which locks can a call into
+	// fn acquire?
+	summaries := map[*types.Func]*lockSummary{}
+	for _, fn := range fns {
+		summaries[fn] = &lockSummary{acquires: map[*types.Var]token.Pos{}}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			sum := summaries[fn]
+			walkLocking(info, decls[fn].Body, summaries, func(v *types.Var, pos token.Pos, _ []*types.Var) {
+				if _, ok := sum.acquires[v]; !ok {
+					sum.acquires[v] = pos
+					changed = true
+				}
+			})
+		}
+	}
+
+	// Edge collection: replay each function tracking the held set.
+	edgeSet := map[[2]*types.Var]token.Pos{}
+	var edges []lockEdge
+	for _, fn := range fns {
+		walkLocking(info, decls[fn].Body, summaries, func(v *types.Var, pos token.Pos, held []*types.Var) {
+			for _, h := range held {
+				if h == v {
+					continue // reentrant self-acquisition is a different bug
+				}
+				key := [2]*types.Var{h, v}
+				if _, ok := edgeSet[key]; !ok {
+					edgeSet[key] = pos
+					edges = append(edges, lockEdge{from: h, to: v, pos: pos})
+				}
+			}
+		})
+	}
+
+	reportLockCycles(p, edges)
+}
+
+// mutexMethods are the sync.Mutex/RWMutex methods that acquire.
+var mutexMethods = map[string]bool{"Lock": true, "RLock": true}
+
+// mutexReleases are the methods that release.
+var mutexReleases = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockVarOf resolves x.mu.Lock()'s receiver to the class-level lock
+// variable: the field or package-level var of type sync.Mutex/RWMutex.
+func lockVarOf(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if !mutexMethods[fn.Name()] && !mutexReleases[fn.Name()] {
+		return nil, ""
+	}
+	v, _ := refObject(info, sel.X).(*types.Var)
+	if v == nil {
+		return nil, ""
+	}
+	return v, fn.Name()
+}
+
+// walkLocking walks a body in source order maintaining the held-lock
+// set, invoking acquire for every direct Lock/RLock and for every lock
+// a called same-package function may take (per its summary). defer
+// Unlock keeps the lock held to the end of the body, which is the
+// common pattern and the conservative reading for ordering.
+func walkLocking(info *types.Info, body *ast.BlockStmt, summaries map[*types.Func]*lockSummary, acquire func(v *types.Var, pos token.Pos, held []*types.Var)) {
+	var held []*types.Var
+	release := func(v *types.Var) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == v {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at function end; for ordering
+			// purposes the lock stays held for the rest of the body, so
+			// nothing changes here. A deferred Lock is nonsense; skip.
+			return false
+		case *ast.FuncLit:
+			// A function literal's body runs at an unknown time with an
+			// unknown held set; its own acquisitions are analyzed when
+			// the literal is invoked via a named function, or ignored.
+			return false
+		case *ast.CallExpr:
+			if v, method := lockVarOf(info, n); v != nil {
+				if mutexMethods[method] {
+					acquire(v, n.Pos(), held)
+					held = append(held, v)
+				} else {
+					release(v)
+				}
+				return true
+			}
+			if fn := calleeFunc(info, n); fn != nil {
+				if sum, ok := summaries[fn]; ok {
+					// Deterministic order over the callee's lock set.
+					vs := make([]*types.Var, 0, len(sum.acquires))
+					for v := range sum.acquires {
+						vs = append(vs, v)
+					}
+					sort.Slice(vs, func(i, j int) bool { return vs[i].Pos() < vs[j].Pos() })
+					for _, v := range vs {
+						acquire(v, n.Pos(), held)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportLockCycles finds a cycle in the edge graph and reports it once,
+// naming both conflicting acquisition sites.
+func reportLockCycles(p *Pass, edges []lockEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	adj := map[*types.Var][]lockEdge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i].to.Pos() < adj[v][j].to.Pos() })
+	}
+	nodes := make([]*types.Var, 0, len(adj))
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*types.Var]int{}
+	var stack []lockEdge
+	var cycle []lockEdge
+	var dfs func(v *types.Var) bool
+	dfs = func(v *types.Var) bool {
+		color[v] = grey
+		for _, e := range adj[v] {
+			switch color[e.to] {
+			case grey:
+				// Found a back edge: slice the stack from e.to onward.
+				cycle = append([]lockEdge(nil), stack...)
+				cycle = append(cycle, e)
+				for i, se := range cycle {
+					if se.from == e.to {
+						cycle = cycle[i:]
+						break
+					}
+				}
+				return true
+			case white:
+				stack = append(stack, e)
+				if dfs(e.to) {
+					return true
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range nodes {
+		if color[v] == white && dfs(v) {
+			break
+		}
+	}
+	if len(cycle) == 0 {
+		return
+	}
+	var msg strings.Builder
+	msg.WriteString("lock-order cycle (latent deadlock): ")
+	for i, e := range cycle {
+		if i > 0 {
+			msg.WriteString(", then ")
+		}
+		pos := p.Fset.Position(e.pos)
+		fmt.Fprintf(&msg, "%s acquired under %s at %s:%d", e.to.Name(), e.from.Name(), p.rel(pos.Filename), pos.Line)
+	}
+	msg.WriteString("; pick one global order and acquire in it everywhere")
+	p.Reportf(cycle[0].pos, "%s", msg.String())
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexcopyAnalyzer flags copies of values that contain a sync lock
+// (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond —
+// directly or through nested structs and arrays). A copied lock guards
+// nothing: the copy starts unlocked regardless of the original, so the
+// invariant the original protected silently stops holding. Checked
+// copy sites: value receivers, by-value parameters and results,
+// assignments, range values, and call arguments.
+func MutexcopyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "mutexcopy",
+		Doc: "never copy a value holding a sync.Mutex/RWMutex/WaitGroup/Once/Cond: " +
+			"value receivers, by-value params/results, assignments, range values " +
+			"and call arguments of lock-carrying types are flagged; pass a pointer",
+		Run: runMutexcopy,
+	}
+}
+
+// lockTypeNames are the sync types whose copy is always a bug.
+var lockTypeNames = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+}
+
+// typeHasLock reports whether copying a value of type t copies a sync
+// lock: t is one of the sync types, or a struct or array containing one
+// (pointers, slices, maps, and channels are references — following them
+// does not copy).
+func typeHasLock(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && lockTypeNames[obj.Pkg().Path()+"."+obj.Name()] {
+				return true
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+func runMutexcopy(p *Pass) {
+	info := p.Pkg.Info
+	// exprCopiesLock reports whether evaluating e produces a fresh copy
+	// of a lock-carrying value. Taking an address, or referring to a
+	// pointer, does not copy.
+	exprCopiesLock := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.UnaryExpr, *ast.CompositeLit, *ast.FuncLit:
+			// &x never copies; a fresh composite literal is the value's
+			// birthplace, not a copy of an existing lock.
+			return false
+		}
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		return typeHasLock(tv.Type)
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, f := range n.Recv.List {
+						if tv, ok := info.Types[f.Type]; ok && typeHasLock(tv.Type) {
+							p.Reportf(f.Type.Pos(), "value receiver copies a lock-carrying %s on every call; use a pointer receiver", types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)))
+						}
+					}
+				}
+				checkSignatureLocks(p, n.Type)
+			case *ast.FuncLit:
+				checkSignatureLocks(p, n.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if exprCopiesLock(rhs) {
+						p.Reportf(rhs.Pos(), "assignment copies a lock-carrying value; share it through a pointer")
+					}
+				}
+			case *ast.RangeStmt:
+				// The := value ident is a definition (info.Defs), not a typed
+				// expression, so resolve its object rather than its type-value.
+				if n.Value != nil {
+					if obj := refObject(info, ast.Unparen(n.Value)); obj != nil && typeHasLock(obj.Type()) {
+						p.Reportf(n.Value.Pos(), "range value copies a lock-carrying element each iteration; range over indices or pointers")
+					}
+				}
+			case *ast.CallExpr:
+				if conversionType(info, n) != nil || builtinName(info, n) != "" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if exprCopiesLock(arg) {
+						p.Reportf(arg.Pos(), "call argument copies a lock-carrying value; pass a pointer")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSignatureLocks flags by-value lock-carrying parameters and
+// results in a function signature.
+func checkSignatureLocks(p *Pass, ft *ast.FuncType) {
+	info := p.Pkg.Info
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := info.Types[f.Type]
+			if !ok {
+				continue
+			}
+			if typeHasLock(tv.Type) {
+				p.Reportf(f.Type.Pos(), "by-value %s copies a lock-carrying %s; use a pointer", what, types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)))
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}

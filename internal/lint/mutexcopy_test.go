@@ -1,0 +1,86 @@
+package lint
+
+import "testing"
+
+func TestMutexcopyReceiverParamResult(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/reg", `package reg
+
+import "sync"
+
+type Registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r Registry) Count() int { return r.n } // value receiver copies mu
+
+func Observe(r Registry) {} // by-value parameter
+
+func Make() Registry { var r Registry; return r } // by-value result
+
+func UsePtr(r *Registry) {} // fine
+`, MutexcopyAnalyzer())
+	wantFindings(t, got, "mutexcopy",
+		"value receiver copies a lock-carrying Registry",
+		"by-value parameter copies a lock-carrying Registry",
+		"by-value result copies a lock-carrying Registry")
+}
+
+func TestMutexcopyAssignRangeArgs(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/reg", `package reg
+
+import "sync"
+
+type Guarded struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func sink(g *Guarded) {}
+
+func Copies(all []Guarded, one *Guarded) {
+	g := *one // deref copies the lock
+	g.v = 1
+	for _, item := range all { // range value copies per element
+		_ = item.v
+	}
+	for i := range all { // index form is fine
+		sink(&all[i])
+	}
+}
+
+type nested struct{ inner Guarded }
+
+func Nested(n nested, wg sync.WaitGroup) {} // both params flagged
+`, MutexcopyAnalyzer())
+	wantFindings(t, got, "mutexcopy",
+		"assignment copies a lock-carrying value",
+		"range value copies a lock-carrying element",
+		"by-value parameter copies a lock-carrying nested",
+		"by-value parameter copies a lock-carrying sync.WaitGroup")
+}
+
+func TestMutexcopyCleanPatterns(t *testing.T) {
+	got := analyzeFixture(t, "fixturemod/internal/reg", `package reg
+
+import "sync"
+
+type Store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func New() *Store {
+	return &Store{data: map[string]int{}} // literal is the birthplace, not a copy
+}
+
+func (s *Store) Get(k string) int { // pointer receiver
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+func Register(s *Store) {} // pointer param
+`, MutexcopyAnalyzer())
+	wantFindings(t, got, "mutexcopy")
+}

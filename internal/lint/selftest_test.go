@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfTestFixture sweeps the deliberately unit-broken mini-module
+// under testdata/unitbroken with the full analyzer registry and demands
+// the planted watt-vs-utilization finding. A clean sweep here means the
+// units analyzer silently regressed — the one failure mode a
+// "module must be clean" gate can never see on the real tree.
+func TestSelfTestFixture(t *testing.T) {
+	mod, err := LoadModule("testdata/unitbroken")
+	if err != nil {
+		t.Fatalf("load fixture module: %v", err)
+	}
+	pkgs, err := mod.Load("./...")
+	if err != nil {
+		t.Fatalf("load fixture packages: %v", err)
+	}
+	findings := mod.Analyze(pkgs, Analyzers())
+	var units []Finding
+	for _, f := range findings {
+		if f.Rule == "units" {
+			units = append(units, f)
+		}
+	}
+	if len(units) == 0 {
+		t.Fatalf("unit-broken fixture produced no units finding; analyzer regressed\nall findings:\n%s", renderFindings(findings))
+	}
+	found := false
+	for _, f := range units {
+		if strings.Contains(f.Message, "watt + fraction") &&
+			strings.HasSuffix(f.File, "internal/power/model.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no watt + fraction finding in internal/power/model.go:\n%s", renderFindings(units))
+	}
+}

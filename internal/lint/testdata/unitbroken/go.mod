@@ -1,0 +1,3 @@
+module unitbroken
+
+go 1.23

@@ -1,0 +1,21 @@
+// Package power is the deliberately unit-broken half of the vdclint
+// self-test fixture: Draw adds a wattage to a utilization — the exact
+// watt-vs-utilization mix-up the units analyzer exists to catch. If a
+// sweep of this module reports no "units" finding, the analyzer has
+// regressed; see TestSelfTestFixture in internal/lint.
+package power
+
+import "unitbroken/internal/units"
+
+// Server is a minimal power model with tagged fields.
+type Server struct {
+	PStatic units.Watt
+	PPeak   units.Watt
+	MaxFreq units.Hertz
+}
+
+// Draw is WRONG on purpose: util is a Fraction and must be scaled by
+// the dynamic range (PPeak - PStatic) before it may join a Watt sum.
+func (s *Server) Draw(util units.Fraction) units.Watt {
+	return s.PStatic + util
+}

@@ -1,0 +1,19 @@
+// Package units mirrors the real module's dimensional vocabulary so the
+// self-test fixture type-checks standalone. The aliases only need the
+// names the broken code uses — the analyzer keys on the alias name and
+// the "internal/units" package-path suffix, not on this module's path.
+package units
+
+type (
+	// Watt is instantaneous electrical power.
+	Watt = float64
+
+	// Hertz is CPU frequency or capacity.
+	Hertz = float64
+
+	// Fraction is a dimensionless ratio such as utilization.
+	Fraction = float64
+
+	// Second is a duration.
+	Second = float64
+)

@@ -1,0 +1,549 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unitsPackages are the module-relative packages whose code carries the
+// dimensional annotations of internal/units and is therefore subject to
+// unit checking. Packages outside this set may freely consume annotated
+// APIs — their values simply enter as "unknown" and are never flagged.
+var unitsPackages = []string{
+	"internal/power",
+	"internal/core",
+	"internal/mpc",
+	"internal/queueing",
+	"internal/packing",
+	"internal/units",
+}
+
+// unit is one abstract dimension tag. uUnknown means "no information";
+// it unifies with everything and is never reported.
+type unit uint8
+
+const (
+	uUnknown unit = iota
+	uWatt
+	uHertz
+	uFraction
+	uSecond
+	uJoule
+	uVM
+	uGHzSec
+)
+
+var unitNames = [...]string{
+	uUnknown:  "unknown",
+	uWatt:     "watt",
+	uHertz:    "hertz",
+	uFraction: "fraction",
+	uSecond:   "second",
+	uJoule:    "joule",
+	uVM:       "vm-count",
+	uGHzSec:   "ghz-second",
+}
+
+func (u unit) String() string { return unitNames[u] }
+
+// unitByAlias maps the alias names declared in internal/units to tags.
+var unitByAlias = map[string]unit{
+	"Watt":      uWatt,
+	"Hertz":     uHertz,
+	"Fraction":  uFraction,
+	"Second":    uSecond,
+	"Joule":     uJoule,
+	"VMCount":   uVM,
+	"GHzSecond": uGHzSec,
+}
+
+// UnitsAnalyzer is the dimensional-analysis pass: it seeds unit tags
+// from the internal/units aliases appearing in declared types (struct
+// fields, parameters, results, variables), propagates them through
+// assignments, arithmetic, and call boundaries with a per-function
+// abstract environment, and reports unit-incompatible additions,
+// subtractions, comparisons, assignments, arguments, returns, and
+// composite-literal fields.
+func UnitsAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "units",
+		Doc: "dimensional analysis over the internal/units aliases (watt, hertz, " +
+			"fraction, second, joule, vm-count, ghz-second): +, -, comparisons, " +
+			"assignments, arguments and returns must combine like with like; " +
+			"watt*second=joule, hertz*second=ghz-second, x/x=fraction, and " +
+			"fraction scales anything; convert explicitly (units.Watt(x)) at a " +
+			"genuine dimensional boundary",
+		Applies: func(pkgPath string) bool { return pathHasSuffix(pkgPath, unitsPackages) },
+		Run:     runUnits,
+	}
+}
+
+// unitOfType extracts the unit tag of a declared type: the internal/
+// units alias itself, or the element/pointee unit for slices, arrays,
+// and pointers (what indexing, ranging, and dereferencing yield).
+func unitOfType(t types.Type) unit {
+	for t != nil {
+		switch tt := t.(type) {
+		case *types.Alias:
+			obj := tt.Obj()
+			if obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), []string{"internal/units"}) {
+				if u, ok := unitByAlias[obj.Name()]; ok {
+					return u
+				}
+			}
+			t = tt.Rhs()
+		case *types.Slice:
+			t = tt.Elem()
+		case *types.Array:
+			t = tt.Elem()
+		case *types.Pointer:
+			t = tt.Elem()
+		default:
+			return uUnknown
+		}
+	}
+	return uUnknown
+}
+
+// mulUnit is the derived-unit table for multiplication.
+func mulUnit(a, b unit) unit {
+	if a == uFraction {
+		return b
+	}
+	if b == uFraction {
+		return a
+	}
+	switch {
+	case (a == uWatt && b == uSecond) || (a == uSecond && b == uWatt):
+		return uJoule
+	case (a == uHertz && b == uSecond) || (a == uSecond && b == uHertz):
+		return uGHzSec
+	}
+	return uUnknown
+}
+
+// divUnit is the derived-unit table for division.
+func divUnit(a, b unit) unit {
+	if b == uFraction {
+		return a
+	}
+	if a == uUnknown || b == uUnknown {
+		return uUnknown
+	}
+	if a == b {
+		return uFraction
+	}
+	switch {
+	case a == uJoule && b == uSecond:
+		return uWatt
+	case a == uJoule && b == uWatt:
+		return uSecond
+	case a == uGHzSec && b == uHertz:
+		return uSecond
+	case a == uGHzSec && b == uSecond:
+		return uHertz
+	}
+	return uUnknown
+}
+
+// unitEnv is the per-function abstract environment: inferred units for
+// locals. First inference wins; later conflicting assignments are
+// reported at their site.
+type unitEnv map[types.Object]unit
+
+// unitScope bundles what expression inference needs. defined marks
+// locals introduced by := — for those the inferred unit outranks the
+// Go-inferred static type, because Go types a quotient of two
+// units.Hertz operands as units.Hertz while the dimensional algebra
+// says fraction.
+type unitScope struct {
+	info    *types.Info
+	env     unitEnv
+	defined map[types.Object]bool
+}
+
+// unitOfObj returns the unit of the object: the environment for
+// :=-introduced locals, the declared type otherwise, each falling back
+// to the other.
+func (s *unitScope) unitOfObj(obj types.Object) unit {
+	if obj == nil {
+		return uUnknown
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+		if s.defined[obj] {
+			if u, ok := s.env[obj]; ok {
+				return u
+			}
+			return unitOfType(obj.Type())
+		}
+		if u := unitOfType(obj.Type()); u != uUnknown {
+			return u
+		}
+		return s.env[obj]
+	}
+	return uUnknown
+}
+
+// unitOf infers the unit of an expression. It never reports; the report
+// pass revisits the interesting nodes with this same inference.
+func (s *unitScope) unitOf(e ast.Expr) unit {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return s.unitOf(e.X)
+	case *ast.Ident:
+		return s.unitOfObj(refObject(s.info, e))
+	case *ast.SelectorExpr:
+		return s.unitOfObj(refObject(s.info, e))
+	case *ast.IndexExpr:
+		return s.unitOf(e.X)
+	case *ast.StarExpr:
+		return s.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD || e.Op == token.AND {
+			return s.unitOf(e.X)
+		}
+	case *ast.CompositeLit:
+		if tv, ok := s.info.Types[e]; ok {
+			return unitOfType(tv.Type)
+		}
+	case *ast.SliceExpr:
+		return s.unitOf(e.X)
+	case *ast.CallExpr:
+		if t := conversionType(s.info, e); t != nil {
+			return unitOfType(t)
+		}
+		if builtinName(s.info, e) == "append" && len(e.Args) > 0 {
+			return s.unitOf(e.Args[0])
+		}
+		if sig := signatureOf(s.info, e); sig != nil && sig.Results().Len() == 1 {
+			return unitOfType(sig.Results().At(0).Type())
+		}
+	case *ast.BinaryExpr:
+		lu, ru := s.unitOf(e.X), s.unitOf(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if lu != uUnknown {
+				return lu
+			}
+			return ru
+		case token.MUL:
+			return mulUnit(lu, ru)
+		case token.QUO:
+			return divUnit(lu, ru)
+		}
+	}
+	return uUnknown
+}
+
+// resultUnits returns the per-result units of a call's callee, or nil.
+func (s *unitScope) resultUnits(call *ast.CallExpr) []unit {
+	sig := signatureOf(s.info, call)
+	if sig == nil {
+		return nil
+	}
+	out := make([]unit, sig.Results().Len())
+	for i := range out {
+		out[i] = unitOfType(sig.Results().At(i).Type())
+	}
+	return out
+}
+
+func runUnits(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeUnitsFunc(p, fd)
+		}
+	}
+}
+
+// analyzeUnitsFunc runs the two-phase analysis on one function: grow
+// the environment to a fixpoint, then report mismatches.
+func analyzeUnitsFunc(p *Pass, fd *ast.FuncDecl) {
+	s := &unitScope{info: p.Pkg.Info, env: unitEnv{}, defined: map[types.Object]bool{}}
+	// Phase 1: fixpoint environment growth. First inference wins, so a
+	// variable's unit is set by its first unit-bearing assignment and
+	// conflicting later assignments become phase-2 findings.
+	for iter := 0; iter < 4; iter++ {
+		if !growUnitEnv(s, fd.Body) {
+			break
+		}
+	}
+	// Phase 2: single report pass.
+	reportUnits(p, s, fd)
+}
+
+// growUnitEnv walks the body once, recording inferred units for
+// declared-unitless locals. It reports whether anything changed.
+func growUnitEnv(s *unitScope, body *ast.BlockStmt) bool {
+	changed := false
+	markDefined := func(target ast.Expr) {
+		id, ok := ast.Unparen(target).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := s.info.Defs[id]; obj != nil && !s.defined[obj] {
+			s.defined[obj] = true
+			changed = true
+		}
+	}
+	learn := func(target ast.Expr, u unit) {
+		if u == uUnknown {
+			return
+		}
+		obj := refObject(s.info, ast.Unparen(target))
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		if !s.defined[obj] && unitOfType(obj.Type()) != uUnknown {
+			return // explicitly declared type already carries the unit
+		}
+		if _, ok := s.env[obj]; !ok {
+			s.env[obj] = u
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				for _, lhs := range st.Lhs {
+					markDefined(lhs)
+				}
+			}
+			switch st.Tok {
+			case token.ASSIGN, token.DEFINE:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						learn(st.Lhs[i], s.unitOf(st.Rhs[i]))
+					}
+				} else if len(st.Rhs) == 1 {
+					if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+						if rus := s.resultUnits(call); len(rus) == len(st.Lhs) {
+							for i := range st.Lhs {
+								learn(st.Lhs[i], rus[i])
+							}
+						}
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				learn(st.Lhs[0], s.unitOf(st.Rhs[0]))
+			}
+		case *ast.RangeStmt:
+			if st.Tok == token.DEFINE {
+				if st.Key != nil {
+					markDefined(st.Key)
+				}
+				if st.Value != nil {
+					markDefined(st.Value)
+				}
+			}
+			if st.Value != nil {
+				learn(st.Value, s.unitOf(st.X))
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// reportUnits is phase 2: revisit every interesting node and report
+// incompatible unit combinations.
+func reportUnits(p *Pass, s *unitScope, fd *ast.FuncDecl) {
+	mismatch := func(a, b unit) bool {
+		return a != uUnknown && b != uUnknown && a != b
+	}
+	// Result units of the enclosing function, for return checking.
+	// Function literals override these while walking their bodies; a
+	// stack keyed by position handles nesting.
+	type retCtx struct {
+		node  ast.Node
+		units []unit
+	}
+	sigUnits := func(sig *types.Signature) []unit {
+		out := make([]unit, sig.Results().Len())
+		for i := range out {
+			out[i] = unitOfType(sig.Results().At(i).Type())
+		}
+		return out
+	}
+	var retStack []retCtx
+	if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		retStack = append(retStack, retCtx{node: fd, units: sigUnits(fn.Type().(*types.Signature))})
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		// Pop function-literal return contexts we have walked past.
+		for len(retStack) > 1 && n != nil && n.Pos() >= retStack[len(retStack)-1].node.End() {
+			retStack = retStack[:len(retStack)-1]
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if tv, ok := p.Pkg.Info.Types[n]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok {
+					retStack = append(retStack, retCtx{node: n, units: sigUnits(sig)})
+				}
+			}
+		case *ast.BinaryExpr:
+			lu, ru := s.unitOf(n.X), s.unitOf(n.Y)
+			switch n.Op {
+			case token.ADD, token.SUB:
+				if mismatch(lu, ru) {
+					p.Reportf(n.OpPos, "unit mismatch: %s %s %s (dimensions are incompatible; convert explicitly at a genuine boundary)", lu, n.Op, ru)
+				}
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if mismatch(lu, ru) {
+					p.Reportf(n.OpPos, "unit mismatch: comparing %s with %s", lu, ru)
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ASSIGN, token.DEFINE:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && p.Pkg.Info.Defs[id] != nil {
+							continue // a := definition site cannot mismatch itself
+						}
+						lu, ru := s.unitOf(n.Lhs[i]), s.unitOf(n.Rhs[i])
+						if mismatch(lu, ru) {
+							p.Reportf(n.Lhs[i].Pos(), "unit mismatch: assigning %s to a %s location", ru, lu)
+						}
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				lu, ru := s.unitOf(n.Lhs[0]), s.unitOf(n.Rhs[0])
+				if mismatch(lu, ru) {
+					p.Reportf(n.Lhs[0].Pos(), "unit mismatch: %s-accumulating a %s value", lu, ru)
+				}
+			}
+		case *ast.CallExpr:
+			reportCallUnits(p, s, n)
+		case *ast.ReturnStmt:
+			units := retStack[len(retStack)-1].units
+			if len(n.Results) == len(units) {
+				for i, r := range n.Results {
+					ru := s.unitOf(r)
+					if mismatch(units[i], ru) {
+						p.Reportf(r.Pos(), "unit mismatch: returning %s where %s is declared", ru, units[i])
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			reportCompositeUnits(p, s, n)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// reportCallUnits checks argument units against parameter units, plus
+// the append/copy builtins.
+func reportCallUnits(p *Pass, s *unitScope, call *ast.CallExpr) {
+	switch builtinName(s.info, call) {
+	case "append":
+		if len(call.Args) < 2 {
+			return
+		}
+		su := s.unitOf(call.Args[0])
+		for _, a := range call.Args[1:] {
+			au := s.unitOf(a)
+			if su != uUnknown && au != uUnknown && su != au {
+				p.Reportf(a.Pos(), "unit mismatch: appending %s to a %s slice", au, su)
+			}
+		}
+		return
+	case "copy":
+		if len(call.Args) == 2 {
+			du, su := s.unitOf(call.Args[0]), s.unitOf(call.Args[1])
+			if du != uUnknown && su != uUnknown && du != su {
+				p.Reportf(call.Args[1].Pos(), "unit mismatch: copying %s into a %s slice", su, du)
+			}
+		}
+		return
+	case "":
+		// not a builtin: fall through to signature matching
+	default:
+		return
+	}
+	if conversionType(s.info, call) != nil {
+		return
+	}
+	sig := signatureOf(s.info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pu unit
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pu = unitOfType(params.At(params.Len() - 1).Type())
+		case i < params.Len():
+			pu = unitOfType(params.At(i).Type())
+		default:
+			continue
+		}
+		au := s.unitOf(arg)
+		if pu != uUnknown && au != uUnknown && pu != au {
+			p.Reportf(arg.Pos(), "unit mismatch: argument %d of %s wants %s, got %s", i+1, exprString(p, call.Fun), pu, au)
+		}
+	}
+}
+
+// reportCompositeUnits checks struct-literal fields and slice/array
+// literal elements against their declared units.
+func reportCompositeUnits(p *Pass, s *unitScope, lit *ast.CompositeLit) {
+	tv, ok := s.info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch ut := t.Underlying().(type) {
+	case *types.Struct:
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for i := 0; i < ut.NumFields(); i++ {
+				f := ut.Field(i)
+				if f.Name() != key.Name {
+					continue
+				}
+				fu, vu := unitOfType(f.Type()), s.unitOf(kv.Value)
+				if fu != uUnknown && vu != uUnknown && fu != vu {
+					p.Reportf(kv.Value.Pos(), "unit mismatch: field %s wants %s, got %s", key.Name, fu, vu)
+				}
+				break
+			}
+		}
+	case *types.Slice, *types.Array:
+		eu := unitOfType(t)
+		if eu == uUnknown {
+			return
+		}
+		for _, el := range lit.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			vu := s.unitOf(v)
+			if vu != uUnknown && vu != eu {
+				p.Reportf(v.Pos(), "unit mismatch: %s element in a %s slice literal", vu, eu)
+			}
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"testing"
+)
+
+// unitsFixtureDecls is the internal/units package every units fixture
+// imports — the same aliases the real module declares.
+const unitsFixtureDecls = `package units
+
+type (
+	Watt      = float64
+	Hertz     = float64
+	Fraction  = float64
+	Second    = float64
+	Joule     = float64
+	VMCount   = float64
+	GHzSecond = float64
+)
+`
+
+// unitsImporter resolves the fixture module's internal/units import to a
+// pre-checked package and delegates everything else to the shared
+// stdlib source importer.
+type unitsImporter struct {
+	units *types.Package
+}
+
+func (imp unitsImporter) Import(path string) (*types.Package, error) {
+	if path == imp.units.Path() {
+		return imp.units, nil
+	}
+	return fixtureStd.Import(path)
+}
+
+// analyzeUnitsFixture type-checks src as fixturemod/internal/power — a
+// package path the units analyzer applies to — against a synthetic
+// fixturemod/internal/units, and runs the units analyzer.
+func analyzeUnitsFixture(t *testing.T, src string) []Finding {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+
+	const unitsPath = "fixturemod/internal/units"
+	ufile, err := parser.ParseFile(fixtureFset, unitsPath+"/units.go", unitsFixtureDecls,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse units fixture: %v", err)
+	}
+	uconf := types.Config{Importer: fixtureStd}
+	upkg, err := uconf.Check(unitsPath, fixtureFset, []*ast.File{ufile}, newInfo())
+	if err != nil {
+		t.Fatalf("type-check units fixture: %v", err)
+	}
+
+	const pkgPath = "fixturemod/internal/power"
+	file, err := parser.ParseFile(fixtureFset, pkgPath+"/fixture.go", src,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: unitsImporter{units: upkg}}
+	tpkg, err := conf.Check(pkgPath, fixtureFset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	pkg := &Package{Path: pkgPath, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	return AnalyzePackages(fixtureFset, nil, []*Package{pkg}, []*Analyzer{UnitsAnalyzer()})
+}
+
+// TestUnitsWattVsUtilization is the acceptance fixture: adding a power
+// draw to a utilization fraction must be caught even though both are
+// float64 at runtime.
+func TestUnitsWattVsUtilization(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+type Spec struct {
+	PStatic units.Watt
+	PDynMax units.Watt
+}
+
+func Draw(s Spec, util units.Fraction) units.Watt {
+	return s.PStatic + util // adds watts to a utilization
+}
+`)
+	wantFindings(t, got, "units", "unit mismatch: watt + fraction")
+}
+
+// TestUnitsPropagation checks that inferred units flow through := chains
+// and arithmetic before reaching the offending site.
+func TestUnitsPropagation(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+func Mix(freq units.Hertz, resp units.Second) float64 {
+	x := freq
+	y := x
+	return y + resp
+}
+`)
+	wantFindings(t, got, "units", "unit mismatch: hertz + second")
+}
+
+// TestUnitsDerived checks the multiplication/division tables: watt·second
+// is a joule, hertz·second is CPU work, x/x is a fraction — and the
+// derived tags keep propagating.
+func TestUnitsDerived(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+func Energy(p units.Watt, dt units.Second) units.Joule {
+	return p * dt // ok: watt*second = joule
+}
+
+func Work(f units.Hertz, dt units.Second, cap units.Watt) float64 {
+	w := f * dt    // ghz-second
+	return w + cap // mismatch
+}
+
+func Util(used, total units.Hertz) units.Fraction {
+	return used / total // ok: hertz/hertz = fraction
+}
+
+func AvgPower(e units.Joule, dt units.Second) units.Watt {
+	return e / dt // ok: joule/second = watt
+}
+
+func Scale(p units.Watt, k units.Fraction) units.Watt {
+	return p * k // ok: fraction scales anything
+}
+`)
+	wantFindings(t, got, "units", "unit mismatch: ghz-second + watt")
+}
+
+// TestUnitsComparisonAndAccumulate covers ordered comparisons and
+// op-assign accumulation across dimensions.
+func TestUnitsComparisonAndAccumulate(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+func Check(p units.Watt, slack units.Fraction) bool {
+	return p > slack // comparing power to a normalized slack
+}
+
+func Acc(total *units.Joule, p units.Watt) {
+	*total += p // joules accumulate joules, not watts
+}
+`)
+	wantFindings(t, got, "units",
+		"unit mismatch: comparing watt with fraction",
+		"unit mismatch: joule-accumulating a watt value")
+}
+
+// TestUnitsCallBoundaries covers argument, return, variadic, and append
+// checking.
+func TestUnitsCallBoundaries(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+func setFreq(f units.Hertz) {}
+
+func Bad(u units.Fraction) {
+	setFreq(u) // passes a utilization where a frequency is declared
+}
+
+func Sum(ps ...units.Watt) units.Watt {
+	var t units.Watt
+	for _, p := range ps {
+		t += p
+	}
+	return t
+}
+
+func BadVariadic(f units.Hertz) units.Watt {
+	return Sum(f) // variadic parameter is watt-tagged
+}
+
+func BadReturn(dt units.Second) units.Watt {
+	return dt
+}
+
+func BadAppend(hist []units.Second, f units.Hertz) []units.Second {
+	return append(hist, f)
+}
+`)
+	wantFindings(t, got, "units",
+		"argument 1 of setFreq wants hertz, got fraction",
+		"argument 1 of Sum wants watt, got hertz",
+		"returning second where watt is declared",
+		"appending hertz to a second slice")
+}
+
+// TestUnitsCompositeAndRange covers struct-literal fields, slice
+// literals, and unit flow out of range statements and multi-result
+// calls.
+func TestUnitsCompositeAndRange(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+type Spec struct {
+	MaxFreq units.Hertz
+	PStatic units.Watt
+}
+
+func Build(p units.Watt) Spec {
+	return Spec{MaxFreq: p, PStatic: p} // MaxFreq gets a power
+}
+
+func Table(dt units.Second) []units.Hertz {
+	return []units.Hertz{1.0, dt} // second element is a duration
+}
+
+func twoResults() (units.Watt, units.Second) { return 0, 0 }
+
+func FromCall() units.Hertz {
+	p, dt := twoResults()
+	_ = dt
+	var f units.Hertz
+	f = p // watt into a hertz location
+	return f
+}
+
+func FromRange(hist []units.Second, cap units.Hertz) bool {
+	for _, h := range hist {
+		if h > cap { // second vs hertz
+			return true
+		}
+	}
+	return false
+}
+`)
+	wantFindings(t, got, "units",
+		"field MaxFreq wants hertz, got watt",
+		"second element in a hertz slice literal",
+		"assigning watt to a hertz location",
+		"comparing second with hertz")
+}
+
+// TestUnitsEscapeHatches: explicit conversions change or strip the tag,
+// untyped constants are compatible with everything, and //lint:ignore
+// suppresses a justified site.
+func TestUnitsEscapeHatches(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+func Convert(x float64, f units.Hertz) units.Watt {
+	var p units.Watt
+	p = units.Watt(x)       // explicit tag: fine
+	p = units.Watt(f)       // explicit conversion at a boundary: fine
+	_ = float64(f) + p      // float64() strips the tag: fine
+	p = 2.5                 // untyped constant: fine
+	return p + 0.1          // untyped constant: fine
+}
+
+func Suppressed(f units.Hertz, dt units.Second) float64 {
+	//lint:ignore units demand model folds frequency and time deliberately
+	return f + dt
+}
+`)
+	wantFindings(t, got, "units")
+}
+
+// TestUnitsCleanCode runs dimensionally correct control-loop-shaped code
+// and requires zero findings.
+func TestUnitsCleanCode(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+type Spec struct {
+	MaxFreq units.Hertz
+	PStatic units.Watt
+	PDynMax units.Watt
+}
+
+func Power(s Spec, f units.Hertz, u units.Fraction) units.Watt {
+	fr := f / s.MaxFreq
+	return s.PStatic + s.PDynMax*fr*fr*fr*u
+}
+
+func Meter(p units.Watt, dt units.Second, acc units.Joule) units.Joule {
+	acc += p * dt
+	return acc
+}
+
+func PerVM(e units.Joule, n units.VMCount) float64 {
+	return float64(e) / float64(n)
+}
+`)
+	wantFindings(t, got, "units")
+}
+
+// TestUnitAlgebra pins the derived-unit tables directly: the fixture
+// tests exercise the common paths, this covers every branch including
+// the commuted forms and the unknown fallthroughs.
+func TestUnitAlgebra(t *testing.T) {
+	mul := []struct {
+		a, b, want unit
+	}{
+		{uFraction, uWatt, uWatt},
+		{uWatt, uFraction, uWatt},
+		{uFraction, uFraction, uFraction},
+		{uWatt, uSecond, uJoule},
+		{uSecond, uWatt, uJoule},
+		{uHertz, uSecond, uGHzSec},
+		{uSecond, uHertz, uGHzSec},
+		{uWatt, uWatt, uUnknown},
+		{uUnknown, uWatt, uUnknown},
+		{uJoule, uVM, uUnknown},
+	}
+	for _, tt := range mul {
+		if got := mulUnit(tt.a, tt.b); got != tt.want {
+			t.Errorf("mulUnit(%s, %s) = %s, want %s", tt.a, tt.b, got, tt.want)
+		}
+	}
+	div := []struct {
+		a, b, want unit
+	}{
+		{uWatt, uFraction, uWatt},
+		{uUnknown, uWatt, uUnknown},
+		{uWatt, uUnknown, uUnknown},
+		{uWatt, uWatt, uFraction},
+		{uJoule, uSecond, uWatt},
+		{uJoule, uWatt, uSecond},
+		{uGHzSec, uHertz, uSecond},
+		{uGHzSec, uSecond, uHertz},
+		{uWatt, uHertz, uUnknown},
+		{uSecond, uJoule, uUnknown},
+	}
+	for _, tt := range div {
+		if got := divUnit(tt.a, tt.b); got != tt.want {
+			t.Errorf("divUnit(%s, %s) = %s, want %s", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestUnitsCopyBuiltin(t *testing.T) {
+	got := analyzeUnitsFixture(t, `package power
+
+import "fixturemod/internal/units"
+
+func Mix(dst []units.Watt, src []units.Fraction, same []units.Watt) {
+	copy(dst, src)  // fraction into a watt slice
+	copy(dst, same) // like into like
+}
+`)
+	wantFindings(t, got, "units",
+		"copying fraction into a watt slice")
+}

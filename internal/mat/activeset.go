@@ -21,6 +21,7 @@ func constrainedLSWithMultipliers(a *Mat, b Vec, c *Mat, d Vec) (x, lambda Vec, 
 	ata := a.T().Mul(a)
 	atb := a.T().MulVec(b)
 	kkt := NewMat(n+p, n+p)
+	//lint:ignore hotalloc KKT assembly allocates per solve; ROADMAP item 2 (allocation-free hot paths) adds solver scratch buffers
 	rhs := make(Vec, n+p)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -50,6 +51,8 @@ func constrainedLSWithMultipliers(a *Mat, b Vec, c *Mat, d Vec) (x, lambda Vec, 
 // The method assumes the problem is feasible and A has full column rank
 // after the constraints are imposed, which holds for the MPC programs in
 // this repository (the control-penalty term regularizes the Hessian).
+//
+//vdc:hotpath mpc/solve
 func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
 	if g == nil || g.Rows == 0 {
 		return EqConstrainedLS(a, b, c, d)
@@ -71,14 +74,19 @@ func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
 		var rows [][]float64
 		var rhs Vec
 		for i := 0; i < nEq; i++ {
+			//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
 			rows = append(rows, c.Row(i))
+			//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
 			rhs = append(rhs, d[i])
 		}
 		var activeIdx []int
 		for i, on := range active {
 			if on {
+				//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
 				rows = append(rows, g.Row(i))
+				//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
 				rhs = append(rhs, h[i])
+				//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
 				activeIdx = append(activeIdx, i)
 			}
 		}

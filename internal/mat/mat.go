@@ -22,6 +22,7 @@ func NewVec(n int) Vec { return make(Vec, n) }
 
 // Clone returns a copy of v.
 func (v Vec) Clone() Vec {
+	//lint:ignore hotalloc functional API allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	w := make(Vec, len(v))
 	copy(w, v)
 	return w
@@ -116,6 +117,7 @@ func NewMat(rows, cols int) *Mat {
 		//lint:ignore panicpolicy precondition: a negative dimension is a programming error
 		panic("mat: negative dimension")
 	}
+	//lint:ignore hotalloc functional constructor allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
@@ -159,6 +161,7 @@ func (m *Mat) Clone() *Mat {
 
 // Row returns row i as a vector sharing no storage with m.
 func (m *Mat) Row(i int) Vec {
+	//lint:ignore hotalloc functional API allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	out := make(Vec, m.Cols)
 	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
 	return out
@@ -221,6 +224,7 @@ func (m *Mat) MulVec(v Vec) Vec {
 		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
 	}
+	//lint:ignore hotalloc functional API allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	out := make(Vec, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0

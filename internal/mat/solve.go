@@ -24,6 +24,7 @@ func FactorizeLU(a *Mat) (*LU, error) {
 	}
 	n := a.Rows
 	lu := a.Clone()
+	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
 	piv := make([]int, n)
 	for i := range piv {
 		piv[i] = i
@@ -60,6 +61,7 @@ func FactorizeLU(a *Mat) (*LU, error) {
 			}
 		}
 	}
+	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
 	return &LU{lu: lu, piv: piv, sign: sign}, nil
 }
 
@@ -70,6 +72,7 @@ func (f *LU) Solve(b Vec) Vec {
 		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
 		panic("mat: LU.Solve dimension mismatch")
 	}
+	//lint:ignore hotalloc per-solve result vector; ROADMAP item 2 adds a solve-into-scratch variant
 	x := make(Vec, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -126,6 +129,7 @@ func FactorizeQR(a *Mat) (*QR, error) {
 	}
 	m, n := a.Rows, a.Cols
 	qr := a.Clone()
+	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
 	tau := make(Vec, n)
 	for k := 0; k < n; k++ {
 		// Norm of the trailing part of column k.
@@ -156,6 +160,7 @@ func FactorizeQR(a *Mat) (*QR, error) {
 			}
 		}
 	}
+	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
 	return &QR{qr: qr, tau: tau, rows: m, cols: n}, nil
 }
 
@@ -179,6 +184,7 @@ func (f *QR) Solve(b Vec) Vec {
 		}
 	}
 	// Back substitution with R (diag stored in tau).
+	//lint:ignore hotalloc per-solve result vector; ROADMAP item 2 adds a solve-into-scratch variant
 	x := make(Vec, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]

@@ -20,6 +20,7 @@ import (
 	"vdcpower/internal/mat"
 	"vdcpower/internal/sysid"
 	"vdcpower/internal/telemetry"
+	"vdcpower/internal/units"
 )
 
 // Config parameterizes a controller for one application.
@@ -29,13 +30,13 @@ type Config struct {
 	P int // prediction horizon, in control periods
 	M int // control horizon, M <= P
 
-	Q           float64 // tracking error weight
-	R           mat.Vec // control penalty per input (length = Model.NumInputs)
-	TrefPeriods float64 // reference trajectory time constant, in control periods
-	Setpoint    float64 // Ts, the desired response time (seconds)
+	Q           float64      // tracking error weight
+	R           mat.Vec      // control penalty per input (length = Model.NumInputs)
+	TrefPeriods float64      // reference trajectory time constant, in control periods
+	Setpoint    units.Second // Ts, the desired response time (seconds)
 
-	CMin, CMax mat.Vec // absolute allocation bounds per input (GHz)
-	DeltaMax   float64 // optional per-period |Δc| bound per input; 0 = unbounded
+	CMin, CMax mat.Vec     // absolute allocation bounds per input (GHz)
+	DeltaMax   units.Hertz // optional per-period |Δc| bound per input; 0 = unbounded
 
 	// LevelPenalty optionally adds a small cost on the absolute
 	// allocation level above CMin, so that among the many allocations
@@ -100,16 +101,16 @@ func New(cfg Config) (*Controller, error) {
 }
 
 // Setpoint returns the configured response-time target.
-func (c *Controller) Setpoint() float64 { return c.cfg.Setpoint }
+func (c *Controller) Setpoint() units.Second { return c.cfg.Setpoint }
 
 // SetSetpoint retargets the controller (used by the set-point sweep of
 // Fig. 5).
-func (c *Controller) SetSetpoint(ts float64) { c.cfg.Setpoint = ts }
+func (c *Controller) SetSetpoint(ts units.Second) { c.cfg.Setpoint = ts }
 
 // Result carries the control decision and diagnostics.
 type Result struct {
-	Delta     mat.Vec   // Δc(k): change to apply to each input now
-	Predicted []float64 // predicted t(k+1..k+P) under the chosen trajectory
+	Delta     mat.Vec        // Δc(k): change to apply to each input now
+	Predicted []units.Second // predicted t(k+1..k+P) under the chosen trajectory
 	// TerminalRelaxed reports that the terminal constraint had to be
 	// dropped to keep the problem feasible (e.g. a workload surge that
 	// even maximum allocation cannot absorb within M periods).
@@ -120,7 +121,9 @@ type Result struct {
 // measurement t(k), tPast[1] is t(k−1), and so on (at least Model.Na+1
 // entries). cPast[0] is the most recently applied allocation c(k−1), etc.
 // (at least Model.Nb entries).
-func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
+//
+//vdc:hotpath mpc/solve
+func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, error) {
 	cfg := c.cfg
 	if len(tPast) < cfg.Model.Na+1 {
 		return Result{}, fmt.Errorf("mpc: need %d response samples, have %d", cfg.Model.Na+1, len(tPast))
@@ -175,7 +178,7 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 
 	// Reference trajectory, Eq. (3).
 	tNow := tPast[0]
-	ref := make(mat.Vec, cfg.P)
+	ref := make([]units.Second, cfg.P)
 	for i := 1; i <= cfg.P; i++ {
 		ref[i-1] = cfg.Setpoint - math.Exp(-float64(i)/cfg.TrefPeriods)*(cfg.Setpoint-tNow)
 	}
@@ -259,29 +262,34 @@ func (c *Controller) Compute(tPast []float64, cPast []mat.Vec) (Result, error) {
 // back through the autoregression, which pins the free response to the
 // measurement when the loop is at rest). delta holds the stacked moves
 // (len M·m) or nil for the free response.
-func (c *Controller) rollout(tPast []float64, cPast []mat.Vec, delta mat.Vec, bias float64) []float64 {
+func (c *Controller) rollout(tPast []units.Second, cPast []mat.Vec, delta mat.Vec, bias units.Second) []units.Second {
 	cfg := c.cfg
 	model := cfg.Model
-	th := append([]float64(nil), tPast...)
+	//lint:ignore hotalloc per-rollout history scratch; ROADMAP item 2 moves these into controller-owned buffers
+	th := append([]units.Second(nil), tPast...)
+	//lint:ignore hotalloc per-rollout history scratch; ROADMAP item 2 moves these into controller-owned buffers
 	ch := make([]mat.Vec, len(cPast))
 	for i, v := range cPast {
 		ch[i] = v.Clone()
 	}
 	cur := cPast[0].Clone()
-	out := make([]float64, cfg.P)
+	//lint:ignore hotalloc per-rollout history scratch; ROADMAP item 2 moves these into controller-owned buffers
+	out := make([]units.Second, cfg.P)
 	for i := 0; i < cfg.P; i++ {
 		if delta != nil && i < cfg.M {
 			for j := 0; j < c.m; j++ {
 				cur[j] += delta[i*c.m+j]
 			}
 		}
+		//lint:ignore hotalloc sliding-window prepend allocates per step; ROADMAP item 2 replaces it with a ring buffer
 		ch = append([]mat.Vec{cur.Clone()}, ch...)
 		if len(ch) > model.Nb+1 {
 			ch = ch[:model.Nb+1]
 		}
 		t := model.Predict(th, ch) + bias
 		out[i] = t
-		th = append([]float64{t}, th...)
+		//lint:ignore hotalloc sliding-window prepend allocates per step; ROADMAP item 2 replaces it with a ring buffer
+		th = append([]units.Second{t}, th...)
 		if len(th) > model.Na+1 {
 			th = th[:model.Na+1]
 		}

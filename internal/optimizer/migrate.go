@@ -26,8 +26,10 @@ func migrateWithRetry(dc *cluster.DataCenter, vm *cluster.VM, target *cluster.Se
 			if rbErr := tx.Rollback(); rbErr != nil {
 				return false, rbErr
 			}
+			//lint:ignore hotalloc fault-injection bookkeeping runs only when a fault fires, off the steady-state path
 			rep.FaultLog = append(rep.FaultLog, fault.Record{
 				Kind: fault.MigrationAbort, Step: inj.Step(), Target: vm.ID,
+				//lint:ignore hotalloc fault-path diagnostic string, built only when an injected abort fires
 				Detail: fmt.Sprintf("attempt %d/%d to %s aborted, backoff %.1fs",
 					a+1, attempts, target.ID, inj.MigrationBackoff(a)),
 			})
@@ -39,6 +41,7 @@ func migrateWithRetry(dc *cluster.DataCenter, vm *cluster.VM, target *cluster.Se
 		if err != nil {
 			return false, err
 		}
+		//lint:ignore hotalloc one record per committed migration; the report is unbounded by design
 		rep.Moves = append(rep.Moves, mig)
 		rep.Migrations++
 		return true, nil

@@ -91,6 +91,7 @@ func EstimateBenefit(vm *cluster.VM, from, to *cluster.Server) float64 {
 
 // binFor views a server as a packing bin carrying its current load.
 func binFor(s *cluster.Server) *packing.Bin {
+	//lint:ignore hotalloc one bin view per candidate server per drain round: planning state, not per-iteration churn
 	b := &packing.Bin{
 		ID:         s.ID,
 		CPUCap:     s.Spec.Capacity(),

@@ -178,18 +178,24 @@ func (o *IPAC) pickDonor(dc *cluster.DataCenter, tried map[string]bool) *cluster
 // drain plans moving every VM off donor via PAC onto the other active
 // servers and commits the plan if it empties the donor. It reports
 // whether the active-server count was reduced.
+//
+//vdc:hotpath fig6/energy-per-vm
 func (o *IPAC) drain(dc *cluster.DataCenter, donor *cluster.Server, rep *Report) bool {
-	var items []packing.Item
-	vmByID := map[string]*cluster.VM{}
-	for _, v := range donor.VMs() {
+	vms := donor.VMs()
+	items := make([]packing.Item, 0, len(vms))
+	vmByID := make(map[string]*cluster.VM, len(vms))
+	for _, v := range vms {
+		//lint:ignore hotalloc items is preallocated to len(vms) just above; this append never grows it
 		items = append(items, itemFor(v))
 		vmByID[v.ID] = v
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
 
-	var bins []*packing.Bin
-	for _, s := range dc.ActiveServers() {
+	active := dc.ActiveServers()
+	bins := make([]*packing.Bin, 0, len(active))
+	for _, s := range active {
 		if s != donor && !s.Cordoned() {
+			//lint:ignore hotalloc bins is preallocated to len(active) just above; this append never grows it
 			bins = append(bins, binFor(s))
 		}
 	}

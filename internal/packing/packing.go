@@ -15,13 +15,14 @@ import (
 	"sort"
 
 	"vdcpower/internal/telemetry"
+	"vdcpower/internal/units"
 )
 
 // Item is a VM viewed as a packing item.
 type Item struct {
 	ID  string
-	CPU float64 // demand in GHz
-	Mem float64 // memory in GB
+	CPU units.Hertz // demand in GHz
+	Mem float64     // memory in GB
 }
 
 // Bin is a server viewed as a packing target. Load sums are cached so the
@@ -29,11 +30,11 @@ type Item struct {
 // thousands of VMs over thousands of servers.
 type Bin struct {
 	ID         string
-	CPUCap     float64
+	CPUCap     units.Hertz
 	MemCap     float64
 	Efficiency float64 // capacity per watt; callers sort by this
 	items      []Item
-	cpuUsed    float64
+	cpuUsed    units.Hertz
 	memUsed    float64
 }
 
@@ -41,14 +42,14 @@ type Bin struct {
 func (b *Bin) Items() []Item { return b.items }
 
 // CPUUsed returns the CPU load planned onto the bin.
-func (b *Bin) CPUUsed() float64 { return b.cpuUsed }
+func (b *Bin) CPUUsed() units.Hertz { return b.cpuUsed }
 
 // MemUsed returns the memory planned onto the bin.
 func (b *Bin) MemUsed() float64 { return b.memUsed }
 
 // Slack returns unallocated CPU capacity — the objective Algorithm 1
 // minimizes per server.
-func (b *Bin) Slack() float64 { return b.CPUCap - b.cpuUsed }
+func (b *Bin) Slack() units.Hertz { return b.CPUCap - b.cpuUsed }
 
 // Add plans an item onto the bin.
 func (b *Bin) Add(it Item) {
@@ -85,7 +86,7 @@ type Constraint interface {
 // optional headroom, plus memory ("the memory size of every server should
 // be greater than the total memory allocations of the hosted VMs").
 type VectorConstraint struct {
-	CPUHeadroom float64 // fraction of CPU capacity kept free
+	CPUHeadroom units.Fraction // fraction of CPU capacity kept free
 }
 
 // Fits implements Constraint.
@@ -105,11 +106,11 @@ func (c VectorConstraint) Name() string { return "cpu+mem" }
 type MinSlackConfig struct {
 	// Epsilon is the allowed slack ε: the search exits early once a
 	// packing leaves less than ε GHz unallocated.
-	Epsilon float64
+	Epsilon units.Hertz
 	// EpsilonStep is how much ε grows when the node budget is exhausted
 	// ("If the algorithm does not finish in certain steps, increase ε by
 	// one step").
-	EpsilonStep float64
+	EpsilonStep units.Hertz
 	// MaxNodes bounds the branch-and-bound search. <= 0 means a default.
 	MaxNodes int
 	// Trace, when non-nil, records one "packing.minslack" span per call
@@ -139,11 +140,11 @@ func DefaultMinSlackConfig() MinSlackConfig {
 
 // MinSlackResult reports the outcome of Algorithm 1 for one bin.
 type MinSlackResult struct {
-	Chosen    []Item  // items to add to the bin (A*)
-	Slack     float64 // resulting slack (s*)
-	Widened   bool    // ε had to be increased to finish in budget
-	Nodes     int     // search nodes explored
-	Exhausted bool    // hard-stopped: budget overran even after widening
+	Chosen    []Item      // items to add to the bin (A*)
+	Slack     units.Hertz // resulting slack (s*)
+	Widened   bool        // ε had to be increased to finish in budget
+	Nodes     int         // search nodes explored
+	Exhausted bool        // hard-stopped: budget overran even after widening
 }
 
 // MinimumSlack selects a subset of candidates that minimizes the bin's
@@ -164,7 +165,7 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 		return sorted[i].ID < sorted[j].ID // deterministic ties
 	})
 	// Suffix sums of CPU demand for the can't-improve prune.
-	suffix := make([]float64, len(sorted)+1)
+	suffix := make([]units.Hertz, len(sorted)+1)
 	for i := len(sorted) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + sorted[i].CPU
 	}
@@ -179,7 +180,10 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 		best:    b.Slack(),
 	}
 	sp := cfg.Trace.Start("packing.minslack").Int("candidates", len(candidates))
-	s.dfs(0, b.Slack(), nil)
+	// The chosen stack can never exceed the candidate count, so one
+	// up-front allocation serves the whole search: every append in dfs
+	// grows into this capacity.
+	s.dfs(0, b.Slack(), make([]Item, 0, len(sorted)))
 	chosen := append([]Item(nil), s.bestSet...)
 	res := MinSlackResult{Chosen: chosen, Slack: s.best, Widened: s.widened, Nodes: s.nodes, Exhausted: s.exhausted}
 	sp.Int("nodes", res.Nodes).Float("slack", res.Slack).
@@ -200,28 +204,30 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 type mbsSearch struct {
 	bin       *Bin
 	items     []Item
-	suffix    []float64
+	suffix    []units.Hertz
 	cons      Constraint
-	eps       float64
-	epsStep   float64
+	eps       units.Hertz
+	epsStep   units.Hertz
 	budget    int
 	nodes     int
 	widened   bool
 	exhausted bool
-	best      float64
+	best      units.Hertz
 	bestSet   []Item
 	done      bool
 }
 
 // dfs explores subsets of items[from:] given the current slack and the
 // stack of chosen items.
-func (s *mbsSearch) dfs(from int, slack float64, chosen []Item) {
+//
+//vdc:hotpath packing/minslack
+func (s *mbsSearch) dfs(from int, slack units.Hertz, chosen []Item) {
 	if s.done {
 		return
 	}
 	if slack < s.best {
 		s.best = slack
-		s.bestSet = append([]Item(nil), chosen...)
+		s.bestSet = append(s.bestSet[:0], chosen...)
 	}
 	if s.best <= s.eps {
 		s.done = true // ε-optimal: stop the whole search
@@ -253,6 +259,7 @@ func (s *mbsSearch) dfs(from int, slack float64, chosen []Item) {
 		if it.CPU > slack+1e-12 {
 			continue // cannot fit by CPU alone
 		}
+		//lint:ignore hotalloc the stack is preallocated to cap len(items) in MinimumSlack; this append never grows it
 		chosen = append(chosen, it)
 		if s.cons.Fits(s.bin, chosen) {
 			s.dfs(i+1, slack-it.CPU, chosen)
@@ -319,7 +326,7 @@ func BestFitDecreasing(items []Item, bins []*Bin, cons Constraint) (Assignment, 
 	var unplaced []Item
 	for _, it := range sorted {
 		var best *Bin
-		bestSlack := 0.0
+		bestSlack := units.Hertz(0)
 		for _, b := range bins {
 			if !cons.Fits(b, []Item{it}) {
 				continue

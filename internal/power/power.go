@@ -12,17 +12,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"vdcpower/internal/units"
 )
 
 // Spec describes a server model's CPU and power characteristics.
 type Spec struct {
 	Name     string
 	Cores    int
-	MaxFreq  float64   // GHz per core
-	PStates  []float64 // per-core frequencies in GHz, ascending; must end at MaxFreq
-	PStatic  float64   // W consumed while active regardless of frequency
-	PDynMax  float64   // W of dynamic power at MaxFreq and 100% utilization
-	PSleep   float64   // W while in the sleep state
+	MaxFreq  units.Hertz   // GHz per core
+	PStates  []units.Hertz // per-core frequencies in GHz, ascending; must end at MaxFreq
+	PStatic  units.Watt    // W consumed while active regardless of frequency
+	PDynMax  units.Watt    // W of dynamic power at MaxFreq and 100% utilization
+	PSleep   units.Watt    // W while in the sleep state
 	MemoryGB float64
 }
 
@@ -50,13 +52,13 @@ func (s Spec) Validate() error {
 }
 
 // Capacity returns the total CPU capacity at maximum frequency in GHz.
-func (s Spec) Capacity() float64 { return float64(s.Cores) * s.MaxFreq }
+func (s Spec) Capacity() units.Hertz { return float64(s.Cores) * s.MaxFreq }
 
 // CapacityAt returns the total CPU capacity at per-core frequency f.
-func (s Spec) CapacityAt(f float64) float64 { return float64(s.Cores) * f }
+func (s Spec) CapacityAt(f units.Hertz) units.Hertz { return float64(s.Cores) * f }
 
 // MaxPower returns the active power at maximum frequency, full load.
-func (s Spec) MaxPower() float64 { return s.PStatic + s.PDynMax }
+func (s Spec) MaxPower() units.Watt { return s.PStatic + s.PDynMax }
 
 // Efficiency is the paper's server-sorting key: maximum CPU capacity per
 // watt of maximum power (GHz/W). Higher is better.
@@ -64,11 +66,11 @@ func (s Spec) Efficiency() float64 { return s.Capacity() / s.MaxPower() }
 
 // idleDynFraction is the fraction of the dynamic term burned at idle:
 // clock distribution and stalled pipelines are not free.
-const idleDynFraction = 0.3
+const idleDynFraction units.Fraction = 0.3
 
 // Power returns active power in watts at per-core frequency f and
 // utilization u ∈ [0,1] of the capacity available at f.
-func (s Spec) Power(f, u float64) float64 {
+func (s Spec) Power(f units.Hertz, u units.Fraction) units.Watt {
 	if u < 0 {
 		u = 0
 	}
@@ -85,7 +87,7 @@ func (s Spec) Power(f, u float64) float64 {
 // LowestFreqFor returns the lowest P-state whose total capacity covers
 // demandGHz, or MaxFreq if none does (the server is then overloaded).
 // This is the server-level arbitrator's DVFS decision (Section IV-B).
-func (s Spec) LowestFreqFor(demandGHz float64) float64 {
+func (s Spec) LowestFreqFor(demandGHz units.Hertz) units.Hertz {
 	for _, f := range s.PStates {
 		if s.CapacityAt(f) >= demandGHz-1e-12 {
 			return f
@@ -145,11 +147,11 @@ func AllTypes() []Spec { return []Spec{TypeHighEnd(), TypeMid(), TypeLow()} }
 
 // Meter integrates power over time into energy.
 type Meter struct {
-	joules float64
+	joules units.Joule
 }
 
 // Accumulate adds watts·seconds of consumption.
-func (m *Meter) Accumulate(watts, seconds float64) {
+func (m *Meter) Accumulate(watts units.Watt, seconds units.Second) {
 	if watts < 0 || seconds < 0 {
 		//lint:ignore panicpolicy meter invariant: negative energy means a sign error upstream
 		panic("power: negative accumulation")
@@ -158,7 +160,7 @@ func (m *Meter) Accumulate(watts, seconds float64) {
 }
 
 // Joules returns total energy in joules.
-func (m *Meter) Joules() float64 { return m.joules }
+func (m *Meter) Joules() units.Joule { return m.joules }
 
 // Wh returns total energy in watt-hours.
 func (m *Meter) Wh() float64 { return m.joules / 3600 }

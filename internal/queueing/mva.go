@@ -15,16 +15,18 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"vdcpower/internal/units"
 )
 
 // Network is a closed queueing network: N clients cycle through a think
 // node (mean ThinkTime) and then visit each station once, in sequence.
 type Network struct {
 	// ThinkTime is the infinite-server node's mean delay (seconds).
-	ThinkTime float64
+	ThinkTime units.Second
 	// Demands holds each PS station's mean service demand (seconds) —
 	// for a tier, demand in GHz·s divided by the allocation in GHz.
-	Demands []float64
+	Demands []units.Second
 }
 
 // Validate checks parameters.
@@ -46,14 +48,16 @@ func (n *Network) Validate() error {
 // Result holds the exact MVA solution at population N.
 type Result struct {
 	N            int
-	Throughput   float64   // clients per second
-	ResponseTime float64   // total time in stations (excludes think)
-	StationResp  []float64 // per-station residence time
-	QueueLen     []float64 // per-station mean number of clients
-	Utilization  []float64 // per-station utilization
+	Throughput   float64          // clients per second
+	ResponseTime units.Second     // total time in stations (excludes think)
+	StationResp  []units.Second   // per-station residence time
+	QueueLen     []float64        // per-station mean number of clients
+	Utilization  []units.Fraction // per-station utilization
 }
 
 // Solve runs exact MVA for population n. Complexity O(n · stations).
+//
+//vdc:hotpath queueing/mva
 func Solve(net *Network, n int) (Result, error) {
 	if err := net.Validate(); err != nil {
 		return Result{}, err
@@ -65,9 +69,9 @@ func Solve(net *Network, n int) (Result, error) {
 	q := make([]float64, k) // queue lengths at population m-1
 	res := Result{
 		N:           n,
-		StationResp: make([]float64, k),
+		StationResp: make([]units.Second, k),
 		QueueLen:    make([]float64, k),
-		Utilization: make([]float64, k),
+		Utilization: make([]units.Fraction, k),
 	}
 	for m := 1; m <= n; m++ {
 		total := net.ThinkTime
@@ -95,7 +99,7 @@ func Solve(net *Network, n int) (Result, error) {
 // BottleneckBounds returns the asymptotic bounds of the network: the
 // maximum throughput 1/max(D_i) and the response-time asymptote
 // N·Dmax − Z for large N (balanced job bounds are not needed here).
-func BottleneckBounds(net *Network, n int) (maxThroughput, minResponse float64, err error) {
+func BottleneckBounds(net *Network, n int) (maxThroughput float64, minResponse units.Second, err error) {
 	if err := net.Validate(); err != nil {
 		return 0, 0, err
 	}
@@ -118,20 +122,22 @@ func BottleneckBounds(net *Network, n int) (maxThroughput, minResponse float64, 
 // (balanced utilization), the paper's intuition that heavier tiers need
 // proportionally more CPU. Returns an error if the target is infeasible
 // within maxAllocGHz per tier.
-func AllocationFor(demandGHzS []float64, thinkTime float64, n int, targetResp, maxAllocGHz float64) ([]float64, error) {
+func AllocationFor(demandGHzS []units.GHzSecond, thinkTime units.Second, n int, targetResp units.Second, maxAllocGHz units.Hertz) ([]units.Hertz, error) {
 	if targetResp <= 0 {
 		return nil, errors.New("queueing: nonpositive target")
 	}
 	if len(demandGHzS) == 0 {
 		return nil, errors.New("queueing: no tiers")
 	}
-	base := make([]float64, len(demandGHzS))
+	base := make([]units.GHzSecond, len(demandGHzS))
 	copy(base, demandGHzS)
-	respAt := func(factor float64) (float64, error) {
-		net := &Network{ThinkTime: thinkTime, Demands: make([]float64, len(base))}
+	respAt := func(factor float64) (units.Second, error) {
+		net := &Network{ThinkTime: thinkTime, Demands: make([]units.Second, len(base))}
 		for i, d := range demandGHzS {
-			alloc := base[i] * factor
-			net.Demands[i] = d / alloc // seconds per visit
+			// factor converts a GHz·s demand into a GHz allocation, so
+			// the product's dimension is asserted at the boundary.
+			alloc := units.Hertz(base[i] * factor)
+			net.Demands[i] = d / alloc // GHz·s per GHz: seconds per visit
 		}
 		r, err := Solve(net, n)
 		if err != nil {
@@ -160,7 +166,7 @@ func AllocationFor(demandGHzS []float64, thinkTime float64, n int, targetResp, m
 			hi = mid
 		}
 	}
-	out := make([]float64, len(base))
+	out := make([]units.Hertz, len(base))
 	for i := range out {
 		out[i] = base[i] * hi
 	}

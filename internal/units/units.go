@@ -1,0 +1,53 @@
+// Package units declares the dimensional vocabulary of the control
+// stack as float64 aliases. An alias is *identical* to float64 — using
+// one changes no runtime behaviour, no API compatibility, and no
+// arithmetic — but it records, in the type of a struct field, parameter,
+// result, or variable, which physical quantity the number carries. The
+// vdclint units analyzer (internal/lint, rule "units") keys on these
+// aliases: it propagates unit tags through assignments, arithmetic, and
+// call boundaries, and reports unit-incompatible additions, comparisons,
+// and argument passing — the silent watt-vs-utilization mix-ups that
+// corrupt an MPC model without failing any test.
+//
+// Conversion rules the analyzer knows (beyond "like combines with
+// like"): Watt·Second = Joule, Hertz·Second = GHzSecond (CPU work),
+// GHzSecond/Hertz = Second, any unit divided by itself = Fraction, and
+// Fraction scales any unit without changing it. Quantities outside this
+// vocabulary (GB of memory, requests per second, weights) stay plain
+// float64 and are exempt from checking.
+//
+// An explicit conversion is the escape hatch at a genuine dimensional
+// boundary: units.Watt(x) asserts x is a power, float64(x) strips the
+// tag. Both compile to nothing.
+package units
+
+type (
+	// Watt is instantaneous electrical power (the paper's P terms:
+	// static, dynamic, sleep, and cluster draw).
+	Watt = float64
+
+	// Hertz is CPU frequency or CPU capacity/allocation/demand. The
+	// repo's numbers are in GHz throughout; the tag tracks the
+	// dimension, not the SI prefix, so GHz values are Hertz-tagged.
+	Hertz = float64
+
+	// Fraction is a dimensionless ratio: utilization in [0,1],
+	// headroom, a proportional scale factor. Fraction·X = X.
+	Fraction = float64
+
+	// Second is a duration: response times, SLO set points, service
+	// demands per visit, control periods in wall terms.
+	Second = float64
+
+	// Joule is energy: the integral of Watt over Second.
+	Joule = float64
+
+	// VMCount is a number of VMs (or servers) carried as a float, e.g.
+	// the denominators of per-VM energy metrics.
+	VMCount = float64
+
+	// GHzSecond is CPU work — a service demand in cycles (frequency ×
+	// time). Dividing it by an allocation in Hertz yields the Second
+	// per-visit demand MVA consumes.
+	GHzSecond = float64
+)
