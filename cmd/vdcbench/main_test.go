@@ -106,9 +106,13 @@ func TestSessionCompareAndSlowdownGate(t *testing.T) {
 		t.Error("driver did not stamp CreatedAt/GoVersion")
 	}
 
-	// Two same-binary runs: no regressions, exit 0.
+	// Two same-binary runs: no regressions, exit 0. Since the hot
+	// scenarios went allocation-free their ops are ~0.2ms, small enough
+	// that scheduler/frequency jitter between two back-to-back sessions
+	// can exceed the 20% same-machine default — compare at 80% here;
+	// the 2x-slowdown gate below still runs at the defaults.
 	var out, errOut strings.Builder
-	if code := run([]string{"-compare", base, again}, &out, &errOut); code != 0 {
+	if code := run([]string{"-compare", "-threshold", "0.8", base, again}, &out, &errOut); code != 0 {
 		t.Errorf("same-binary compare exit %d\n%s%s", code, out.String(), errOut.String())
 	}
 	if !strings.Contains(out.String(), "0 regressed") {

@@ -27,6 +27,21 @@ const (
 // allocation is a large ratio but not a regression.
 const allocFloor = 64
 
+// hotAllocFloor is the tightened floor for the declared hot paths: they
+// run allocation-free in steady state (ROADMAP item 2), so their per-op
+// budget is a small fixed setup cost and even a few extra allocations
+// signal a reuse regression.
+const hotAllocFloor = 8
+
+// allocFloorFor picks the alloc-shift floor for a scenario.
+func allocFloorFor(name string) float64 {
+	switch name {
+	case "mpc/solve", "packing/minslack", "queueing/mva":
+		return hotAllocFloor
+	}
+	return allocFloor
+}
+
 // Thresholds tune the gate. A scenario regresses only when its shift is
 // both LARGE (median ratio beyond MinShift) and SIGNIFICANT
 // (Mann-Whitney p below Alpha); each test alone is too twitchy — ratios
@@ -116,7 +131,7 @@ func Compare(oldDoc, newDoc *Doc, th Thresholds) (*Comparison, error) {
 		d := Delta{Name: ns.Name}
 		d.TimeClass, d.Ratio, d.P = classify(prev.NsPerOp, ns.NsPerOp, th, 0)
 		d.OldMedianNs, d.NewMedianNs = stats.Median(prev.NsPerOp), stats.Median(ns.NsPerOp)
-		d.AllocClass, d.AllocRatio, d.AllocP = classify(prev.AllocsPerOp, ns.AllocsPerOp, th, allocFloor)
+		d.AllocClass, d.AllocRatio, d.AllocP = classify(prev.AllocsPerOp, ns.AllocsPerOp, th, allocFloorFor(ns.Name))
 		d.OldAllocs, d.NewAllocs = stats.Median(prev.AllocsPerOp), stats.Median(ns.AllocsPerOp)
 		d.Class = d.TimeClass
 		if th.GateAllocs && d.AllocClass == ClassRegressed {

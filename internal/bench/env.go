@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"vdcpower/internal/fault"
+	"vdcpower/internal/packing"
 	"vdcpower/internal/testbed"
 	"vdcpower/internal/workload"
 )
@@ -50,6 +51,9 @@ type Env struct {
 	traceOnce sync.Once
 	trace     *workload.Trace
 	traceErr  error
+
+	poolOnce sync.Once
+	pool     *packing.Pool
 }
 
 // NewEnv builds an environment at the given scale.
@@ -141,6 +145,16 @@ func (e *Env) LintPatterns() []string {
 		return []string{"./internal/power"}
 	}
 	return []string{"./..."}
+}
+
+// MinSlackPool returns the session-shared Minimum Slack search pool.
+// The accessor is safe for concurrent use; the pool itself serves one
+// search at a time, which holds because scenarios run sequentially.
+// Sharing it across reps means the packing/minslack scenario measures
+// the search at its allocation-free steady state (ROADMAP item 2).
+func (e *Env) MinSlackPool() *packing.Pool {
+	e.poolOnce.Do(func() { e.pool = packing.NewPool() })
+	return e.pool
 }
 
 // ChaosProfile returns the deterministic fault profile of the chaos

@@ -56,6 +56,15 @@ func Properties() []Property {
 		{"cluster/migration-conservation", func(s int64) error {
 			return migrationConservation(randomMigration, s)
 		}, 10},
+		{"mpc/warm-start-equivalence", func(s int64) error {
+			return mpcWarmStartEquivalence(realMPCSequence, s)
+		}, 8},
+		{"packing/pool-reuse-exact", func(s int64) error {
+			return minSlackPoolReuseExact(packing.MinimumSlack, s)
+		}, 20},
+		{"queueing/solver-reuse-exact", func(s int64) error {
+			return mvaSolverReuseExact((*queueing.Solver).Solve, s)
+		}, 20},
 	}
 }
 
@@ -237,7 +246,9 @@ func realMPCCompute(cfg mpc.Config, tPast []float64, cPast []mat.Vec) (mat.Vec, 
 	if err != nil {
 		return nil, err
 	}
-	return res.Delta, nil
+	// Delta is a view into the controller's reused buffers; the
+	// controller outlives this call only through the returned vector.
+	return res.Delta.Clone(), nil
 }
 
 // mpcPermutationEquivariant: relabeling the controller's input channels
@@ -350,6 +361,152 @@ func csvRoundTrip(write traceWriteFn, seed int64) error {
 				return fmt.Errorf("second round-trip not idempotent at (%d,%d): %v → %v",
 					i, k, rt.Series[i][k], rt2.Series[i][k])
 			}
+		}
+	}
+	return nil
+}
+
+// mpcSequenceFn runs one controller over a sequence of periods and
+// returns the move of each, injectable for mutation tests. Unlike mpcFn
+// it keeps the controller (and hence its warm-start state and reused
+// buffers) alive across the whole sequence.
+type mpcSequenceFn func(cfg mpc.Config, tHists [][]float64, cHists [][]mat.Vec) ([]mat.Vec, error)
+
+func realMPCSequence(cfg mpc.Config, tHists [][]float64, cHists [][]mat.Vec) ([]mat.Vec, error) {
+	ctrl, err := mpc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mat.Vec, len(tHists))
+	for k := range tHists {
+		res, err := ctrl.Compute(tHists[k], cHists[k])
+		if err != nil {
+			return nil, err
+		}
+		out[k] = res.Delta.Clone()
+	}
+	return out, nil
+}
+
+// mpcWarmStartEquivalence: a controller that warm-starts each QP from
+// the previous period's active set produces the same moves as one that
+// solves every period cold (ROADMAP item 2). R > 0 makes each program
+// strictly convex, so the minimizer is unique and the paths agree to
+// solver round-off.
+func mpcWarmStartEquivalence(compute mpcSequenceFn, seed int64) error {
+	r := NewRand(seed)
+	m := 2 + r.Intn(2)
+	model := ARXModel(r, m)
+	cfg := MPCConfig(r, model)
+
+	const periods = 6
+	tHists := make([][]float64, periods)
+	cHists := make([][]mat.Vec, periods)
+	for k := range tHists {
+		tHists[k] = []float64{uniform(r, 0.5, 2.5), uniform(r, 0.5, 2.5)}
+		cHists[k] = make([]mat.Vec, model.Nb)
+		for j := range cHists[k] {
+			cHists[k][j] = make(mat.Vec, m)
+			for i := 0; i < m; i++ {
+				cHists[k][j][i] = uniform(r, cfg.CMin[i]+0.1, cfg.CMax[i]-0.5)
+			}
+		}
+	}
+	warm, err := compute(cfg, tHists, cHists)
+	if err != nil {
+		return err
+	}
+	cold := cfg
+	cold.DisableWarmStart = true
+	want, err := compute(cold, tHists, cHists)
+	if err != nil {
+		return err
+	}
+	for k := range want {
+		for i := range want[k] {
+			if math.Abs(warm[k][i]-want[k][i]) > 1e-8*(1+math.Abs(want[k][i])) {
+				return fmt.Errorf("period %d channel %d: warm Δ %v, cold Δ %v",
+					k, i, warm[k][i], want[k][i])
+			}
+		}
+	}
+	return nil
+}
+
+// minSlackPoolReuseExact: running Algorithm 1 through a node pool that
+// was just dirtied by a different instance returns exactly the result of
+// the allocating form — the pool is an allocation strategy, never an
+// answer change (ROADMAP item 2).
+func minSlackPoolReuseExact(fn minSlackFn, seed int64) error {
+	b, items, cons, cfg := packingInstance(seed)
+	plain := fn(b, items, cons, cfg)
+
+	pooled := cfg
+	pooled.Pool = packing.NewPool()
+	bDirty, dirty, consDirty, _ := packingInstance(seed + 7919)
+	fn(bDirty, dirty, consDirty, pooled) // dirty the pool's buffers first
+	res := fn(b, items, cons, pooled)
+
+	//lint:ignore floatcompare the pooled search must be exactly the allocating search
+	if res.Slack != plain.Slack || res.Widened != plain.Widened ||
+		res.Exhausted != plain.Exhausted || res.Nodes != plain.Nodes {
+		return fmt.Errorf("pooled outcome (s=%v w=%v e=%v n=%d) differs from plain (s=%v w=%v e=%v n=%d)",
+			res.Slack, res.Widened, res.Exhausted, res.Nodes,
+			plain.Slack, plain.Widened, plain.Exhausted, plain.Nodes)
+	}
+	if len(res.Chosen) != len(plain.Chosen) {
+		return fmt.Errorf("pooled chose %d items, plain %d", len(res.Chosen), len(plain.Chosen))
+	}
+	for i := range plain.Chosen {
+		if res.Chosen[i] != plain.Chosen[i] {
+			return fmt.Errorf("pooled item %d = %+v, plain %+v", i, res.Chosen[i], plain.Chosen[i])
+		}
+	}
+	return nil
+}
+
+// mvaSolverFn is the shape of the reusable MVA solve, injectable for
+// mutation tests.
+type mvaSolverFn func(s *queueing.Solver, net *queueing.Network, n int, res *queueing.Result) error
+
+// mvaSolverReuseExact: a Solver and Result dirtied by a larger network
+// reproduce package Solve bit for bit on the next network — buffer reuse
+// must never leak state between solves (ROADMAP item 2).
+func mvaSolverReuseExact(solve mvaSolverFn, seed int64) error {
+	r := NewRand(seed)
+	var s queueing.Solver
+	var res queueing.Result
+	big := Network(r)
+	for len(big.Demands) < 4 { // ensure the dirtying pass is the larger one
+		big.Demands = append(big.Demands, uniform(r, 0.005, 0.1))
+	}
+	if err := solve(&s, big, 1+r.Intn(40), &res); err != nil {
+		return err
+	}
+	net := Network(r)
+	n := r.Intn(40)
+	want, err := queueing.Solve(net, n)
+	if err != nil {
+		return err
+	}
+	if err := solve(&s, net, n, &res); err != nil {
+		return err
+	}
+	//lint:ignore floatcompare buffer reuse must be bitwise invisible
+	if res.Throughput != want.Throughput || res.ResponseTime != want.ResponseTime || res.N != want.N {
+		return fmt.Errorf("reused solver: X=%v R=%v N=%d, fresh X=%v R=%v N=%d",
+			res.Throughput, res.ResponseTime, res.N, want.Throughput, want.ResponseTime, want.N)
+	}
+	if len(res.StationResp) != len(want.StationResp) {
+		return fmt.Errorf("reused solver kept %d stations, fresh %d", len(res.StationResp), len(want.StationResp))
+	}
+	for i := range want.StationResp {
+		//lint:ignore floatcompare buffer reuse must be bitwise invisible
+		bad := res.StationResp[i] != want.StationResp[i] || res.QueueLen[i] != want.QueueLen[i] || res.Utilization[i] != want.Utilization[i]
+		if bad {
+			return fmt.Errorf("station %d: reused (%v,%v,%v), fresh (%v,%v,%v)", i,
+				res.StationResp[i], res.QueueLen[i], res.Utilization[i],
+				want.StationResp[i], want.QueueLen[i], want.Utilization[i])
 		}
 	}
 	return nil

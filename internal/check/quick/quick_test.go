@@ -188,6 +188,59 @@ func TestCSVRoundTripCatchesLossyWriter(t *testing.T) {
 	})
 }
 
+func TestWarmStartEquivalenceCatchesStaleActiveSet(t *testing.T) {
+	// Broken warm path: a controller that, when warm starting, keeps
+	// returning the previous period's move — the canonical symptom of a
+	// stale active set or dirty reused buffer.
+	broken := func(cfg mpc.Config, tHists [][]float64, cHists [][]mat.Vec) ([]mat.Vec, error) {
+		out, err := realMPCSequence(cfg, tHists, cHists)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.DisableWarmStart {
+			for k := 1; k < len(out); k++ {
+				out[k] = out[k-1]
+			}
+		}
+		return out, nil
+	}
+	expectCaught(t, "stale warm-start state", func(s int64) error {
+		return mpcWarmStartEquivalence(broken, s)
+	})
+}
+
+func TestPoolReuseExactCatchesPoolPathDivergence(t *testing.T) {
+	// Broken pooled path: silently drops the last candidate when a pool
+	// is wired — a buffer-sizing bug only the pooled route would have.
+	broken := func(b *packing.Bin, items []packing.Item, cons packing.Constraint, cfg packing.MinSlackConfig) packing.MinSlackResult {
+		if cfg.Pool != nil && len(items) > 0 {
+			items = items[:len(items)-1]
+		}
+		return packing.MinimumSlack(b, items, cons, cfg)
+	}
+	expectCaught(t, "pool-path divergence", func(s int64) error {
+		return minSlackPoolReuseExact(broken, s)
+	})
+}
+
+func TestSolverReuseExactCatchesStateLeak(t *testing.T) {
+	// Broken solver: a residue of the previous call's answer bleeds into
+	// the next one, as an uncleared scratch buffer would.
+	prev := 0.0
+	broken := func(s *queueing.Solver, net *queueing.Network, n int, res *queueing.Result) error {
+		if err := s.Solve(net, n, res); err != nil {
+			return err
+		}
+		res.Throughput += 1e-6 * prev
+		prev = res.Throughput
+		return nil
+	}
+	expectCaught(t, "solver state leak", func(s int64) error {
+		prev = 0
+		return mvaSolverReuseExact(broken, s)
+	})
+}
+
 func TestMigrationConservationCatchesVMLoss(t *testing.T) {
 	// Broken walk: its fifth step decommissions a VM instead of migrating
 	// it, then keeps walking the survivors.

@@ -266,11 +266,11 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 	measure.Int("samples", res.Samples).Float("t90", res.T90).
 		Bool("held", res.Held).Bool("dropped", res.Dropped).End()
 
-	// Shift measurement history (the held last-good value when invalid).
-	c.tHist = append([]float64{c.lastT}, c.tHist...)
-	if len(c.tHist) > c.cfg.Model.Na+1 {
-		c.tHist = c.tHist[:c.cfg.Model.Na+1]
-	}
+	// Shift measurement history in place (the held last-good value when
+	// invalid): the window has fixed length Na+1 after construction, so an
+	// overlapping copy slides it right without reallocating.
+	copy(c.tHist[1:], c.tHist)
+	c.tHist[0] = c.lastT
 
 	if c.heldStreak > c.holdWindow() {
 		// Hold window exhausted: the held measurement is too stale to close
@@ -278,13 +278,9 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 		// converged MPC allocation tracks demand, so this is the
 		// demand-proportional fallback) until a valid measurement returns.
 		res.OpenLoop = true
-		next := c.cHist[0].Clone()
+		next := c.pushAllocSlot()
 		for i := range next {
 			c.app.SetAllocation(i, next[i])
-		}
-		c.cHist = append([]mat.Vec{next}, c.cHist...)
-		if len(c.cHist) > c.cfg.Model.Nb+1 {
-			c.cHist = c.cHist[:c.cfg.Model.Nb+1]
 		}
 		res.Allocations = next.Clone()
 		c.steps++
@@ -307,7 +303,7 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 	}
 
 	actuate := c.trace.Start("core.actuate")
-	next := c.cHist[0].Clone()
+	next := c.pushAllocSlot()
 	for i := range next {
 		next[i] += out.Delta[i] * damp
 		// Defensive clamp: the QP already enforces the box, but floating
@@ -321,14 +317,24 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 		c.app.SetAllocation(i, next[i])
 	}
 	actuate.Int("tiers", len(next)).End()
-	c.cHist = append([]mat.Vec{next}, c.cHist...)
-	if len(c.cHist) > c.cfg.Model.Nb+1 {
-		c.cHist = c.cHist[:c.cfg.Model.Nb+1]
-	}
 	res.Allocations = next.Clone()
 	c.steps++
 	period.Bool("relaxed", res.TerminalRelaxed).End()
 	return res, nil
+}
+
+// pushAllocSlot rotates the allocation history ring: the oldest slot's
+// backing array is recycled as the new head, preloaded with the previous
+// head's values, and returned for in-place mutation before being read
+// again. History semantics match the old prepend-and-trim exactly; only
+// the storage is reused (ROADMAP item 2).
+func (c *ResponseTimeController) pushAllocSlot() mat.Vec {
+	last := len(c.cHist) - 1
+	slot := c.cHist[last]
+	copy(slot, c.cHist[0])
+	copy(c.cHist[1:], c.cHist[:last])
+	c.cHist[0] = slot
+	return slot
 }
 
 // Steps returns the number of control periods executed.

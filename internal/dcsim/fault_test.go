@@ -164,6 +164,46 @@ func TestRealErrorReturnsPartialResult(t *testing.T) {
 	}
 }
 
+// TestReusedConsolidatorSurvivesChaos guards the pooled search buffers
+// (ROADMAP item 2): an IPAC whose node pool and stats just went through
+// a chaos run — crashes, migration aborts, injected pass errors firing
+// mid-consolidation — must behave on a subsequent clean run exactly like
+// a fresh IPAC. Any divergence means an aborted pass left poisoned state
+// in the reused buffers.
+func TestReusedConsolidatorSurvivesChaos(t *testing.T) {
+	cleanRun := func(c optimizer.Consolidator) []byte {
+		cfg := DefaultConfig(testTrace(t), 40, c)
+		cfg.FleetSize = 40
+		cfg.WatchdogEverySteps = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("clean run aborted: %v", err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	reused := optimizer.NewIPAC()
+	chaosCfg, checker := chaosConfig(t, chaosProfile())
+	chaosCfg.Consolidator = reused
+	if _, err := Run(chaosCfg); err != nil {
+		t.Fatalf("chaos run aborted: %v", err)
+	}
+	if checker.NumViolations() != 0 {
+		t.Fatalf("chaos run broke invariants: %v", checker.Err())
+	}
+	// Run only wires a non-nil injector; detach the chaos plane by hand
+	// so the second run is genuinely clean.
+	reused.SetFaults(nil)
+	got := cleanRun(reused)
+	want := cleanRun(optimizer.NewIPAC())
+	if string(got) != string(want) {
+		t.Fatalf("reused consolidator diverged after chaos:\n%s\nfresh:\n%s", got, want)
+	}
+}
+
 func TestSweepWithFaultProfile(t *testing.T) {
 	tr := testTrace(t)
 	p := chaosProfile()

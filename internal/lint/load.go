@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -244,7 +246,13 @@ func (m *Module) loadPath(path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !fileIncluded(f) {
+			continue // excluded by its build constraint (e.g. //go:build race)
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: every Go file in %s is excluded by build constraints", dir)
 	}
 	info := newInfo()
 	conf := types.Config{Importer: importerFunc(m.importPkg)}
@@ -255,6 +263,39 @@ func (m *Module) loadPath(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	m.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// fileIncluded reports whether the file participates in the default
+// build configuration (no -tags, the host GOOS/GOARCH): files excluded
+// by a //go:build line — like the race-detector half of a build-tag pair
+// — must not be type-checked into the same package as their counterpart.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied evaluates one build tag the way `go build` does with
+// an empty -tags list on the host platform and a current toolchain.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // importPkg resolves imports during type checking: module-internal paths

@@ -58,6 +58,28 @@ func TestLoadRecursivePattern(t *testing.T) {
 	}
 }
 
+// TestLoadHonorsBuildConstraints loads the race build-tag pair: only the
+// !race half participates in the default configuration, so the package
+// must type-check with exactly one file (loading both would redeclare
+// race.Enabled).
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mod.Load("./internal/race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("race package loaded %d files, want just the !race half", len(pkgs[0].Files))
+	}
+	obj := pkgs[0].Types.Scope().Lookup("Enabled")
+	if obj == nil {
+		t.Fatal("race.Enabled not found")
+	}
+}
+
 func TestLoadBadPattern(t *testing.T) {
 	mod, err := LoadModule(".")
 	if err != nil {

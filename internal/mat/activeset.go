@@ -9,39 +9,23 @@ import (
 // package serves have a handful of constraints, so the bound is generous.
 const maxActiveSetIters = 200
 
-// constrainedLSWithMultipliers solves the equality-constrained least
-// squares problem and additionally returns the Lagrange multipliers of
-// the constraint rows.
-func constrainedLSWithMultipliers(a *Mat, b Vec, c *Mat, d Vec) (x, lambda Vec, err error) {
-	if c == nil || c.Rows == 0 {
-		x, err = LeastSquares(a, b)
-		return x, nil, err
-	}
-	n, p := a.Cols, c.Rows
-	ata := a.T().Mul(a)
-	atb := a.T().MulVec(b)
-	kkt := NewMat(n+p, n+p)
-	//lint:ignore hotalloc KKT assembly allocates per solve; ROADMAP item 2 (allocation-free hot paths) adds solver scratch buffers
-	rhs := make(Vec, n+p)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kkt.Set(i, j, 2*ata.At(i, j))
-		}
-		rhs[i] = 2 * atb[i]
-	}
-	for i := 0; i < p; i++ {
-		for j := 0; j < n; j++ {
-			kkt.Set(n+i, j, c.At(i, j))
-			kkt.Set(j, n+i, c.At(i, j))
-		}
-		rhs[n+i] = d[i]
-	}
-	sol, err := SolveLinear(kkt, rhs)
-	if err != nil {
-		return nil, nil, err
-	}
-	return sol[:n], sol[n:], nil
+// QPState carries an active-set warm start between consecutive solves of
+// a slowly varying QP: the MPC re-solves a near-identical program every
+// control period, so the binding constraints rarely change and seeding
+// the working set from the previous period's solution usually converges
+// in one or two iterations. A zero QPState is a cold start; after each
+// successful InequalityLSW call it holds the final active set.
+type QPState struct {
+	active []bool
+	n      int // inequality count the seed was recorded for
+	seeded bool
 }
+
+// Reset discards the stored active set; the next solve starts cold.
+func (s *QPState) Reset() { s.seeded = false }
+
+// Warm reports whether the state holds a usable previous active set.
+func (s *QPState) Warm() bool { return s != nil && s.seeded }
 
 // InequalityLS minimizes ||A·x − b||₂ subject to C·x = d and G·x ≤ h
 // using a primal active-set method. The equality constraints stay active
@@ -52,8 +36,24 @@ func constrainedLSWithMultipliers(a *Mat, b Vec, c *Mat, d Vec) (x, lambda Vec, 
 // after the constraints are imposed, which holds for the MPC programs in
 // this repository (the control-penalty term regularizes the Hessian).
 //
-//vdc:hotpath mpc/solve
+// This is the allocating convenience form of InequalityLSW: each call
+// solves cold through a fresh workspace.
 func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
+	return InequalityLSW(NewWorkspace(), nil, a, b, c, d, g, h)
+}
+
+// InequalityLSW is InequalityLS with caller-managed solver state: w
+// provides the scratch arena — the returned solution vector lives in w
+// and is valid only until w's next use — and st, when non-nil, carries
+// the active-set warm start across calls. A warm-started solve that
+// fails (a singular working set or no convergence, possible when the
+// constraint geometry shifted between periods) is retried cold before
+// the error is reported; st is re-seeded only on success.
+//
+// The cold path (st nil or unseeded) performs exactly the same floating
+// point operations as a fresh InequalityLS call, so their results are
+// bitwise identical.
+func InequalityLSW(w *Workspace, st *QPState, a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
 	if g == nil || g.Rows == 0 {
 		return EqConstrainedLS(a, b, c, d)
 	}
@@ -63,40 +63,119 @@ func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
 	if len(h) != g.Rows {
 		return nil, errors.New("mat: InequalityLS rhs dimension mismatch")
 	}
+	var active []bool
+	warm := false
+	if st != nil {
+		if cap(st.active) < g.Rows {
+			st.active = make([]bool, g.Rows)
+		}
+		st.active = st.active[:g.Rows]
+		active = st.active
+		warm = st.seeded && st.n == g.Rows
+		if !warm {
+			clear(active)
+		}
+	} else {
+		active = make([]bool, g.Rows)
+	}
+	x, err := ineqActiveSet(w, a, b, c, d, g, h, active)
+	if err != nil && warm {
+		// The previous period's active set can be inconsistent with the
+		// new program (e.g. a surge changed which bounds bind); start
+		// over from the empty working set before giving up.
+		clear(active)
+		x, err = ineqActiveSet(w, a, b, c, d, g, h, active)
+	}
+	if st != nil {
+		st.seeded = err == nil
+		st.n = g.Rows
+	}
+	return x, err
+}
+
+// ineqActiveSet runs the primal active-set iteration. active is both the
+// starting working set and, on success, the final one. The returned
+// solution lives in w.
+//
+// The normal-equations blocks 2AᵀA and 2Aᵀb are invariant across
+// iterations, so they are built once up front — the per-iteration
+// rebuild through intermediate row matrices is what used to dominate
+// the mpc/solve profile.
+//
+//vdc:hotpath mpc/solve
+func ineqActiveSet(w *Workspace, a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec, active []bool) (Vec, error) {
+	n := a.Cols
 	nEq := 0
 	if c != nil {
 		nEq = c.Rows
 	}
-	active := make([]bool, g.Rows)
+	w.Reset()
+	ata := w.TakeMat(n, n)
+	a.ATAInto(ata)
+	atb := w.TakeVec(n)
+	a.MulTVecInto(atb, b)
+	activeIdx := w.TakeInts(g.Rows)
 	const tol = 1e-9
+	mark := w.Mark()
 	for iter := 0; iter < maxActiveSetIters; iter++ {
-		// Assemble the working constraint set: equalities + active bounds.
-		var rows [][]float64
-		var rhs Vec
-		for i := 0; i < nEq; i++ {
-			//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
-			rows = append(rows, c.Row(i))
-			//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
-			rhs = append(rhs, d[i])
-		}
-		var activeIdx []int
+		w.Release(mark)
+		na := 0
 		for i, on := range active {
 			if on {
-				//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
-				rows = append(rows, g.Row(i))
-				//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
-				rhs = append(rhs, h[i])
-				//lint:ignore hotalloc working-set assembly is rebuilt per active-set iteration; ROADMAP item 2 hoists it into solver scratch
-				activeIdx = append(activeIdx, i)
+				activeIdx[na] = i
+				na++
 			}
 		}
-		var work *Mat
-		if len(rows) > 0 {
-			work = FromRows(rows)
-		}
-		x, lambda, err := constrainedLSWithMultipliers(a, b, work, rhs)
-		if err != nil {
-			return nil, err
+		p := nEq + na
+		var x, lambda Vec
+		if p == 0 {
+			// Empty working set: plain least squares through QR, the
+			// same route EqConstrainedLS takes without constraints.
+			qr := w.QR()
+			if err := qr.Factorize(a); err != nil {
+				return nil, err
+			}
+			y := w.TakeVec(a.Rows)
+			x = qr.SolveInto(w.TakeVec(n), y, b)
+		} else {
+			// KKT system of the working set:
+			//   [ 2AᵀA  Wᵀ ] [x] = [2Aᵀb]
+			//   [  W    0  ] [λ]   [ rhs ]
+			// where W stacks the equality rows and the active G rows.
+			dim := n + p
+			kkt := w.TakeMat(dim, dim)
+			rhs := w.TakeVec(dim)
+			for i := 0; i < n; i++ {
+				dst := kkt.Data[i*dim : i*dim+n]
+				src := ata.Data[i*n : i*n+n]
+				for j, v := range src {
+					dst[j] = 2 * v
+				}
+				rhs[i] = 2 * atb[i]
+			}
+			for r := 0; r < p; r++ {
+				var wrow []float64
+				var rv float64
+				if r < nEq {
+					wrow = c.Data[r*n : r*n+n]
+					rv = d[r]
+				} else {
+					gi := activeIdx[r-nEq]
+					wrow = g.Data[gi*n : gi*n+n]
+					rv = h[gi]
+				}
+				for j, v := range wrow {
+					kkt.Data[(n+r)*dim+j] = v
+					kkt.Data[j*dim+n+r] = v
+				}
+				rhs[n+r] = rv
+			}
+			lu := w.LU()
+			if err := lu.Factorize(kkt); err != nil {
+				return nil, err
+			}
+			sol := lu.SolveInto(w.TakeVec(dim), rhs)
+			x, lambda = sol[:n], sol[n:]
 		}
 		// Find the most violated inactive inequality.
 		worst, worstViol := -1, tol
@@ -104,7 +183,7 @@ func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
 			if active[i] {
 				continue
 			}
-			if v := g.Row(i).Dot(x) - h[i]; v > worstViol {
+			if v := g.RowDot(i, x) - h[i]; v > worstViol {
 				worst, worstViol = i, v
 			}
 		}
@@ -115,9 +194,9 @@ func InequalityLS(a *Mat, b Vec, c *Mat, d Vec, g *Mat, h Vec) (Vec, error) {
 		// All inequalities satisfied: check multipliers of the active set.
 		drop := -1
 		dropVal := -tol
-		for k, gi := range activeIdx {
+		for k := 0; k < na; k++ {
 			if mu := lambda[nEq+k]; mu < dropVal {
-				drop, dropVal = gi, mu
+				drop, dropVal = activeIdx[k], mu
 			}
 		}
 		if drop >= 0 {

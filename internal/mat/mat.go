@@ -22,7 +22,6 @@ func NewVec(n int) Vec { return make(Vec, n) }
 
 // Clone returns a copy of v.
 func (v Vec) Clone() Vec {
-	//lint:ignore hotalloc functional API allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	w := make(Vec, len(v))
 	copy(w, v)
 	return w
@@ -117,7 +116,6 @@ func NewMat(rows, cols int) *Mat {
 		//lint:ignore panicpolicy precondition: a negative dimension is a programming error
 		panic("mat: negative dimension")
 	}
-	//lint:ignore hotalloc functional constructor allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
@@ -161,7 +159,6 @@ func (m *Mat) Clone() *Mat {
 
 // Row returns row i as a vector sharing no storage with m.
 func (m *Mat) Row(i int) Vec {
-	//lint:ignore hotalloc functional API allocates its result; ROADMAP item 2 adds scratch-buffer variants
 	out := make(Vec, m.Cols)
 	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
 	return out
@@ -220,12 +217,16 @@ func (m *Mat) Mul(b *Mat) *Mat {
 
 // MulVec returns m·v as a new vector.
 func (m *Mat) MulVec(v Vec) Vec {
-	if m.Cols != len(v) {
+	return m.MulVecInto(make(Vec, m.Rows), v)
+}
+
+// MulVecInto sets out (length Rows) to m·v and returns out. out must not
+// alias v.
+func (m *Mat) MulVecInto(out Vec, v Vec) Vec {
+	if m.Cols != len(v) || len(out) != m.Rows {
 		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
-		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+		panic(fmt.Sprintf("mat: MulVecInto dimension mismatch %dx%d · %d into %d", m.Rows, m.Cols, len(v), len(out)))
 	}
-	//lint:ignore hotalloc functional API allocates its result; ROADMAP item 2 adds scratch-buffer variants
-	out := make(Vec, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
@@ -235,6 +236,61 @@ func (m *Mat) MulVec(v Vec) Vec {
 		out[i] = s
 	}
 	return out
+}
+
+// MulTVecInto sets out (length Cols) to mᵀ·v and returns out. Column
+// sums accumulate in the same ascending-row order as m.T().MulVec(v),
+// so the results are bitwise identical. out must not alias v.
+func (m *Mat) MulTVecInto(out Vec, v Vec) Vec {
+	if m.Rows != len(v) || len(out) != m.Cols {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
+		panic(fmt.Sprintf("mat: MulTVecInto dimension mismatch %dx%d ᵀ· %d into %d", m.Rows, m.Cols, len(v), len(out)))
+	}
+	for j := 0; j < m.Cols; j++ {
+		s := 0.0
+		for k := 0; k < m.Rows; k++ {
+			s += m.Data[k*m.Cols+j] * v[k]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// ATAInto sets out (Cols×Cols) to mᵀ·m without materializing the
+// transpose. Each entry accumulates over rows in ascending order, the
+// same order as m.T().Mul(m), so for finite inputs the results are
+// bitwise identical. out must not alias m.
+func (m *Mat) ATAInto(out *Mat) *Mat {
+	n := m.Cols
+	if out.Rows != n || out.Cols != n {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
+		panic(fmt.Sprintf("mat: ATAInto wants %dx%d output, got %dx%d", n, n, out.Rows, out.Cols))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < m.Rows; k++ {
+				s += m.Data[k*n+i] * m.Data[k*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// RowDot returns the dot product of row i with v without materializing
+// the row, matching m.Row(i).Dot(v) bitwise.
+func (m *Mat) RowDot(i int, v Vec) float64 {
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	if len(v) != len(row) {
+		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
+		panic("mat: RowDot length mismatch")
+	}
+	s := 0.0
+	for j, x := range row {
+		s += x * v[j]
+	}
+	return s
 }
 
 // Add returns m + b as a new matrix.

@@ -10,26 +10,40 @@ import (
 // singular matrix.
 var ErrSingular = errors.New("mat: singular matrix")
 
-// LU holds an LU factorization with partial pivoting: P·A = L·U.
+// LU holds an LU factorization with partial pivoting: P·A = L·U. A zero
+// LU is ready to use; Factorize reuses its storage across calls.
 type LU struct {
-	lu   *Mat  // combined L (unit lower) and U storage
+	lu   Mat   // combined L (unit lower) and U storage
 	piv  []int // row permutation
 	sign int   // permutation parity, for Det
 }
 
 // FactorizeLU computes the LU factorization of the square matrix a.
 func FactorizeLU(a *Mat) (*LU, error) {
+	f := new(LU)
+	if err := f.Factorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factorize computes the LU factorization of the square matrix a into f,
+// replacing any previous factorization and reusing f's storage. a is not
+// modified.
+func (f *LU) Factorize(a *Mat) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("mat: LU needs square matrix, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("mat: LU needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	lu := a.Clone()
-	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
-	piv := make([]int, n)
+	f.lu.reshape(n, n)
+	copy(f.lu.Data, a.Data)
+	lu := &f.lu
+	f.piv = growInts(f.piv, n)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
-	sign := 1
+	f.sign = 1
 	for k := 0; k < n; k++ {
 		// Partial pivoting: find the largest magnitude in column k.
 		p, maxAbs := k, math.Abs(lu.At(k, k))
@@ -39,41 +53,44 @@ func FactorizeLU(a *Mat) (*LU, error) {
 			}
 		}
 		if maxAbs < 1e-13 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
 				lu.Data[k*n+j], lu.Data[p*n+j] = lu.Data[p*n+j], lu.Data[k*n+j]
 			}
 			piv[k], piv[p] = piv[p], piv[k]
-			sign = -sign
+			f.sign = -f.sign
 		}
 		pivot := lu.At(k, k)
 		for i := k + 1; i < n; i++ {
-			f := lu.At(i, k) / pivot
-			lu.Set(i, k, f)
+			fac := lu.At(i, k) / pivot
+			lu.Set(i, k, fac)
 			//lint:ignore floatcompare exact-zero elimination fast path; any nonzero must eliminate
-			if f == 0 {
+			if fac == 0 {
 				continue
 			}
 			for j := k + 1; j < n; j++ {
-				lu.Data[i*n+j] -= f * lu.Data[k*n+j]
+				lu.Data[i*n+j] -= fac * lu.Data[k*n+j]
 			}
 		}
 	}
-	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	return nil
 }
 
 // Solve returns x such that A·x = b using the factorization.
 func (f *LU) Solve(b Vec) Vec {
+	return f.SolveInto(make(Vec, f.lu.Rows), b)
+}
+
+// SolveInto writes the solution of A·x = b into x (length n) and returns
+// it. x must not alias b.
+func (f *LU) SolveInto(x, b Vec) Vec {
 	n := f.lu.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
-		panic("mat: LU.Solve dimension mismatch")
+		panic("mat: LU.SolveInto dimension mismatch")
 	}
-	//lint:ignore hotalloc per-solve result vector; ROADMAP item 2 adds a solve-into-scratch variant
-	x := make(Vec, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -114,23 +131,37 @@ func SolveLinear(a *Mat, b Vec) (Vec, error) {
 	return f.Solve(b), nil
 }
 
-// QR holds a Householder QR factorization A = Q·R for Rows >= Cols.
+// QR holds a Householder QR factorization A = Q·R for Rows >= Cols. A
+// zero QR is ready to use; Factorize reuses its storage across calls.
 type QR struct {
-	qr   *Mat // R in the upper triangle, Householder vectors below
-	tau  Vec  // Householder scalars
+	qr   Mat // R in the upper triangle, Householder vectors below
+	tau  Vec // Householder scalars
 	rows int
 	cols int
 }
 
 // FactorizeQR computes a Householder QR factorization of a (Rows >= Cols).
 func FactorizeQR(a *Mat) (*QR, error) {
+	f := new(QR)
+	if err := f.Factorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factorize computes a Householder QR factorization of a (Rows >= Cols)
+// into f, replacing any previous factorization and reusing f's storage.
+// a is not modified.
+func (f *QR) Factorize(a *Mat) error {
 	if a.Rows < a.Cols {
-		return nil, fmt.Errorf("mat: QR needs rows >= cols, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("mat: QR needs rows >= cols, got %dx%d", a.Rows, a.Cols)
 	}
 	m, n := a.Rows, a.Cols
-	qr := a.Clone()
-	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
-	tau := make(Vec, n)
+	f.qr.reshape(m, n)
+	copy(f.qr.Data, a.Data)
+	qr := &f.qr
+	f.tau = growVec(f.tau, n)
+	f.rows, f.cols = m, n
 	for k := 0; k < n; k++ {
 		// Norm of the trailing part of column k.
 		norm := 0.0
@@ -138,7 +169,7 @@ func FactorizeQR(a *Mat) (*QR, error) {
 			norm = math.Hypot(norm, qr.At(i, k))
 		}
 		if norm < 1e-13 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if qr.At(k, k) < 0 {
 			norm = -norm
@@ -147,7 +178,7 @@ func FactorizeQR(a *Mat) (*QR, error) {
 			qr.Set(i, k, qr.At(i, k)/norm)
 		}
 		qr.Set(k, k, qr.At(k, k)+1)
-		tau[k] = -norm // diagonal of R
+		f.tau[k] = -norm // diagonal of R
 		// Apply the reflector to the remaining columns.
 		for j := k + 1; j < n; j++ {
 			s := 0.0
@@ -160,18 +191,24 @@ func FactorizeQR(a *Mat) (*QR, error) {
 			}
 		}
 	}
-	//lint:ignore hotalloc factorization state is allocated per solve; ROADMAP item 2 adds reusable factorization scratch
-	return &QR{qr: qr, tau: tau, rows: m, cols: n}, nil
+	return nil
 }
 
 // Solve returns the least-squares solution x minimizing ||A·x - b||₂.
 func (f *QR) Solve(b Vec) Vec {
-	if len(b) != f.rows {
+	return f.SolveInto(make(Vec, f.cols), make(Vec, f.rows), b)
+}
+
+// SolveInto writes the least-squares solution minimizing ||A·x - b||₂
+// into x (length Cols), using y (length Rows) as scratch for Qᵀ·b, and
+// returns x. Neither x nor y may alias b.
+func (f *QR) SolveInto(x, y, b Vec) Vec {
+	if len(b) != f.rows || len(y) != f.rows || len(x) != f.cols {
 		//lint:ignore panicpolicy dimension mismatch is a programming error, like an out-of-range index
-		panic("mat: QR.Solve dimension mismatch")
+		panic("mat: QR.SolveInto dimension mismatch")
 	}
 	m, n := f.rows, f.cols
-	y := b.Clone()
+	copy(y, b)
 	// Apply Qᵀ to b.
 	for k := 0; k < n; k++ {
 		s := 0.0
@@ -184,8 +221,6 @@ func (f *QR) Solve(b Vec) Vec {
 		}
 	}
 	// Back substitution with R (diag stored in tau).
-	//lint:ignore hotalloc per-solve result vector; ROADMAP item 2 adds a solve-into-scratch variant
-	x := make(Vec, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for j := i + 1; j < n; j++ {

@@ -1,0 +1,118 @@
+package mat
+
+// Native fuzzing for workspace reuse: two problems decoded from the same
+// input are solved back-to-back through ONE workspace, and each solution
+// must be bitwise identical to a fresh cold solve — any state leaking
+// from the first solve into the second (stale factorization, dirty
+// scratch, cursor drift) breaks the equality. A third pass exercises the
+// warm-start path and checks optimality instead of bits. Seeds live in
+// testdata/fuzz/FuzzWorkspaceReuse.
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeQP derives a feasible box-constrained least-squares problem from
+// fuzz bytes: n ≤ 5 unknowns, diagonally dominant A, G = [I; −I] with
+// h ≥ 0.1 (so x = 0 is always feasible).
+func decodeQP(data []byte) (qpProblem, []byte, bool) {
+	if len(data) < 1 {
+		return qpProblem{}, nil, false
+	}
+	n := 1 + int(data[0])%5
+	rows := n + 2
+	need := rows*n + rows + n
+	data = data[1:]
+	if len(data) < need {
+		return qpProblem{}, nil, false
+	}
+	val := func(i int) float64 { return (float64(data[i]) - 127.5) / 32 } // ~[-4, 4]
+	a := NewMat(rows, n)
+	for i := range a.Data {
+		a.Data[i] = val(i)
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+3)
+	}
+	b := make(Vec, rows)
+	for i := range b {
+		b[i] = 2 * val(rows*n+i)
+	}
+	g := NewMat(2*n, n)
+	h := make(Vec, 2*n)
+	for i := 0; i < n; i++ {
+		u := 0.1 + math.Abs(val(rows*n+rows+i))
+		g.Set(i, i, 1)
+		h[i] = u
+		g.Set(n+i, i, -1)
+		h[n+i] = u
+	}
+	return qpProblem{a: a, b: b, g: g, h: h}, data[need:], true
+}
+
+func FuzzWorkspaceReuse(f *testing.F) {
+	f.Add([]byte{0, 144, 40, 200, 128, 90})
+	f.Add([]byte{1, 160, 128, 30, 128, 160, 128, 128, 250, 128, 100, 200, 40, 10,
+		2, 128, 60, 128, 128, 128, 128, 128, 128, 250, 30, 128, 128, 128, 128, 200,
+		128, 40, 128, 128, 128, 1, 2, 3, 4, 250, 90, 128, 128})
+	f.Add([]byte{4, 200, 128, 128, 128, 128, 128, 200, 128, 128, 128, 128, 128, 200,
+		128, 128, 128, 128, 128, 200, 128, 128, 128, 128, 128, 200, 128, 128, 128,
+		128, 128, 128, 128, 128, 128, 128, 1, 2, 3, 4, 5, 6, 7, 10, 20, 30, 40, 50})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, rest, ok := decodeQP(data)
+		if !ok {
+			return
+		}
+		p2, _, ok2 := decodeQP(rest)
+
+		w := NewWorkspace()
+		check := func(label string, p qpProblem) {
+			want, wantErr := solveFresh(p)
+			got, gotErr := InequalityLSW(w, nil, p.a, p.b, p.c, p.d, p.g, p.h)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s: error mismatch fresh=%v reused=%v", label, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				return
+			}
+			for i := range want {
+				//lint:ignore floatcompare cold reuse must be bitwise identical to a fresh solve
+				if got[i] != want[i] {
+					t.Fatalf("%s: x[%d] = %v, fresh %v", label, i, got[i], want[i])
+				}
+			}
+		}
+		check("first", p1)
+		if ok2 {
+			check("second", p2)
+		}
+		check("first-again", p1)
+
+		// Warm pass over the same problem: a unique minimizer (strictly
+		// convex by diagonal dominance) reached through a different
+		// active-set route must land on the same point.
+		var st QPState
+		cold, coldErr := solveFresh(p1)
+		prev := Vec(nil)
+		for round := 0; round < 3; round++ {
+			warm, err := InequalityLSW(w, &st, p1.a, p1.b, nil, nil, p1.g, p1.h)
+			if (coldErr == nil) != (err == nil) {
+				t.Fatalf("warm round %d: error mismatch cold=%v warm=%v", round, coldErr, err)
+			}
+			if err != nil {
+				return
+			}
+			if !feasible(p1, warm, 1e-7) {
+				t.Fatalf("warm round %d: infeasible solution", round)
+			}
+			if d := warm.Sub(cold).Norm(); d > 1e-6*(1+cold.Norm()) {
+				t.Fatalf("warm round %d: differs from cold by %v", round, d)
+			}
+			if prev != nil && !vecBitwiseEq(warm, prev) {
+				t.Fatalf("warm round %d: repeated identical solve changed its answer", round)
+			}
+			prev = append(prev[:0], warm...)
+		}
+	})
+}

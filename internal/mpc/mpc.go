@@ -46,14 +46,47 @@ type Config struct {
 	// the hungrier VM; 0 disables it and reproduces the paper's cost
 	// (Eq. 2) exactly.
 	LevelPenalty float64
+
+	// DisableWarmStart forces every period's QP to start from an empty
+	// active set instead of the previous period's solution. The warm
+	// start is equivalence-tested against this cold path (see the
+	// package tests); the knob exists for those tests and debugging.
+	DisableWarmStart bool
 }
 
-// Controller solves the receding-horizon problem. It is stateless across
-// calls: callers provide the measurement history.
+// Controller solves the receding-horizon problem. Callers provide the
+// measurement history each period; the controller itself only carries
+// solver scratch and the previous period's QP active set (the warm
+// start), both of which affect performance, never results beyond
+// floating-point tolerance. Compute reuses controller-owned buffers, so
+// a Controller must not be shared by concurrent Compute calls.
 type Controller struct {
 	cfg   Config
 	m     int              // number of inputs
 	trace *telemetry.Track // set via SetTrace; nil keeps tracing off
+
+	// Solver state and scratch, sized once in New so that a steady-state
+	// Compute performs no heap allocation (ROADMAP item 2).
+	ws      *mat.Workspace
+	qpTerm  mat.QPState    // warm start of the terminal-constrained program
+	qpRelax mat.QPState    // warm start of the relaxed program
+	g       *mat.Mat       // dynamic matrix G (P×nu)
+	a       *mat.Mat       // stacked least-squares rows
+	b       mat.Vec        // matching right-hand side
+	ref     []units.Second // reference trajectory, Eq. (3)
+	free    []units.Second // free response
+	resp    []units.Second // per-unknown rollout response
+	unit    mat.Vec        // basis vector for superposition rollouts
+	cEq     *mat.Mat       // terminal constraint row
+	dEq     mat.Vec
+	gIneq   *mat.Mat       // inequality geometry, fixed per Config
+	hIneq   mat.Vec        // inequality rhs, refreshed per call
+	delta   mat.Vec        // Result.Delta backing
+	pred    []units.Second // Result.Predicted backing
+	thBuf   []units.Second // rollout response-history ring
+	cBuf    mat.Vec        // rollout allocation-history ring backing
+	cViews  []mat.Vec      // per-step views into cBuf
+	cur     mat.Vec        // rollout running allocation
 }
 
 // SetTrace implements telemetry.Traceable: each Compute records an
@@ -97,7 +130,49 @@ func New(cfg Config) (*Controller, error) {
 			return nil, fmt.Errorf("mpc: invalid bounds for input %d: [%v, %v]", i, cfg.CMin[i], cfg.CMax[i])
 		}
 	}
-	return &Controller{cfg: cfg, m: m}, nil
+
+	c := &Controller{cfg: cfg, m: m}
+	nu := cfg.M * m
+	rows := cfg.P + nu
+	if cfg.LevelPenalty > 0 {
+		rows += m
+	}
+	c.ws = mat.NewWorkspace()
+	c.g = mat.NewMat(cfg.P, nu)
+	c.a = mat.NewMat(rows, nu)
+	c.b = make(mat.Vec, rows)
+	c.ref = make([]units.Second, cfg.P)
+	c.free = make([]units.Second, cfg.P)
+	c.resp = make([]units.Second, cfg.P)
+	c.unit = make(mat.Vec, nu)
+	c.cEq = mat.NewMat(1, nu)
+	c.dEq = make(mat.Vec, 1)
+	c.delta = make(mat.Vec, m)
+	c.pred = make([]units.Second, cfg.P)
+	c.thBuf = make([]units.Second, cfg.P+cfg.Model.Na+1)
+	c.cBuf = make(mat.Vec, (cfg.P+cfg.Model.Nb)*m)
+	c.cViews = make([]mat.Vec, cfg.P+cfg.Model.Nb)
+	for i := range c.cViews {
+		c.cViews[i] = c.cBuf[i*m : (i+1)*m]
+	}
+	c.cur = make(mat.Vec, m)
+
+	// Constant pieces of the least-squares system: the sqrt(R) block
+	// (its rhs stays zero — the cost penalizes the move itself) and the
+	// level-penalty coefficient pattern.
+	for q := 0; q < nu; q++ {
+		c.a.Set(cfg.P+q, q, math.Sqrt(cfg.R[q%m]))
+	}
+	if cfg.LevelPenalty > 0 {
+		sl := math.Sqrt(cfg.LevelPenalty)
+		for i := 0; i < m; i++ {
+			for l := 0; l < cfg.M; l++ {
+				c.a.Set(cfg.P+nu+i, l*m+i, sl)
+			}
+		}
+	}
+	c.buildBounds()
+	return c, nil
 }
 
 // Setpoint returns the configured response-time target.
@@ -107,7 +182,9 @@ func (c *Controller) Setpoint() units.Second { return c.cfg.Setpoint }
 // Fig. 5).
 func (c *Controller) SetSetpoint(ts units.Second) { c.cfg.Setpoint = ts }
 
-// Result carries the control decision and diagnostics.
+// Result carries the control decision and diagnostics. Delta and
+// Predicted are views into buffers owned by the Controller, valid until
+// its next Compute call; callers that keep them longer must copy.
 type Result struct {
 	Delta     mat.Vec        // Δc(k): change to apply to each input now
 	Predicted []units.Second // predicted t(k+1..k+P) under the chosen trajectory
@@ -163,70 +240,53 @@ func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, err
 
 	// Free response and dynamic matrix by superposition: the ARX model is
 	// linear, so each unknown's effect is one forward rollout.
-	free := c.rollout(tPast, cPast, nil, bias)
-	g := mat.NewMat(cfg.P, nu)
-	unit := make(mat.Vec, nu)
+	c.rollout(tPast, cPast, nil, bias, c.free)
 	for q := 0; q < nu; q++ {
-		unit[q] = 1
-		resp := c.rollout(tPast, cPast, unit, bias)
+		c.unit[q] = 1
+		c.rollout(tPast, cPast, c.unit, bias, c.resp)
 		for i := 0; i < cfg.P; i++ {
-			g.Set(i, q, resp[i]-free[i])
+			c.g.Set(i, q, c.resp[i]-c.free[i])
 		}
-		unit[q] = 0
+		c.unit[q] = 0
 	}
 	mu.Float("bias", bias).End()
 
 	// Reference trajectory, Eq. (3).
 	tNow := tPast[0]
-	ref := make([]units.Second, cfg.P)
 	for i := 1; i <= cfg.P; i++ {
-		ref[i-1] = cfg.Setpoint - math.Exp(-float64(i)/cfg.TrefPeriods)*(cfg.Setpoint-tNow)
+		c.ref[i-1] = cfg.Setpoint - math.Exp(-float64(i)/cfg.TrefPeriods)*(cfg.Setpoint-tNow)
 	}
 
 	// Least-squares rows: sqrt(Q)·(G·Δ − (ref − free)), sqrt(R)·Δ, and
-	// optionally sqrt(LevelPenalty)·(c_final − CMin).
-	rows := cfg.P + nu
-	if cfg.LevelPenalty > 0 {
-		rows += c.m
-	}
-	a := mat.NewMat(rows, nu)
-	b := make(mat.Vec, rows)
+	// optionally sqrt(LevelPenalty)·(c_final − CMin). The sqrt(R) block
+	// and the level-penalty coefficients are constant, set in New.
 	sq := math.Sqrt(cfg.Q)
 	for i := 0; i < cfg.P; i++ {
 		for q := 0; q < nu; q++ {
-			a.Set(i, q, sq*g.At(i, q))
+			c.a.Set(i, q, sq*c.g.At(i, q))
 		}
-		b[i] = sq * (ref[i] - free[i])
-	}
-	for q := 0; q < nu; q++ {
-		a.Set(cfg.P+q, q, math.Sqrt(cfg.R[q%c.m]))
-		// b stays 0: penalize the move itself.
+		c.b[i] = sq * (c.ref[i] - c.free[i])
 	}
 	if cfg.LevelPenalty > 0 {
 		// Final allocation level: c(k+M−1)[i] = c0[i] + Σ_l Δ[l·m+i].
 		sl := math.Sqrt(cfg.LevelPenalty)
 		for i := 0; i < c.m; i++ {
-			r := cfg.P + nu + i
-			for l := 0; l < cfg.M; l++ {
-				a.Set(r, l*c.m+i, sl)
-			}
-			b[r] = sl * (cfg.CMin[i] - cPast[0][i])
+			c.b[cfg.P+nu+i] = sl * (cfg.CMin[i] - cPast[0][i])
 		}
 	}
 
 	// Terminal constraint (Eq. 4): t(k+M|k) = Ts.
-	cEq := mat.NewMat(1, nu)
 	for q := 0; q < nu; q++ {
-		cEq.Set(0, q, g.At(cfg.M-1, q))
+		c.cEq.Set(0, q, c.g.At(cfg.M-1, q))
 	}
-	dEq := mat.Vec{cfg.Setpoint - free[cfg.M-1]}
+	c.dEq[0] = cfg.Setpoint - c.free[cfg.M-1]
 
-	gIneq, hIneq := c.bounds(cPast[0])
+	c.fillBounds(cPast[0])
 
 	qp := c.trace.Start("mpc.qp").Int("unknowns", nu)
 	res := Result{}
 	fallback := false
-	x, err := mat.InequalityLS(a, b, cEq, dEq, gIneq, hIneq)
+	x, err := mat.InequalityLSW(c.ws, c.qpState(&c.qpTerm), c.a, c.b, c.cEq, c.dEq, c.gIneq, c.hIneq)
 	if err != nil {
 		// The terminal constraint can make the program infeasible under a
 		// surge (the paper assumes feasibility — Section IV-A). Relax it
@@ -234,13 +294,13 @@ func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, err
 		// reference would perversely hold the response time up.
 		res.TerminalRelaxed = true
 		for i := 0; i < cfg.P; i++ {
-			b[i] = sq * (cfg.Setpoint - free[i])
+			c.b[i] = sq * (cfg.Setpoint - c.free[i])
 		}
-		x, err = mat.InequalityLS(a, b, nil, nil, gIneq, hIneq)
+		x, err = mat.InequalityLSW(c.ws, c.qpState(&c.qpRelax), c.a, c.b, nil, nil, c.gIneq, c.hIneq)
 		if err != nil {
 			// Last resort: unconstrained solve, then clamp the first move.
 			fallback = true
-			x, err = mat.LeastSquares(a, b)
+			x, err = mat.LeastSquares(c.a, c.b)
 			if err != nil {
 				qp.Bool("relaxed", true).Bool("fallback", true).End()
 				sp.End()
@@ -251,85 +311,113 @@ func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, err
 	}
 	qp.Bool("relaxed", res.TerminalRelaxed).Bool("fallback", fallback).End()
 
-	res.Delta = mat.Vec(x[:c.m]).Clone()
-	res.Predicted = c.rollout(tPast, cPast, x, bias)
+	copy(c.delta, x[:c.m])
+	res.Delta = c.delta
+	c.rollout(tPast, cPast, x, bias, c.pred)
+	res.Predicted = c.pred
 	sp.End()
 	return res, nil
 }
 
-// rollout simulates the ARX model P periods forward, applying the
-// feedback-correction bias at every step (and feeding corrected values
-// back through the autoregression, which pins the free response to the
-// measurement when the loop is at rest). delta holds the stacked moves
-// (len M·m) or nil for the free response.
-func (c *Controller) rollout(tPast []units.Second, cPast []mat.Vec, delta mat.Vec, bias units.Second) []units.Second {
+// qpState returns st, or nil when warm starts are disabled.
+func (c *Controller) qpState(st *mat.QPState) *mat.QPState {
+	if c.cfg.DisableWarmStart {
+		return nil
+	}
+	return st
+}
+
+// rollout simulates the ARX model P periods forward into out (length P),
+// applying the feedback-correction bias at every step (and feeding
+// corrected values back through the autoregression, which pins the free
+// response to the measurement when the loop is at rest). delta holds the
+// stacked moves (len M·m) or nil for the free response.
+//
+// The trajectory rings thBuf/cViews are filled backwards from index P —
+// slot P+j holds history sample j, slot P−1−i holds step i's output —
+// so each step's most-recent-first history for Predict is a zero-copy
+// subslice instead of the old per-step prepend allocation.
+func (c *Controller) rollout(tPast []units.Second, cPast []mat.Vec, delta mat.Vec, bias units.Second, out []units.Second) {
 	cfg := c.cfg
 	model := cfg.Model
-	//lint:ignore hotalloc per-rollout history scratch; ROADMAP item 2 moves these into controller-owned buffers
-	th := append([]units.Second(nil), tPast...)
-	//lint:ignore hotalloc per-rollout history scratch; ROADMAP item 2 moves these into controller-owned buffers
-	ch := make([]mat.Vec, len(cPast))
-	for i, v := range cPast {
-		ch[i] = v.Clone()
+	th := c.thBuf
+	for j := 0; j <= model.Na; j++ {
+		th[cfg.P+j] = tPast[j]
 	}
-	cur := cPast[0].Clone()
-	//lint:ignore hotalloc per-rollout history scratch; ROADMAP item 2 moves these into controller-owned buffers
-	out := make([]units.Second, cfg.P)
+	cv := c.cViews
+	for j := 0; j < model.Nb; j++ {
+		copy(cv[cfg.P+j], cPast[j])
+	}
+	cur := c.cur
+	copy(cur, cPast[0])
 	for i := 0; i < cfg.P; i++ {
 		if delta != nil && i < cfg.M {
 			for j := 0; j < c.m; j++ {
 				cur[j] += delta[i*c.m+j]
 			}
 		}
-		//lint:ignore hotalloc sliding-window prepend allocates per step; ROADMAP item 2 replaces it with a ring buffer
-		ch = append([]mat.Vec{cur.Clone()}, ch...)
-		if len(ch) > model.Nb+1 {
-			ch = ch[:model.Nb+1]
-		}
-		t := model.Predict(th, ch) + bias
+		copy(cv[cfg.P-1-i], cur)
+		t := model.Predict(th[cfg.P-i:], cv[cfg.P-1-i:]) + bias
 		out[i] = t
-		//lint:ignore hotalloc sliding-window prepend allocates per step; ROADMAP item 2 replaces it with a ring buffer
-		th = append([]units.Second{t}, th...)
-		if len(th) > model.Na+1 {
-			th = th[:model.Na+1]
-		}
+		th[cfg.P-1-i] = t
 	}
-	return out
 }
 
-// bounds builds the inequality rows: box constraints on the absolute
-// allocations over the control horizon, plus optional per-move bounds.
-func (c *Controller) bounds(c0 mat.Vec) (*mat.Mat, mat.Vec) {
+// buildBounds lays out the inequality geometry once: box constraints on
+// the absolute allocations over the control horizon, plus optional
+// per-move bounds. Only the right-hand side depends on the current
+// allocation; fillBounds refreshes it each period. A fixed geometry is
+// also what lets the QP active set warm-start across periods — row i
+// means the same constraint every call.
+func (c *Controller) buildBounds() {
 	cfg := c.cfg
 	nu := cfg.M * c.m
-	var rows [][]float64
-	var rhs mat.Vec
+	rows := 2 * cfg.M * c.m
+	if cfg.DeltaMax > 0 {
+		rows += 2 * nu
+	}
+	c.gIneq = mat.NewMat(rows, nu)
+	c.hIneq = make(mat.Vec, rows)
+	r := 0
 	for l := 0; l < cfg.M; l++ {
 		for i := 0; i < c.m; i++ {
 			// c(k+l)[i] = c0[i] + Σ_{q<=l} Δ[q·m+i]
-			upper := make([]float64, nu)
-			lower := make([]float64, nu)
 			for q := 0; q <= l; q++ {
-				upper[q*c.m+i] = 1
-				lower[q*c.m+i] = -1
+				c.gIneq.Set(r, q*c.m+i, 1)    // upper bound row
+				c.gIneq.Set(r+1, q*c.m+i, -1) // lower bound row
 			}
-			rows = append(rows, upper)
-			rhs = append(rhs, cfg.CMax[i]-c0[i])
-			rows = append(rows, lower)
-			rhs = append(rhs, c0[i]-cfg.CMin[i])
+			r += 2
 		}
 	}
 	if cfg.DeltaMax > 0 {
 		for q := 0; q < nu; q++ {
-			up := make([]float64, nu)
-			dn := make([]float64, nu)
-			up[q] = 1
-			dn[q] = -1
-			rows = append(rows, up, dn)
-			rhs = append(rhs, cfg.DeltaMax, cfg.DeltaMax)
+			c.gIneq.Set(r, q, 1)
+			c.gIneq.Set(r+1, q, -1)
+			r += 2
 		}
 	}
-	return mat.FromRows(rows), rhs
+}
+
+// fillBounds refreshes the inequality right-hand side for the current
+// allocation c0, matching the row order laid out by buildBounds.
+func (c *Controller) fillBounds(c0 mat.Vec) {
+	cfg := c.cfg
+	r := 0
+	for l := 0; l < cfg.M; l++ {
+		for i := 0; i < c.m; i++ {
+			c.hIneq[r] = cfg.CMax[i] - c0[i]
+			c.hIneq[r+1] = c0[i] - cfg.CMin[i]
+			r += 2
+		}
+	}
+	if cfg.DeltaMax > 0 {
+		nu := cfg.M * c.m
+		for q := 0; q < nu; q++ {
+			c.hIneq[r] = cfg.DeltaMax
+			c.hIneq[r+1] = cfg.DeltaMax
+			r += 2
+		}
+	}
 }
 
 // clampFirstMove forces the first move to respect the allocation box.

@@ -89,6 +89,7 @@ func (o *IPAC) SearchStats() *packing.SearchStats { return o.MinSlack.Stats }
 func NewIPAC() *IPAC {
 	ms := packing.DefaultMinSlackConfig()
 	ms.Stats = &packing.SearchStats{}
+	ms.Pool = packing.NewPool()
 	return &IPAC{
 		Constraint: packing.VectorConstraint{CPUHeadroom: 0.1},
 		MinSlack:   ms,

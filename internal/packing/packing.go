@@ -11,7 +11,9 @@
 package packing
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"vdcpower/internal/telemetry"
@@ -121,7 +123,33 @@ type MinSlackConfig struct {
 	// pointer survives config copies, so one counter block can observe a
 	// whole consolidation pass.
 	Stats *SearchStats
+	// Pool, when non-nil, supplies reusable search buffers so repeated
+	// calls allocate nothing in steady state (ROADMAP item 2). Like
+	// Stats, the pointer survives config copies. See Pool for the
+	// result-ownership consequences.
+	Pool *Pool
 }
+
+// Pool holds the reusable buffers of Algorithm 1's search — an
+// arena for the sort/suffix/stack/best-set state that one MinimumSlack
+// call needs — so a consolidator solving one bin after another reuses
+// the same backing arrays instead of reallocating them per call.
+//
+// A Pool serves one search at a time (not safe for concurrent use),
+// and when it is set MinSlackResult.Chosen aliases pool-owned memory
+// that is only valid until the next MinimumSlack call through the same
+// pool; callers that keep it longer must copy. Without a pool the
+// result is independently allocated, as before.
+type Pool struct {
+	sorted  []Item
+	suffix  []units.Hertz
+	chosen  []Item
+	bestSet []Item
+	search  mbsSearch
+}
+
+// NewPool returns an empty pool; capacity grows on first use.
+func NewPool() *Pool { return &Pool{} }
 
 // SearchStats aggregates Algorithm 1 search effort across calls.
 // Harnesses read it via the optional SearchStats() accessor on
@@ -154,22 +182,34 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 	if cfg.MaxNodes <= 0 {
 		cfg.MaxNodes = DefaultMinSlackConfig().MaxNodes
 	}
+	pool := cfg.Pool
 	// MBS explores items in decreasing size order: large items first
 	// prunes the search fastest.
-	sorted := append([]Item(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool {
-		//lint:ignore floatcompare exact tie-break for a deterministic sort order
-		if sorted[i].CPU != sorted[j].CPU {
-			return sorted[i].CPU > sorted[j].CPU
-		}
-		return sorted[i].ID < sorted[j].ID // deterministic ties
-	})
+	var sorted []Item
+	if pool != nil {
+		sorted = append(pool.sorted[:0], candidates...)
+		pool.sorted = sorted
+	} else {
+		sorted = append([]Item(nil), candidates...)
+	}
+	slices.SortFunc(sorted, compareItems)
 	// Suffix sums of CPU demand for the can't-improve prune.
-	suffix := make([]units.Hertz, len(sorted)+1)
+	var suffix []units.Hertz
+	if pool != nil {
+		suffix = growHertz(pool.suffix, len(sorted)+1)
+		pool.suffix = suffix
+		suffix[len(sorted)] = 0
+	} else {
+		suffix = make([]units.Hertz, len(sorted)+1)
+	}
 	for i := len(sorted) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + sorted[i].CPU
 	}
-	s := &mbsSearch{
+	s := &mbsSearch{}
+	if pool != nil {
+		s = &pool.search
+	}
+	*s = mbsSearch{
 		bin:     b,
 		items:   sorted,
 		suffix:  suffix,
@@ -179,12 +219,27 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 		budget:  cfg.MaxNodes,
 		best:    b.Slack(),
 	}
+	if pool != nil {
+		s.bestSet = pool.bestSet[:0]
+	}
 	sp := cfg.Trace.Start("packing.minslack").Int("candidates", len(candidates))
 	// The chosen stack can never exceed the candidate count, so one
-	// up-front allocation serves the whole search: every append in dfs
-	// grows into this capacity.
-	s.dfs(0, b.Slack(), make([]Item, 0, len(sorted)))
-	chosen := append([]Item(nil), s.bestSet...)
+	// up-front allocation (reused from the pool when present) serves the
+	// whole search: every append in dfs grows into this capacity.
+	var stack []Item
+	if pool != nil {
+		stack = growItems(pool.chosen, len(sorted))
+		pool.chosen = stack
+	} else {
+		stack = make([]Item, 0, len(sorted))
+	}
+	s.dfs(0, b.Slack(), stack)
+	chosen := s.bestSet
+	if pool != nil {
+		pool.bestSet = s.bestSet
+	} else {
+		chosen = append([]Item(nil), s.bestSet...)
+	}
 	res := MinSlackResult{Chosen: chosen, Slack: s.best, Widened: s.widened, Nodes: s.nodes, Exhausted: s.exhausted}
 	sp.Int("nodes", res.Nodes).Float("slack", res.Slack).
 		Bool("widened", res.Widened).Bool("exhausted", res.Exhausted).End()
@@ -199,6 +254,39 @@ func MinimumSlack(b *Bin, candidates []Item, cons Constraint, cfg MinSlackConfig
 		}
 	}
 	return res
+}
+
+// compareItems orders items by decreasing CPU demand with an exact ID
+// tie-break — the deterministic MBS exploration order. The key is total
+// over unique IDs, so the sorted order is unique regardless of the sort
+// algorithm.
+func compareItems(a, b Item) int {
+	//lint:ignore floatcompare exact tie-break for a deterministic sort order
+	if a.CPU != b.CPU {
+		if a.CPU > b.CPU {
+			return -1
+		}
+		return 1
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
+// growHertz returns buf with length n, reusing its backing array when
+// the capacity suffices. Contents are unspecified.
+func growHertz(buf []units.Hertz, n int) []units.Hertz {
+	if cap(buf) < n {
+		buf = make([]units.Hertz, n)
+	}
+	return buf[:n]
+}
+
+// growItems returns an empty slice with capacity at least n, reusing
+// buf's backing array when it suffices.
+func growItems(buf []Item, n int) []Item {
+	if cap(buf) < n {
+		buf = make([]Item, 0, n)
+	}
+	return buf[:0]
 }
 
 type mbsSearch struct {

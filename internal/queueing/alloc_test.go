@@ -1,0 +1,95 @@
+package queueing
+
+// Steady-state zero-allocation gate for the queueing/mva hot path
+// (ROADMAP item 2): repeated Solver.Solve calls into a reused Result
+// must not touch the heap once the buffers fit the station count.
+// Skipped under -race.
+
+import (
+	"math"
+	"testing"
+
+	"vdcpower/internal/race"
+)
+
+func TestSolverZeroAllocSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("AllocsPerRun is meaningless under the race detector")
+	}
+	net := &Network{ThinkTime: 1.0, Demands: []float64{0.02, 0.05, 0.01}}
+	var s Solver
+	var res Result
+	if err := s.Solve(net, 80, &res); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	var cErr error
+	allocs := testing.AllocsPerRun(200, func() {
+		cErr = s.Solve(net, 80, &res)
+	})
+	if cErr != nil {
+		t.Fatal(cErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("Solver.Solve allocates %v objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestSolverMatchesSolve proves the reusable form is purely an
+// allocation strategy: across populations and station counts — including
+// shrinking the network under a warm solver — it reproduces package
+// Solve bit for bit.
+func TestSolverMatchesSolve(t *testing.T) {
+	var s Solver
+	var res Result
+	nets := []*Network{
+		{ThinkTime: 1, Demands: []float64{0.02, 0.05, 0.01}},
+		{ThinkTime: 0.5, Demands: []float64{0.1, 0.03, 0.07, 0.02, 0.04}},
+		{ThinkTime: 2, Demands: []float64{0.2}}, // shrink: stale tail must not leak
+		{ThinkTime: 0, Demands: []float64{0.05, 0.05}},
+	}
+	for _, net := range nets {
+		for _, n := range []int{0, 1, 7, 64} {
+			want, err := Solve(net, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Solve(net, n, &res); err != nil {
+				t.Fatal(err)
+			}
+			//lint:ignore floatcompare the reusable solver must be bitwise identical to Solve
+			if res.Throughput != want.Throughput || res.ResponseTime != want.ResponseTime {
+				t.Fatalf("k=%d n=%d: got X=%v R=%v, want X=%v R=%v",
+					len(net.Demands), n, res.Throughput, res.ResponseTime, want.Throughput, want.ResponseTime)
+			}
+			if len(res.StationResp) != len(want.StationResp) {
+				t.Fatalf("k=%d n=%d: station slice length %d, want %d",
+					len(net.Demands), n, len(res.StationResp), len(want.StationResp))
+			}
+			for i := range want.StationResp {
+				//lint:ignore floatcompare the reusable solver must be bitwise identical to Solve
+				if res.StationResp[i] != want.StationResp[i] ||
+					res.QueueLen[i] != want.QueueLen[i] ||
+					res.Utilization[i] != want.Utilization[i] {
+					t.Fatalf("k=%d n=%d station %d: reused (%v,%v,%v), fresh (%v,%v,%v)",
+						len(net.Demands), n, i,
+						res.StationResp[i], res.QueueLen[i], res.Utilization[i],
+						want.StationResp[i], want.QueueLen[i], want.Utilization[i])
+				}
+			}
+		}
+	}
+	// A validation failure must not corrupt the next solve.
+	bad := &Network{ThinkTime: 1, Demands: []float64{math.NaN()}}
+	if err := s.Solve(bad, 5, &res); err == nil {
+		t.Fatal("expected validation error")
+	}
+	good := nets[0]
+	want, _ := Solve(good, 9)
+	if err := s.Solve(good, 9, &res); err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore floatcompare reuse after a failed call must be bitwise identical
+	if res.Throughput != want.Throughput {
+		t.Fatalf("after failed call: X=%v, want %v", res.Throughput, want.Throughput)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build race
+
+package race
+
+// Enabled is true when the race detector is active.
+const Enabled = true
