@@ -72,6 +72,8 @@ func BenchmarkFig6TelemetryOff(b *testing.B) { benchScenario(b, "fig6/telemetry-
 
 func BenchmarkFig6TelemetryOn(b *testing.B) { benchScenario(b, "fig6/telemetry-on") }
 
+func BenchmarkFig6ObsOn(b *testing.B) { benchScenario(b, "fig6/obs-on") }
+
 func BenchmarkChaos(b *testing.B) { benchScenario(b, "fig6/chaos") }
 
 func BenchmarkAblationDVFS(b *testing.B) { benchScenario(b, "ablation/dvfs") }

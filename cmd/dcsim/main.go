@@ -26,6 +26,7 @@ import (
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/dcsim"
 	"vdcpower/internal/fault"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/report"
 	"vdcpower/internal/telemetry"
@@ -50,8 +51,23 @@ func main() {
 		checkRun  = flag.Bool("check", false, "run a Fig. 6 subset with every runtime invariant enabled and report violations")
 		faultsP   = flag.String("faults", "", "fault-injection profile JSON (see internal/fault); every run gets its own deterministic injector")
 		reportP   = flag.String("report", "", "with -check: also write a machine-readable JSON verification report to this file")
+		obsOut    = flag.String("obs", "", "write a controller-health scorecard (schema vdcobs/v1) aggregated across all runs as JSON to this file")
 	)
 	flag.Parse()
+
+	// The aggregate scorecard, when requested. Every run observes into
+	// its own per-run scorecard with the same SLO geometry; the runs
+	// merge here in fixed order, so the document is deterministic for a
+	// fixed seed regardless of worker scheduling.
+	var scorecard *obs.Scorecard
+	if *obsOut != "" {
+		scorecard = obs.New(obs.Config{
+			Label:      "dcsim",
+			SLOBudget:  0.05, // 5% of steps may see an active-server overload
+			FastWindow: 8,    // 2 simulated hours at 4 steps/hour
+			SlowWindow: 64,   // 16 simulated hours
+		})
+	}
 
 	var prof *fault.Profile
 	if *faultsP != "" {
@@ -110,10 +126,13 @@ func main() {
 	}
 
 	if *checkRun {
-		if err := runChecked(tr, sizes, tracer, prof, *reportP); err != nil {
+		if err := runChecked(tr, sizes, tracer, prof, *reportP, scorecard); err != nil {
 			log.Fatal(err)
 		}
 		if err := writeTrace(tracer, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+		if err := writeScorecard(scorecard, *obsOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -123,6 +142,7 @@ func main() {
 		t := report.New("per-step series (IPAC)", "step", "hour", "power_W", "active_servers", "demand_GHz")
 		cfg := dcsim.DefaultConfig(tr, *series, optimizer.NewIPAC())
 		cfg.Telemetry = tracer.Track("main")
+		cfg.Obs = scorecard
 		if prof != nil {
 			cfg.Faults = fault.New(*prof)
 		}
@@ -154,6 +174,9 @@ func main() {
 		if err := writeTrace(tracer, *traceOut); err != nil {
 			log.Fatal(err)
 		}
+		if err := writeScorecard(scorecard, *obsOut); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -172,11 +195,14 @@ func main() {
 		names = append(names, mk().Name())
 	}
 
-	points, err := dcsim.Fig6Sweep(tr, sizes, policies, dcsim.SweepOptions{Workers: *workers, Tracer: tracer, FaultProfile: prof})
+	points, err := dcsim.Fig6Sweep(tr, sizes, policies, dcsim.SweepOptions{Workers: *workers, Tracer: tracer, FaultProfile: prof, Obs: scorecard})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := writeTrace(tracer, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeScorecard(scorecard, *obsOut); err != nil {
 		log.Fatal(err)
 	}
 
@@ -234,7 +260,7 @@ type checkRunReport struct {
 // chaos verification is reproducible run by run. Any violation is a fatal
 // error; reportPath, when nonempty, additionally receives the JSON
 // verdict.
-func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof *fault.Profile, reportPath string) error {
+func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof *fault.Profile, reportPath string, scorecard *obs.Scorecard) error {
 	type checkedPolicy struct {
 		name string
 		mk   func() (optimizer.Consolidator, *check.PolicyAuditor)
@@ -267,9 +293,19 @@ func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof 
 			// One track per run: tracks are sequential execution units,
 			// and the checked sweep runs serially.
 			cfg.Telemetry = tracer.Track(fmt.Sprintf("%s-%d", pol.name, n))
+			if scorecard != nil {
+				jc := scorecard.Config()
+				jc.Label = fmt.Sprintf("%s/%d", pol.name, n)
+				cfg.Obs = obs.New(jc)
+			}
 			res, err := dcsim.Run(cfg)
 			if err != nil && checker.NumViolations() == 0 {
 				return err
+			}
+			if scorecard != nil {
+				if err := scorecard.Merge(cfg.Obs); err != nil {
+					return fmt.Errorf("merging %s/%d scorecard: %w", pol.name, n, err)
+				}
 			}
 			status := "ok"
 			if checker.NumViolations() > 0 {
@@ -323,6 +359,30 @@ func writeReport(doc checkReport, path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote verification report to %s\n", path)
+	return nil
+}
+
+// writeScorecard dumps the aggregated controller-health scorecard as
+// indented JSON; a nil scorecard (-obs not given) writes nothing.
+func writeScorecard(sc *obs.Scorecard, path string) error {
+	if sc == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteJSON(f); err != nil {
+		//lint:ignore errcheck the write error is already being returned
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rep := sc.Report()
+	fmt.Fprintf(os.Stderr, "wrote controller-health scorecard to %s (SLO %s, %d/%d bad steps)\n",
+		path, rep.SLO.Verdict, rep.SLO.Bad, rep.SLO.Good+rep.SLO.Bad)
 	return nil
 }
 

@@ -61,8 +61,8 @@ func TestRegistryMatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 4 {
-		t.Errorf("fig6/.* matched %d scenarios, want 4", len(figs))
+	if len(figs) != 5 {
+		t.Errorf("fig6/.* matched %d scenarios, want 5", len(figs))
 	}
 	for _, sc := range figs {
 		if !strings.HasPrefix(sc.Name, "fig6/") {

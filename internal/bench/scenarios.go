@@ -10,6 +10,7 @@ import (
 	"vdcpower/internal/lint"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/mpc"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/queueing"
@@ -64,6 +65,12 @@ func Default() *Registry {
 		Doc:     "the same run with a span track recording every pass",
 		Prepare: prepareTrace,
 		Run:     runTelemetryOn,
+	})
+	r.mustRegister(&Scenario{
+		Name:    "fig6/obs-on",
+		Doc:     "the same run with a controller-health scorecard observing every step",
+		Prepare: prepareTrace,
+		Run:     runObsOn,
 	})
 	r.mustRegister(&Scenario{
 		Name:    "fig6/chaos",
@@ -215,9 +222,9 @@ func runFig6(e *Env) (Metrics, error) {
 	return Metrics{"saving-pct": 100 * saving / float64(len(points))}, nil
 }
 
-// fig6Run is the single-run unit shared by the telemetry pair and the
-// chaos scenario.
-func fig6Run(e *Env, tk *telemetry.Track, inj *fault.Injector) (dcsim.Result, dcsim.Config, error) {
+// fig6Run is the single-run unit shared by the telemetry pair, the
+// chaos scenario, and the scorecard-overhead scenario.
+func fig6Run(e *Env, tk *telemetry.Track, inj *fault.Injector, sc *obs.Scorecard) (dcsim.Result, dcsim.Config, error) {
 	tr, err := e.Trace()
 	if err != nil {
 		return dcsim.Result{}, dcsim.Config{}, err
@@ -225,12 +232,13 @@ func fig6Run(e *Env, tk *telemetry.Track, inj *fault.Injector) (dcsim.Result, dc
 	cfg := dcsim.DefaultConfig(tr, e.DCVMs(), optimizer.NewIPAC())
 	cfg.Telemetry = tk
 	cfg.Faults = inj
+	cfg.Obs = sc
 	res, err := dcsim.Run(cfg)
 	return res, cfg, err
 }
 
 func runTelemetryOff(e *Env) (Metrics, error) {
-	res, cfg, err := fig6Run(e, nil, nil)
+	res, cfg, err := fig6Run(e, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +250,7 @@ func runTelemetryOff(e *Env) (Metrics, error) {
 
 func runTelemetryOn(e *Env) (Metrics, error) {
 	tracer := telemetry.New(nil, 0)
-	res, cfg, err := fig6Run(e, tracer.Track("main"), nil)
+	res, cfg, err := fig6Run(e, tracer.Track("main"), nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -254,8 +262,28 @@ func runTelemetryOn(e *Env) (Metrics, error) {
 	}, nil
 }
 
+// runObsOn is the scorecard half of the observability-overhead pair:
+// fig6/telemetry-off is the baseline, this run additionally streams
+// every step's SLO event, power sample, and optimizer tally into a
+// scorecard. The perf gate holding this scenario "unchanged" vs the
+// baseline is the acceptance bound on observation cost.
+func runObsOn(e *Env) (Metrics, error) {
+	sc := obs.New(obs.Config{Label: "bench", SLOBudget: 0.05, FastWindow: 8, SlowWindow: 64})
+	res, cfg, err := fig6Run(e, nil, nil, sc)
+	if err != nil {
+		return nil, err
+	}
+	rep := sc.Report()
+	return Metrics{
+		"energy-per-vm-wh": res.EnergyPerVMWh,
+		"optimizer-passes": float64(res.Steps / cfg.OptimizeEverySteps),
+		"slo-bad-steps":    float64(rep.SLO.Bad),
+		"audit-records":    float64(len(rep.Audit.Records)),
+	}, nil
+}
+
 func runChaos(e *Env) (Metrics, error) {
-	res, _, err := fig6Run(e, nil, fault.New(e.ChaosProfile()))
+	res, _, err := fig6Run(e, nil, fault.New(e.ChaosProfile()), nil)
 	if err != nil {
 		return nil, err
 	}

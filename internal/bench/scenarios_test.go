@@ -16,6 +16,7 @@ var wantMetrics = map[string][]string{
 	"fig6/energy-per-vm":      {"saving-pct"},
 	"fig6/telemetry-off":      {"energy-per-vm-wh", "optimizer-passes"},
 	"fig6/telemetry-on":       {"energy-per-vm-wh", "optimizer-passes", "spans", "spans-dropped"},
+	"fig6/obs-on":             {"audit-records", "energy-per-vm-wh", "optimizer-passes", "slo-bad-steps"},
 	"fig6/chaos":              {"crashes", "degraded-passes", "energy-per-vm-wh", "failed-moves", "faults-injected"},
 	"ablation/dvfs":           {"dvfs-saving-pct"},
 	"ablation/watchdog":       {"overload-steps-avoided", "watchdog-moves"},

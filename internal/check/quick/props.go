@@ -65,6 +65,18 @@ func Properties() []Property {
 		{"queueing/solver-reuse-exact", func(s int64) error {
 			return mvaSolverReuseExact((*queueing.Solver).Solve, s)
 		}, 20},
+		{"obs/sketch-merge-commutative", func(s int64) error {
+			return sketchMergeCommutative(realSketchMerge, s)
+		}, 20},
+		{"obs/sketch-merge-associative", func(s int64) error {
+			return sketchMergeAssociative(realSketchMerge, s)
+		}, 20},
+		{"obs/sketch-merge-vs-single-stream", func(s int64) error {
+			return sketchMergeVsSingleStream(realSketchObserve, realSketchMerge, s)
+		}, 20},
+		{"obs/scorecard-deterministic", func(s int64) error {
+			return scorecardDeterministic(realScorecardBuild, s)
+		}, 10},
 	}
 }
 

@@ -123,6 +123,12 @@ type ResponseTimeController struct {
 	heldStreak int              // consecutive periods without a valid measurement
 	trace      *telemetry.Track // set via SetTrace; nil keeps tracing off
 	faults     *fault.Injector  // set via SetFaults; nil keeps injection off
+
+	// One-step-ahead prediction bookkeeping for the health scorecard:
+	// the previous period's Predicted[0] is compared against the next
+	// valid measurement to form the MPC prediction residual.
+	lastPred      units.Second
+	lastPredValid bool
 }
 
 // SetFaults implements fault.Injectable: measurements pass through the
@@ -167,6 +173,11 @@ type StepResult struct {
 	OpenLoop        bool          // hold window exhausted: last-good allocation frozen
 	Allocations     []units.Hertz // allocations applied for the next period
 	TerminalRelaxed bool          // MPC had to relax the terminal constraint
+	// Residual is the MPC one-step prediction residual t(k) − t̂(k|k−1),
+	// valid only when HasResidual: both a fresh valid measurement and a
+	// previous period's prediction must exist.
+	Residual    units.Second
+	HasResidual bool
 }
 
 // NewResponseTimeController validates the configuration and attaches the
@@ -253,6 +264,10 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 		} else {
 			c.lastT = t
 			valid = true
+			if c.lastPredValid {
+				res.Residual = t - c.lastPred
+				res.HasResidual = true
+			}
 		}
 	}
 	if valid {
@@ -278,6 +293,9 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 		// converged MPC allocation tracks demand, so this is the
 		// demand-proportional fallback) until a valid measurement returns.
 		res.OpenLoop = true
+		// No solve this period: the stored prediction no longer describes
+		// the next measurement.
+		c.lastPredValid = false
 		next := c.pushAllocSlot()
 		for i := range next {
 			c.app.SetAllocation(i, next[i])
@@ -290,10 +308,13 @@ func (c *ResponseTimeController) Step() (StepResult, error) {
 
 	out, err := c.ctl.Compute(c.tHist, c.cHist)
 	if err != nil {
+		c.lastPredValid = false
 		period.End()
 		return res, fmt.Errorf("core: control step failed: %w", err)
 	}
 	res.TerminalRelaxed = out.TerminalRelaxed
+	c.lastPred = out.Predicted[0]
+	c.lastPredValid = true
 
 	// Damp the move while closing the loop on a held measurement: stale
 	// feedback earns proportionally less authority.
@@ -339,6 +360,11 @@ func (c *ResponseTimeController) pushAllocSlot() mat.Vec {
 
 // Steps returns the number of control periods executed.
 func (c *ResponseTimeController) Steps() int { return c.steps }
+
+// SolveStats returns the inner MPC controller's cumulative solve
+// tallies (QP warm-start hit rate, relaxations, fallbacks) for the
+// health scorecard.
+func (c *ResponseTimeController) SolveStats() mpc.SolveStats { return c.ctl.Stats() }
 
 // Arbitrator is the server-level CPU resource arbitrator: it collects the
 // CPU demands of the VMs hosted on one server, grants allocations

@@ -16,6 +16,7 @@ import (
 	"vdcpower/internal/cluster"
 	"vdcpower/internal/core"
 	"vdcpower/internal/fault"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/power"
@@ -109,6 +110,15 @@ type Config struct {
 	// (VMs evacuated or lost per the profile's policy). Same-seed fault
 	// runs are bit-reproducible. Nil disables injection at ~zero cost.
 	Faults *fault.Injector
+
+	// Obs, when non-nil, receives the run's controller-health scorecard
+	// observations: one SLO event per step (good = no active server
+	// overloaded), per-step power, optimizer/watchdog pass tallies with
+	// B&B node and widening deltas, crash records, and per-server on/off
+	// decisions in the audit ring. Everything recorded is derived from
+	// simulation state only, so same-seed runs score identically. Nil
+	// disables at ~zero cost.
+	Obs *obs.Scorecard
 }
 
 // DefaultConfig mirrors Section VI-B for the given trace slice size.
@@ -314,6 +324,12 @@ func Run(cfg Config) (Result, error) {
 	}()
 	var meter power.Meter
 	activeSum := 0.0
+	// Audit scratch for per-server on/off diffs around optimizer passes
+	// (allocated once; unused without a scorecard).
+	var prevActive []bool
+	if cfg.Obs != nil {
+		prevActive = make([]bool, len(dc.Servers))
+	}
 	// finish fills the aggregate fields from whatever the run accumulated,
 	// so error paths return a usable partial Result alongside the error
 	// (stepsDone counts fully accounted steps).
@@ -347,7 +363,10 @@ func Run(cfg Config) (Result, error) {
 				overloaded = check.CountOverloaded(dc)
 			}
 			csp := tk.Start("dcsim.consolidate").Int("step", k)
-			nodesBefore := searchNodes(cfg.Consolidator)
+			nodesBefore, widsBefore := searchNodes(cfg.Consolidator)
+			if cfg.Obs != nil {
+				snapshotActive(dc, prevActive)
+			}
 			rep, err := cfg.Consolidator.Consolidate(dc)
 			csp.Int("migrations", rep.Migrations).Int("vetoed", rep.Vetoed).End()
 			if err != nil {
@@ -368,7 +387,14 @@ func Run(cfg Config) (Result, error) {
 			mPasses.Inc()
 			mMigrations.Add(float64(rep.Migrations))
 			mVetoed.Add(float64(rep.Vetoed))
-			mNodes.Add(float64(searchNodes(cfg.Consolidator) - nodesBefore))
+			nodesAfter, widsAfter := searchNodes(cfg.Consolidator)
+			mNodes.Add(float64(nodesAfter - nodesBefore))
+			if cfg.Obs != nil {
+				cfg.Obs.AddOptimizerPass(rep.Migrations, rep.Vetoed, rep.FailedMoves, rep.Unresolved, fault.IsInjected(err))
+				cfg.Obs.AddSearch(nodesAfter-nodesBefore, widsAfter-widsBefore)
+				auditServerDiffs(cfg.Obs, dc, prevActive, k, float64(k)*tr.StepSeconds,
+					cfg.Consolidator.Name(), "dcsim.consolidate")
+			}
 			if cfg.Checker != nil {
 				cfg.Checker.Observe(check.Event{
 					Kind:             check.EvConsolidate,
@@ -383,6 +409,9 @@ func Run(cfg Config) (Result, error) {
 			wCfg := packing.DefaultMinSlackConfig()
 			wCfg.Trace = tk
 			wsp := tk.Start("dcsim.watchdog").Int("step", k)
+			if cfg.Obs != nil {
+				snapshotActive(dc, prevActive)
+			}
 			rep, err := optimizer.ResolveOverloadsWithFaults(dc, packing.VectorConstraint{CPUHeadroom: cfg.Headroom}, wCfg, cfg.Faults)
 			wsp.Int("migrations", rep.Migrations).End()
 			if err != nil {
@@ -399,6 +428,11 @@ func Run(cfg Config) (Result, error) {
 			res.FailedMoves += rep.FailedMoves
 			mWatchdog.Inc()
 			mMigrations.Add(float64(rep.Migrations))
+			if cfg.Obs != nil {
+				cfg.Obs.AddWatchdogPass(rep.Migrations, rep.FailedMoves, rep.Unresolved, fault.IsInjected(err))
+				auditServerDiffs(cfg.Obs, dc, prevActive, k, float64(k)*tr.StepSeconds,
+					"watchdog", "dcsim.watchdog")
+			}
 			if cfg.Checker != nil {
 				cfg.Checker.Observe(check.Event{
 					Kind:   check.EvWatchdog,
@@ -420,6 +454,7 @@ func Run(cfg Config) (Result, error) {
 			dvfs = tk.Start("arbitrate.dvfs").Int("step", k)
 		}
 		stepPower := 0.0
+		overloadsBefore := res.OverloadSteps
 		for _, s := range dc.Servers {
 			if s.State() == cluster.Failed {
 				// Crashed servers draw nothing, not even sleep power.
@@ -454,6 +489,13 @@ func Run(cfg Config) (Result, error) {
 		nActive := dc.NumActive()
 		gPower.Set(stepPower)
 		gActive.Set(float64(nActive))
+		if cfg.Obs != nil {
+			cfg.Obs.ObserveStep()
+			// The paper's performance objective at data-center scale: no
+			// active server's demand exceeds its capacity this step.
+			cfg.Obs.ObserveSLO(res.OverloadSteps == overloadsBefore)
+			cfg.Obs.ObservePower(stepPower)
+		}
 		meter.Accumulate(stepPower, tr.StepSeconds)
 		if cfg.Checker != nil {
 			cfg.Checker.Observe(check.Event{
@@ -491,15 +533,45 @@ func Run(cfg Config) (Result, error) {
 }
 
 // searchNodes reads a consolidator's accumulated branch-and-bound node
-// count through the optional SearchStats accessor (IPAC wires one; other
-// policies report 0). Harnesses publish deltas per pass.
-func searchNodes(c optimizer.Consolidator) int {
+// and widening counts through the optional SearchStats accessor (IPAC
+// wires one; other policies report 0). Harnesses publish deltas per pass.
+func searchNodes(c optimizer.Consolidator) (nodes, widenings int) {
 	if s, ok := c.(interface{ SearchStats() *packing.SearchStats }); ok {
 		if st := s.SearchStats(); st != nil {
-			return st.Nodes
+			return st.Nodes, st.Widenings
 		}
 	}
-	return 0
+	return 0, 0
+}
+
+// snapshotActive records which servers are active into dst (len must
+// match dc.Servers) — the "before" side of an audit diff.
+func snapshotActive(dc *cluster.DataCenter, dst []bool) {
+	for i, s := range dc.Servers {
+		dst[i] = s.State() == cluster.Active
+	}
+}
+
+// auditServerDiffs records one audit decision per server whose active
+// state changed since prev was snapshotted — the "PAC turned server k
+// off because…" records of the scorecard's decision ring.
+func auditServerDiffs(sc *obs.Scorecard, dc *cluster.DataCenter, prev []bool, step int, timeSec float64, component, span string) {
+	ring := sc.Audit()
+	for i, s := range dc.Servers {
+		now := s.State() == cluster.Active
+		if now == prev[i] {
+			continue
+		}
+		action, reason := "server-off", "its load was packed onto fewer servers"
+		if now {
+			action, reason = "server-on", "woken to host re-placed load"
+		}
+		ring.Record(obs.Decision{
+			Step: step, TimeSec: timeSec,
+			Component: component, Action: action, Target: s.ID,
+			Reason: reason, Span: span,
+		})
+	}
 }
 
 // initialPlacement first-fit-decreasing places the VMs using the given
@@ -565,14 +637,25 @@ func applyCrashes(dc *cluster.DataCenter, cfg Config, k int, res *Result) {
 		orphans := dc.Crash(srv)
 		res.Crashes++
 		var lost []string
+		reason := "crashed by the fault plane; its VMs were evacuated"
 		if cr.Policy == fault.Lose {
 			res.VMsLost += len(orphans)
 			for _, v := range orphans {
 				lost = append(lost, v.ID)
 			}
+			reason = "crashed by the fault plane; its VMs were lost"
 		} else {
 			res.VMsEvacuated += len(orphans)
 			evacuate(dc, orphans)
+		}
+		if cfg.Obs != nil {
+			evac := len(orphans) - len(lost)
+			cfg.Obs.RecordCrash(evac, len(lost))
+			cfg.Obs.Audit().Record(obs.Decision{
+				Step: k, TimeSec: float64(k) * cfg.Trace.StepSeconds,
+				Component: "fault-plane", Action: "server-crash", Target: srv.ID,
+				Reason: reason, Value: float64(len(orphans)),
+			})
 		}
 		if cfg.Checker != nil {
 			cfg.Checker.Observe(check.Event{Kind: check.EvCrash, Step: k, DC: dc, LostVMs: lost})

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"vdcpower/internal/fault"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/workload"
@@ -31,6 +32,13 @@ type SweepOptions struct {
 	// stuck sensors, attempt counters), so runs stay isolated and each
 	// remains individually reproducible.
 	FaultProfile *fault.Profile
+	// Obs, when non-nil, aggregates every run's health scorecard: each
+	// job observes into its own fresh scorecard (built from Obs.Config(),
+	// so the SLO geometry matches) and the per-job scorecards are merged
+	// into Obs in deterministic job order after the sweep completes —
+	// scheduling cannot perturb the merged result because Merge is
+	// commutative and the fold order is fixed anyway.
+	Obs *obs.Scorecard
 }
 
 // Fig6Parallel computes the same sweep as Fig6 but fans the independent
@@ -57,6 +65,7 @@ func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.C
 		job
 		name  string
 		perVM float64
+		sc    *obs.Scorecard
 		err   error
 	}
 	jobs := make(chan job)
@@ -76,10 +85,15 @@ func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.C
 				if opt.FaultProfile != nil {
 					cfg.Faults = fault.New(*opt.FaultProfile)
 				}
+				if opt.Obs != nil {
+					jc := opt.Obs.Config()
+					jc.Label = fmt.Sprintf("%s/%d", cons.Name(), sizes[j.sizeIdx])
+					cfg.Obs = obs.New(jc)
+				}
 				sp := tk.Start("dcsim.job").Int("vms", sizes[j.sizeIdx]).Str("policy", cons.Name())
 				res, err := Run(cfg)
 				sp.Float("per_vm_wh", res.EnergyPerVMWh).Bool("failed", err != nil).End()
-				results <- outcome{job: j, name: cons.Name(), perVM: res.EnergyPerVMWh, err: err}
+				results <- outcome{job: j, name: cons.Name(), perVM: res.EnergyPerVMWh, sc: cfg.Obs, err: err}
 			}
 		}()
 	}
@@ -99,6 +113,7 @@ func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.C
 		points[i] = Fig6Point{NumVMs: n, PerVMWh: map[string]float64{}}
 	}
 	var firstErr error
+	cards := make([]*obs.Scorecard, len(sizes)*len(policies))
 	for out := range results {
 		if out.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("dcsim: size %d policy %d: %w", sizes[out.sizeIdx], out.polIdx, out.err)
@@ -106,10 +121,24 @@ func Fig6Sweep(trace *workload.Trace, sizes []int, policies []func() optimizer.C
 		}
 		if out.err == nil {
 			points[out.sizeIdx].PerVMWh[out.name] = out.perVM
+			cards[out.sizeIdx*len(policies)+out.polIdx] = out.sc
 		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	// Fold the per-job scorecards in fixed job order so the aggregate —
+	// including the audit ring's record sequence — is independent of
+	// which worker finished first.
+	if opt.Obs != nil {
+		for _, sc := range cards {
+			if sc == nil {
+				continue
+			}
+			if err := opt.Obs.Merge(sc); err != nil {
+				return nil, fmt.Errorf("dcsim: merging sweep scorecards: %w", err)
+			}
+		}
 	}
 	return points, nil
 }

@@ -18,6 +18,7 @@ var instrumentedPackages = []string{
 	"internal/serve",
 	"internal/telemetry",
 	"internal/bench",
+	"internal/obs",
 }
 
 // TelemetryAnalyzer forbids direct wall-clock reads in instrumented
@@ -30,7 +31,7 @@ func TelemetryAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "telemetry",
 		Doc: "forbid direct time.Now/Since/Until in telemetry-instrumented packages " +
-			"(core, mpc, cluster, serve, telemetry, bench); timestamps must come from the " +
+			"(core, mpc, cluster, serve, telemetry, bench, obs); timestamps must come from the " +
 			"injected telemetry clock — telemetry.WallClock at edges, the simulator " +
 			"clock or Track.SetTime elsewhere — so spans share one time base; a " +
 			"package's registered wall-clock edge file (bench: sampler.go) is exempt",

@@ -19,13 +19,37 @@ type QPState struct {
 	active []bool
 	n      int // inequality count the seed was recorded for
 	seeded bool
+
+	// Solve-quality tallies (ints only — they never touch the floating
+	// point path, so warm/cold bitwise equivalence is unaffected).
+	solves       int // InequalityLSW calls that reached the active-set loop
+	warmAttempts int // solves that started from a previous active set
+	coldRetries  int // warm attempts that failed and were retried cold
 }
 
 // Reset discards the stored active set; the next solve starts cold.
+// The solve tallies survive — they describe the state's lifetime.
 func (s *QPState) Reset() { s.seeded = false }
 
 // Warm reports whether the state holds a usable previous active set.
 func (s *QPState) Warm() bool { return s != nil && s.seeded }
+
+// QPStats summarizes a QPState's solve history. The warm-start hit rate
+// is (WarmAttempts − ColdRetries) / Solves.
+type QPStats struct {
+	Solves       int
+	WarmAttempts int
+	ColdRetries  int
+}
+
+// Stats returns the accumulated solve tallies (zero for a nil state —
+// e.g. when warm starting is disabled).
+func (s *QPState) Stats() QPStats {
+	if s == nil {
+		return QPStats{}
+	}
+	return QPStats{Solves: s.solves, WarmAttempts: s.warmAttempts, ColdRetries: s.coldRetries}
+}
 
 // InequalityLS minimizes ||A·x − b||₂ subject to C·x = d and G·x ≤ h
 // using a primal active-set method. The equality constraints stay active
@@ -75,6 +99,10 @@ func InequalityLSW(w *Workspace, st *QPState, a *Mat, b Vec, c *Mat, d Vec, g *M
 		if !warm {
 			clear(active)
 		}
+		st.solves++
+		if warm {
+			st.warmAttempts++
+		}
 	} else {
 		active = make([]bool, g.Rows)
 	}
@@ -83,6 +111,7 @@ func InequalityLSW(w *Workspace, st *QPState, a *Mat, b Vec, c *Mat, d Vec, g *M
 		// The previous period's active set can be inconsistent with the
 		// new program (e.g. a surge changed which bounds bind); start
 		// over from the empty working set before giving up.
+		st.coldRetries++
 		clear(active)
 		x, err = ineqActiveSet(w, a, b, c, d, g, h, active)
 	}

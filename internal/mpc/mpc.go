@@ -87,6 +87,11 @@ type Controller struct {
 	cBuf    mat.Vec        // rollout allocation-history ring backing
 	cViews  []mat.Vec      // per-step views into cBuf
 	cur     mat.Vec        // rollout running allocation
+
+	// Solve-quality tallies for the health scorecard (ints only, no
+	// effect on the floating-point path).
+	relaxations int // Computes that dropped the terminal constraint
+	fallbacks   int // Computes that fell back to the clamped LS solve
 }
 
 // SetTrace implements telemetry.Traceable: each Compute records an
@@ -293,6 +298,7 @@ func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, err
 		// and chase the set point directly: tracking the slow exponential
 		// reference would perversely hold the response time up.
 		res.TerminalRelaxed = true
+		c.relaxations++
 		for i := 0; i < cfg.P; i++ {
 			c.b[i] = sq * (cfg.Setpoint - c.free[i])
 		}
@@ -300,6 +306,7 @@ func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, err
 		if err != nil {
 			// Last resort: unconstrained solve, then clamp the first move.
 			fallback = true
+			c.fallbacks++
 			x, err = mat.LeastSquares(c.a, c.b)
 			if err != nil {
 				qp.Bool("relaxed", true).Bool("fallback", true).End()
@@ -317,6 +324,39 @@ func (c *Controller) Compute(tPast []units.Second, cPast []mat.Vec) (Result, err
 	res.Predicted = c.pred
 	sp.End()
 	return res, nil
+}
+
+// SolveStats summarizes a controller's QP solve history for the health
+// scorecard: the warm-start tallies of both programs (terminal and
+// relaxed) plus the relaxation and fallback counts. With warm starts
+// disabled the QP tallies stay zero (the states are bypassed).
+type SolveStats struct {
+	Solves       int // QP solves attempted (both programs)
+	WarmAttempts int // solves started from a previous active set
+	ColdRetries  int // warm attempts that failed and were retried cold
+	Relaxations  int // Computes that dropped the terminal constraint
+	Fallbacks    int // Computes that fell back to the clamped LS solve
+}
+
+// Add folds o into s (for summing stats across controllers).
+func (s *SolveStats) Add(o SolveStats) {
+	s.Solves += o.Solves
+	s.WarmAttempts += o.WarmAttempts
+	s.ColdRetries += o.ColdRetries
+	s.Relaxations += o.Relaxations
+	s.Fallbacks += o.Fallbacks
+}
+
+// Stats returns the controller's cumulative solve tallies.
+func (c *Controller) Stats() SolveStats {
+	term, relax := c.qpTerm.Stats(), c.qpRelax.Stats()
+	return SolveStats{
+		Solves:       term.Solves + relax.Solves,
+		WarmAttempts: term.WarmAttempts + relax.WarmAttempts,
+		ColdRetries:  term.ColdRetries + relax.ColdRetries,
+		Relaxations:  c.relaxations,
+		Fallbacks:    c.fallbacks,
+	}
 }
 
 // qpState returns st, or nil when warm starts are disabled.

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+
+	"vdcpower/internal/race"
+)
+
+// requireZeroAllocs runs fn through testing.AllocsPerRun after a short
+// warm-up and fails if steady-state observation touches the heap — the
+// PR 7 hot-path discipline applied to the obs layer.
+func requireZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation gate not meaningful under -race")
+	}
+	for i := 0; i < 5; i++ {
+		fn()
+	}
+	if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+func TestSketchObserveZeroAlloc(t *testing.T) {
+	s := NewSketch()
+	v := 0.001
+	requireZeroAllocs(t, "Sketch.Observe", func() {
+		s.Observe(v)
+		v *= 1.0001
+	})
+}
+
+func TestSketchMergeZeroAlloc(t *testing.T) {
+	dst, src := NewSketch(), NewSketch()
+	for i := 0; i < 100; i++ {
+		src.Observe(float64(i + 1))
+	}
+	requireZeroAllocs(t, "Sketch.Merge", func() { dst.Merge(src) })
+}
+
+func TestSLOObserveZeroAlloc(t *testing.T) {
+	s := newSLO(1, 0.1, 12, 96)
+	i := 0
+	requireZeroAllocs(t, "SLO.Observe", func() {
+		s.Observe(i%7 != 0)
+		i++
+	})
+}
+
+func TestAuditRecordZeroAlloc(t *testing.T) {
+	a := newAudit(16)
+	// Fill the ring first: steady state is slot reuse, not append growth.
+	for i := 0; i < 16; i++ {
+		a.Record(Decision{Component: "x", Action: "y", Reason: "z"})
+	}
+	d := Decision{Step: 1, Component: "pac", Action: "server-off", Reason: "packed"}
+	requireZeroAllocs(t, "Audit.Record", func() { a.Record(d) })
+}
+
+func TestScorecardHotPathsZeroAlloc(t *testing.T) {
+	s := New(Config{})
+	app := s.RegisterApp("app", 1.0)
+	i := 0
+	requireZeroAllocs(t, "Scorecard hot updates", func() {
+		s.ObserveStep()
+		s.ObserveResponse(app, 0.5+0.001*float64(i%100))
+		s.ObserveSLO(i%11 != 0)
+		s.ObservePower(900 + float64(i%13))
+		s.RecordControl(i%9 == 0, false, false, i%9)
+		s.ObserveResidual(0.01 * float64(i%5))
+		i++
+	})
+}

@@ -1,0 +1,206 @@
+package obs
+
+// SLO burn-rate accounting in the multi-window style of SRE error-budget
+// alerting: every control step classifies as good (the paper's contract
+// R̄ ≤ R_ref held) or bad, the total bad fraction is compared against the
+// error budget, and two sliding windows — a fast one that reacts within
+// minutes of sim time and a slow one that confirms a sustained burn —
+// report how many times faster than "exactly exhausting the budget" the
+// loop is currently consuming it. A burn rate of 1.0 in both windows
+// means the budget runs out exactly at the horizon; above 1 in both
+// means the SLO is at risk even though the cumulative budget may still
+// be positive.
+
+// Verdict strings for SLOState.Verdict.
+const (
+	VerdictNoData   = "no-data"  // nothing observed yet
+	VerdictMet      = "met"      // cumulative bad fraction within budget, no active burn
+	VerdictAtRisk   = "at-risk"  // budget not yet blown, but both windows burn at ≥ 1×
+	VerdictViolated = "violated" // cumulative bad fraction exceeds the budget
+)
+
+// burnWindow is a sliding window of good/bad events. Live observation
+// uses a preallocated ring; Merge folds another window's tallies into
+// the aggregate counters (the union of two runs' final windows), which
+// keeps merging exactly commutative and associative.
+type burnWindow struct {
+	bad     []bool // ring of recent event badness
+	head    int
+	seen    int // events currently in the ring
+	badN    int // bad events currently in the ring
+	aggBad  int // merged-in bad tallies
+	aggSeen int // merged-in event tallies
+}
+
+func newBurnWindow(size int) burnWindow {
+	return burnWindow{bad: make([]bool, size)}
+}
+
+// observe pushes one event, evicting the oldest once full. Zero-alloc.
+func (w *burnWindow) observe(good bool) {
+	if w.seen == len(w.bad) {
+		if w.bad[w.head] {
+			w.badN--
+		}
+	} else {
+		w.seen++
+	}
+	w.bad[w.head] = !good
+	if !good {
+		w.badN++
+	}
+	w.head++
+	if w.head == len(w.bad) {
+		w.head = 0
+	}
+}
+
+// badFraction is the window's bad-event fraction, including merged-in
+// tallies; 0 while empty.
+func (w *burnWindow) badFraction() float64 {
+	n := w.seen + w.aggSeen
+	if n == 0 {
+		return 0
+	}
+	return float64(w.badN+w.aggBad) / float64(n)
+}
+
+// merge folds o's window (ring plus aggregates) into w's aggregates.
+func (w *burnWindow) merge(o *burnWindow) {
+	w.aggBad += o.badN + o.aggBad
+	w.aggSeen += o.seen + o.aggSeen
+}
+
+// SLO tracks one service-level objective: a cumulative good/bad count
+// plus the fast and slow burn windows. Construct via newSLO (Scorecard
+// does); methods are nil-safe.
+type SLO struct {
+	target float64 // R_ref in seconds; 0 when the objective is not a response time
+	budget float64 // allowed bad-event fraction, in (0, 1]
+	good   uint64
+	bad    uint64
+	fast   burnWindow
+	slow   burnWindow
+}
+
+func newSLO(target, budget float64, fastWindow, slowWindow int) *SLO {
+	return &SLO{
+		target: target,
+		budget: budget,
+		fast:   newBurnWindow(fastWindow),
+		slow:   newBurnWindow(slowWindow),
+	}
+}
+
+// Observe classifies one step or sample. Zero-alloc.
+//
+//vdc:hotpath fig6/obs-on
+func (s *SLO) Observe(good bool) {
+	if s == nil {
+		return
+	}
+	if good {
+		s.good++
+	} else {
+		s.bad++
+	}
+	s.fast.observe(good)
+	s.slow.observe(good)
+}
+
+// badFraction is the cumulative bad-event fraction.
+func (s *SLO) badFraction() float64 {
+	n := s.good + s.bad
+	if n == 0 {
+		return 0
+	}
+	return float64(s.bad) / float64(n)
+}
+
+// BurnFast is the fast-window burn rate: the window's bad fraction
+// divided by the budget. 1.0 means the budget is being consumed exactly
+// at the sustainable rate.
+func (s *SLO) BurnFast() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.fast.badFraction() / s.budget
+}
+
+// BurnSlow is the slow-window burn rate.
+func (s *SLO) BurnSlow() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.slow.badFraction() / s.budget
+}
+
+// BudgetRemaining is the unburned fraction of the error budget, clamped
+// to [0, 1]: 1 with no bad events, 0 once the cumulative bad fraction
+// reaches the budget.
+func (s *SLO) BudgetRemaining() float64 {
+	if s == nil {
+		return 0
+	}
+	rem := 1 - s.badFraction()/s.budget
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Verdict is the run-end classification: violated when the cumulative
+// bad fraction exceeds the budget, at-risk when both windows burn at
+// ≥ 1× (the multi-window page condition), met otherwise.
+func (s *SLO) Verdict() string {
+	if s == nil || s.good+s.bad == 0 {
+		return VerdictNoData
+	}
+	switch {
+	case s.badFraction() > s.budget:
+		return VerdictViolated
+	case s.BurnFast() >= 1 && s.BurnSlow() >= 1:
+		return VerdictAtRisk
+	default:
+		return VerdictMet
+	}
+}
+
+// merge folds o into s (same budget/windows — Scorecard.Merge checks).
+func (s *SLO) merge(o *SLO) {
+	s.good += o.good
+	s.bad += o.bad
+	s.fast.merge(&o.fast)
+	s.slow.merge(&o.slow)
+}
+
+// SLOReport is the JSON form of the objective's state.
+type SLOReport struct {
+	TargetSec       float64 `json:"target_sec"`
+	Budget          float64 `json:"budget"`
+	Good            uint64  `json:"good"`
+	Bad             uint64  `json:"bad"`
+	BadFraction     float64 `json:"bad_fraction"`
+	FastWindow      int     `json:"fast_window"`
+	SlowWindow      int     `json:"slow_window"`
+	BurnFast        float64 `json:"burn_fast"`
+	BurnSlow        float64 `json:"burn_slow"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Verdict         string  `json:"verdict"`
+}
+
+func (s *SLO) report() SLOReport {
+	return SLOReport{
+		TargetSec:       s.target,
+		Budget:          s.budget,
+		Good:            s.good,
+		Bad:             s.bad,
+		BadFraction:     s.badFraction(),
+		FastWindow:      len(s.fast.bad),
+		SlowWindow:      len(s.slow.bad),
+		BurnFast:        s.BurnFast(),
+		BurnSlow:        s.BurnSlow(),
+		BudgetRemaining: s.BudgetRemaining(),
+		Verdict:         s.Verdict(),
+	}
+}

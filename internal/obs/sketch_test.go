@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewSketch()
+	if s.Count() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty sketch not all-zero: count=%d min=%v max=%v mean=%v",
+			s.Count(), s.Min(), s.Max(), s.Mean())
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if sum := s.Summary(); sum != (SketchSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero", sum)
+	}
+}
+
+func TestSketchNilSafe(t *testing.T) {
+	var s *Sketch
+	s.Observe(1)
+	s.Merge(NewSketch())
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("nil sketch should answer zeros")
+	}
+	_ = s.Summary()
+}
+
+func TestSketchIgnoresNonFinite(t *testing.T) {
+	s := NewSketch()
+	s.Observe(math.NaN())
+	s.Observe(math.Inf(1))
+	s.Observe(math.Inf(-1))
+	if s.Count() != 0 {
+		t.Fatalf("non-finite values counted: %d", s.Count())
+	}
+}
+
+func TestSketchRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSketch()
+	vals := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over the sketch's core range.
+		v := math.Exp(rng.Float64()*20 - 10) // e^-10 .. e^10
+		s.Observe(v)
+		vals = append(vals, v)
+	}
+	sortFloats(vals)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		rank := int(math.Ceil(q*float64(len(vals)))) - 1
+		exact := vals[rank]
+		got := s.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > sketchAlpha {
+			t.Errorf("q=%v: got %v, exact %v, rel err %v > %v", q, got, exact, rel, sketchAlpha)
+		}
+	}
+	if s.Quantile(0) != vals[0] || s.Quantile(1) != vals[len(vals)-1] {
+		t.Error("extreme quantiles should be exact min/max")
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestSketchUnderflowOverflow(t *testing.T) {
+	s := NewSketch()
+	s.Observe(0)
+	s.Observe(-5)
+	s.Observe(1e-9)
+	s.Observe(1e9) // beyond the log range -> overflow bucket
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+	if s.Min() != -5 || s.Max() != 1e9 {
+		t.Fatalf("min/max = %v/%v, want -5/1e9", s.Min(), s.Max())
+	}
+	// Underflow answers min, overflow answers max — tails stay honest.
+	if q := s.Quantile(0.99); q != 1e9 {
+		t.Fatalf("overflow quantile = %v, want 1e9", q)
+	}
+	if q := s.Quantile(0.01); q != -5 {
+		t.Fatalf("underflow quantile = %v, want -5", q)
+	}
+}
+
+func TestSketchMergeEqualsSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	single := NewSketch()
+	shards := []*Sketch{NewSketch(), NewSketch(), NewSketch()}
+	for i := 0; i < 3000; i++ {
+		v := rng.ExpFloat64()
+		single.Observe(v)
+		shards[i%3].Observe(v)
+	}
+	merged := NewSketch()
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if *merged != *single {
+		t.Fatal("merged shards != single-stream sketch (state should be bit-identical)")
+	}
+}
+
+func TestSketchMergeCommutativeAssociative(t *testing.T) {
+	mk := func(seed int64) *Sketch {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSketch()
+		for i := 0; i < 500; i++ {
+			s.Observe(rng.ExpFloat64())
+		}
+		return s
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+
+	ab := NewSketch()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := NewSketch()
+	ba.Merge(b)
+	ba.Merge(a)
+	if *ab != *ba {
+		t.Fatal("merge not commutative")
+	}
+
+	abC := NewSketch()
+	abC.Merge(ab)
+	abC.Merge(c)
+	bc := NewSketch()
+	bc.Merge(b)
+	bc.Merge(c)
+	aBC := NewSketch()
+	aBC.Merge(a)
+	aBC.Merge(bc)
+	if *abC != *aBC {
+		t.Fatal("merge not associative")
+	}
+}
+
+func TestSketchMergeEmptyNoOp(t *testing.T) {
+	s := NewSketch()
+	s.Observe(2)
+	before := *s
+	s.Merge(nil)
+	s.Merge(NewSketch())
+	if *s != before {
+		t.Fatal("merging nil/empty changed the sketch")
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := NewSketch()
+	s.Observe(1)
+	s.Observe(2)
+	s.Reset()
+	if *s != *NewSketch() {
+		t.Fatal("reset sketch != fresh sketch")
+	}
+}
+
+func TestSketchMeanReasonable(t *testing.T) {
+	s := NewSketch()
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	exact := 50.5
+	if rel := math.Abs(s.Mean()-exact) / exact; rel > sketchAlpha {
+		t.Fatalf("mean %v vs exact %v, rel err %v", s.Mean(), exact, rel)
+	}
+}

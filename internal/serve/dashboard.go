@@ -2,10 +2,11 @@ package serve
 
 import "net/http"
 
-// handleDashboard serves the single-page live view: it polls /status and
-// /history and renders response-time sparklines per application plus the
-// cluster power, entirely with inline JavaScript — no external assets,
-// stdlib only.
+// handleDashboard serves the single-page live view: it polls /status,
+// /history, and /scorecard and renders response-time sparklines per
+// application, the cluster power, and a controller-health panel (SLO
+// burn rates, breaker state, warm-start hit rate, step latency),
+// entirely with inline JavaScript — no external assets, stdlib only.
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -37,6 +38,7 @@ const dashboardHTML = `<!DOCTYPE html>
  table { border-collapse: collapse; font-size: 0.9em; }
  th, td { text-align: left; padding: 0.1em 1em 0.1em 0; color: #aaa; }
  th { color: #9cf; } td.num { text-align: right; color: #fc6; }
+ .ok { color: #6f6; } .warn { color: #fc6; } .bad { color: #f66; }
 </style>
 </head>
 <body>
@@ -44,6 +46,9 @@ const dashboardHTML = `<!DOCTYPE html>
 <div id="top" class="row"></div>
 <div id="apps"></div>
 <div class="row"><h2>cluster power (W)</h2><canvas id="power" width="640" height="80"></canvas></div>
+<div class="row"><h2>controller health</h2><div id="health" class="hint">waiting for scorecard…</div>
+<p class="hint"><a href="/scorecard">/scorecard</a> serves the full health document
+(MPC residuals, optimizer tallies, SLO burn, decision audit).</p></div>
 <div class="row"><h2>control-loop timings (sim time)</h2>
 <table id="timings"><thead><tr>
 <th>track</th><th>span</th><th>count</th><th>total</th><th>mean</th><th>max</th>
@@ -99,6 +104,25 @@ async function tick() {
             hist.map(r => r.T90[i] * 1000), a.setpoint_sec * 1000);
     });
     spark(document.getElementById('power'), hist.map(r => r.PowerW));
+    const sc = await (await fetch('/scorecard')).json();
+    const vcls = {met: 'ok', 'at-risk': 'warn', violated: 'bad', 'no-data': 'hint'};
+    const ms = s => (s * 1000).toFixed(1) + 'ms';
+    document.getElementById('health').innerHTML =
+      'SLO <span class="' + (vcls[sc.slo.verdict] || 'hint') + '">' + sc.slo.verdict +
+      '</span> · burn fast/slow <span class=num>' + sc.slo.burn_fast.toFixed(2) + '</span>/' +
+      '<span class=num>' + sc.slo.burn_slow.toFixed(2) + '</span> · budget left ' +
+      '<span class=num>' + (sc.slo.budget_remaining * 100).toFixed(0) + '%</span><br>' +
+      'breaker <span class="' + (sc.breaker.state === 'closed' ? 'ok' : 'bad') + '">' +
+      sc.breaker.state + '</span> (' + sc.breaker.transitions + ' transitions) · ' +
+      'warm-start hit <span class=num>' + (sc.mpc.warm_hit_rate * 100).toFixed(0) + '%</span> · ' +
+      'held/open-loop <span class=num>' + sc.control.held + '/' + sc.control.open_loop +
+      '</span> of ' + sc.control.periods + ' periods<br>' +
+      'step wall p50/p90/p99 <span class=num>' + ms(sc.step_wall.p50_sec) + '</span>/' +
+      '<span class=num>' + ms(sc.step_wall.p90_sec) + '</span>/' +
+      '<span class=num>' + ms(sc.step_wall.p99_sec) + '</span> · migrations ' +
+      '<span class=num>' + sc.optimizer.migrations + '</span> (vetoes ' +
+      sc.optimizer.vetoes + ') · audit records <span class=num>' +
+      sc.audit.records.length + '</span>';
     const tm = await (await fetch('/timings')).json() || [];
     const fmt = s => s >= 1 ? s.toFixed(2) + 's' : (s * 1000).toFixed(1) + 'ms';
     document.querySelector('#timings tbody').innerHTML = tm.map(t =>

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vdcpower/internal/fault"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
 )
@@ -63,6 +64,15 @@ type Server struct {
 	stepErrs *telemetry.Counter
 	degraded *telemetry.Counter
 	snapshot func() (Status, error) // snapshotStatus, indirected so tests can inject failures
+
+	// Controller-health scorecard: the testbed observes into it during
+	// Step (under the same mutex), the breaker publishes its transitions,
+	// and /scorecard serves the report.
+	obs            *obs.Scorecard
+	breakerState   int // obs.BreakerClosed/Open/HalfOpen mirror for gauges/audit
+	gBreakState    *telemetry.Gauge
+	gBreakCooldown *telemetry.Gauge
+	cBreakTrans    *telemetry.Counter
 }
 
 // New wraps an already-constructed testbed and attaches telemetry to it:
@@ -84,7 +94,48 @@ func New(tb *testbed.Testbed) *Server {
 		"control steps failed or skipped while the loop ran degraded")
 	s.breakerThreshold = defaultBreakerThreshold
 	s.breakerCooldown = defaultBreakerCooldown
+	s.obs = obs.New(obs.Config{Label: "serve", SLOTargetSec: tb.Cfg.Setpoint})
+	tb.AttachObs(s.obs)
+	s.gBreakState = s.metrics.Gauge("vdcpower_breaker_state",
+		"circuit breaker state (0 closed, 1 open, 2 half-open)")
+	s.gBreakCooldown = s.metrics.Gauge("vdcpower_breaker_cooldown_ticks",
+		"ticks remaining before the open breaker half-opens (0 while closed)")
+	s.cBreakTrans = s.metrics.Counter("vdcpower_breaker_transitions_total",
+		"circuit breaker state transitions")
 	return s
+}
+
+// publishBreaker mirrors the breaker's state into the metrics gauges and
+// the scorecard (which counts transitions for the report), records an
+// audit decision on every transition, and bumps the transition counter.
+// Callers hold s.mu.
+func (s *Server) publishBreaker(state int) {
+	s.gBreakState.Set(float64(state))
+	s.gBreakCooldown.Set(float64(s.cooldownLeft))
+	s.obs.RecordBreaker(state, s.cooldownLeft)
+	if state == s.breakerState {
+		return
+	}
+	action := map[int]string{
+		obs.BreakerClosed:   "breaker-close",
+		obs.BreakerOpen:     "breaker-open",
+		obs.BreakerHalfOpen: "breaker-half-open",
+	}[state]
+	reason := map[int]string{
+		obs.BreakerClosed:   "probe step succeeded",
+		obs.BreakerOpen:     "consecutive step failures reached the threshold",
+		obs.BreakerHalfOpen: "cooldown expired: probing with one real step",
+	}[state]
+	if s.breakerState == obs.BreakerHalfOpen && state == obs.BreakerOpen {
+		reason = "probe step failed: cooldown re-armed"
+	}
+	s.obs.Audit().Record(obs.Decision{
+		Step: s.totalSteps, TimeSec: s.tb.Sim.Now(),
+		Component: "serve", Action: action, Reason: reason,
+		Value: float64(s.consecFails), Span: "serve.step",
+	})
+	s.cBreakTrans.Inc()
+	s.breakerState = state
 }
 
 // AttachFaults wires the deterministic fault plane into the server and its
@@ -174,9 +225,11 @@ func (s *Server) allowStep() bool {
 	}
 	if s.cooldownLeft > 1 {
 		s.cooldownLeft--
+		s.publishBreaker(obs.BreakerOpen) // refresh the cooldown gauge
 		return false
 	}
 	s.cooldownLeft = 0
+	s.publishBreaker(obs.BreakerHalfOpen)
 	return true // half-open probe
 }
 
@@ -191,6 +244,7 @@ func (s *Server) recordStep(err error) {
 			s.breakerOpen = false
 			logf("serve: circuit breaker closed after successful probe")
 		}
+		s.publishBreaker(obs.BreakerClosed)
 		return
 	}
 	s.lastErr = err
@@ -200,10 +254,12 @@ func (s *Server) recordStep(err error) {
 	switch {
 	case s.breakerOpen:
 		s.cooldownLeft = s.breakerCooldown
+		s.publishBreaker(obs.BreakerOpen)
 		logf("serve: circuit breaker probe failed, re-opening: %v", err)
 	case s.consecFails >= s.breakerThreshold:
 		s.breakerOpen = true
 		s.cooldownLeft = s.breakerCooldown
+		s.publishBreaker(obs.BreakerOpen)
 		logf("serve: circuit breaker opened after %d consecutive step failures: %v", s.consecFails, err)
 	default:
 		logf("serve: control step failed, continuing degraded: %v", err)
@@ -288,6 +344,7 @@ func (s *Server) snapshotStatus() Status {
 //	GET  /metrics                       Prometheus text exposition
 //	GET  /trace                         span recording as Chrome-trace JSON
 //	GET  /timings                       per-(track, span) timing aggregates
+//	GET  /scorecard                     controller-health scorecard as JSON
 //	POST /setpoint?app=0&seconds=1.2    retarget one controller
 //	POST /concurrency?app=0&level=80    change one app's workload
 func (s *Server) Handler() http.Handler {
@@ -308,6 +365,7 @@ func (s *Server) Handler() http.Handler {
 	handle("/metrics", s.handleMetrics)
 	handle("/trace", s.handleTrace)
 	handle("/timings", s.handleTimings)
+	handle("/scorecard", s.handleScorecard)
 	handle("/setpoint", s.handleSetpoint)
 	handle("/concurrency", s.handleConcurrency)
 	handle("/snapshot", s.handleSnapshot)
@@ -477,6 +535,50 @@ func (s *Server) publishStatus(st Status) {
 		s.metrics.Gauge("vdcpower_response_time_seconds", "per-application 90-percentile response time", l).Set(a.T90Sec)
 		s.metrics.Gauge("vdcpower_setpoint_seconds", "per-application response time target", l).Set(a.SetpointSec)
 	}
+	if slo := s.obs.SLO(); slo != nil {
+		s.metrics.Gauge("vdcpower_slo_burn_fast",
+			"fast-window SLO burn rate (windowed bad fraction / error budget)").Set(slo.BurnFast())
+		s.metrics.Gauge("vdcpower_slo_burn_slow",
+			"slow-window SLO burn rate (windowed bad fraction / error budget)").Set(slo.BurnSlow())
+		s.metrics.Gauge("vdcpower_slo_budget_remaining",
+			"fraction of the cumulative SLO error budget still unspent").Set(slo.BudgetRemaining())
+	}
+}
+
+// StepWallQuantiles summarizes the wall-clock step-latency histogram
+// with interpolated quantiles (telemetry.Histogram.Quantile documents
+// the error bounds); zeros while no step has run yet.
+type StepWallQuantiles struct {
+	Count  uint64  `json:"count"`
+	P50Sec float64 `json:"p50_sec"`
+	P90Sec float64 `json:"p90_sec"`
+	P99Sec float64 `json:"p99_sec"`
+}
+
+// ScorecardDoc is the /scorecard document: the controller-health report
+// with the server-edge step latency appended.
+type ScorecardDoc struct {
+	obs.Report
+	StepWall StepWallQuantiles `json:"step_wall"`
+}
+
+func (s *Server) handleScorecard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	doc := ScorecardDoc{Report: s.obs.Report()}
+	if n := s.stepWall.Count(); n > 0 {
+		doc.StepWall = StepWallQuantiles{
+			Count:  n,
+			P50Sec: s.stepWall.Quantile(0.5),
+			P90Sec: s.stepWall.Quantile(0.9),
+			P99Sec: s.stepWall.Quantile(0.99),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, doc)
 }
 
 // handleTrace serves the recorded span tracks as a Chrome trace JSON

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func quantileHist(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func TestQuantileNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("nil histogram quantile = %v, want NaN", v)
+	}
+	h = quantileHist([]float64{1, 2})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	}
+	h.Observe(1.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	if v := quantileHist(nil).Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("unbucketed histogram quantile = %v, want NaN", v)
+	}
+}
+
+// TestQuantileInterpolation checks the linear-interpolation estimate
+// against a hand-computed case: bounds [1,2,4], 4 samples in (1,2].
+// rank(0.5) = 2 lands after the first of those samples would — the
+// estimate walks half of the two needed samples into the bucket.
+func TestQuantileInterpolation(t *testing.T) {
+	h := quantileHist([]float64{1, 2, 4})
+	for _, v := range []float64{1.2, 1.4, 1.6, 1.8} {
+		h.Observe(v)
+	}
+	// rank = 0.5*4 = 2; bucket (1,2] holds all 4 → 1 + (2-1)*2/4 = 1.5.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	// rank = 1*4 = 4 → upper edge of the containing bucket.
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("p100 = %v, want 2", got)
+	}
+	// q=0 → rank 0 → lower edge of the first bucket (0 for bucket 0).
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0", got)
+	}
+}
+
+// TestQuantileErrorBound: the estimate never leaves the containing
+// bucket, so |estimate - true| <= bucket width for in-range samples.
+func TestQuantileErrorBound(t *testing.T) {
+	bounds := ExponentialBuckets(1e-3, 2, 14)
+	h := quantileHist(bounds)
+	vals := make([]float64, 0, 500)
+	x := 0.0017
+	for i := 0; i < 500; i++ {
+		// Deterministic pseudo-uniform spread over roughly [1e-3, 4].
+		x = math.Mod(x*1.9113+0.0003, 4.0)
+		v := x + 1e-3
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	// Insertion sort (no dependency on sort in the test path).
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		rank := int(math.Ceil(q*float64(len(vals)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := vals[rank]
+		// Containing bucket width bounds the error.
+		i := 0
+		for i < len(bounds) && bounds[i] < truth {
+			i++
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		width := bounds[min(i, len(bounds)-1)] - lower
+		if math.Abs(got-truth) > width+1e-12 {
+			t.Fatalf("q=%v: estimate %v vs truth %v exceeds bucket width %v", q, got, truth, width)
+		}
+	}
+}
+
+// TestQuantileOverflowClamps: samples beyond the last finite bound
+// clamp to it.
+func TestQuantileOverflowClamps(t *testing.T) {
+	h := quantileHist([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", got)
+	}
+}

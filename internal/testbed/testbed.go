@@ -19,6 +19,8 @@ import (
 	"vdcpower/internal/devs"
 	"vdcpower/internal/fault"
 	"vdcpower/internal/mat"
+	"vdcpower/internal/mpc"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/power"
@@ -105,6 +107,10 @@ type Testbed struct {
 
 	faults      *fault.Injector
 	periodCount int // control periods executed across every Run call
+
+	obs          *obs.Scorecard // optional health scorecard (AttachObs)
+	obsApps      []int          // scorecard app index per application
+	prevOpenLoop []bool         // per controller, for audit transition records
 }
 
 // New builds the testbed, runs the identification experiment on the first
@@ -315,15 +321,34 @@ func (tb *Testbed) AttachTelemetry(capacity int, reg *telemetry.Registry) *telem
 	return tr
 }
 
-// searchNodes reads the consolidator's accumulated B&B node count via
-// the optional SearchStats accessor (0 when unavailable).
-func searchNodes(c optimizer.Consolidator) int {
+// searchStats reads the consolidator's accumulated B&B node and
+// widening counts via the optional SearchStats accessor (0 when
+// unavailable).
+func searchStats(c optimizer.Consolidator) (nodes, widenings int) {
 	if s, ok := c.(interface{ SearchStats() *packing.SearchStats }); ok {
 		if st := s.SearchStats(); st != nil {
-			return st.Nodes
+			return st.Nodes, st.Widenings
 		}
 	}
-	return 0
+	return 0, 0
+}
+
+// AttachObs wires a controller-health scorecard through the testbed:
+// every application is registered against the run's set point, each
+// control period records measurement-plane flags, prediction residuals,
+// response times, power, and the aggregated MPC solve tallies, and the
+// consolidation layer reports its passes and B&B effort. Open-loop
+// transitions land in the scorecard's decision audit ring. Nil detaches.
+func (tb *Testbed) AttachObs(sc *obs.Scorecard) {
+	tb.obs = sc
+	tb.obsApps = tb.obsApps[:0]
+	tb.prevOpenLoop = make([]bool, len(tb.Controllers))
+	if sc == nil {
+		return
+	}
+	for _, app := range tb.Apps {
+		tb.obsApps = append(tb.obsApps, sc.RegisterApp(app.Name, tb.Cfg.Setpoint))
+	}
 }
 
 // AttachChecker makes the testbed report its run to the invariant checker
@@ -352,18 +377,32 @@ func (tb *Testbed) consolidate(period int) error {
 	if tb.checker != nil {
 		overloaded = check.CountOverloaded(tb.DC)
 	}
-	nodesBefore := searchNodes(tb.cons)
+	nodesBefore, widsBefore := searchStats(tb.cons)
 	rep, err := tb.cons.Consolidate(tb.DC)
 	if err != nil && !fault.IsInjected(err) {
 		return err
 	}
 	// An injected transient error still logs its (empty) report and fault
 	// records below, then surfaces to Run, which skips the pass.
+	nodesAfter, widsAfter := searchStats(tb.cons)
 	tb.metrics.Counter("vdcpower_optimizer_passes_total", "consolidator invocations",
 		telemetry.Label{Key: "policy", Value: tb.cons.Name()}).Inc()
 	tb.metrics.Counter("vdcpower_migrations_total", "VM live migrations committed by the consolidation layer").Add(float64(rep.Migrations))
 	tb.metrics.Counter("vdcpower_migration_vetoes_total", "migrations rejected by the cost policy").Add(float64(rep.Vetoed))
-	tb.metrics.Counter("vdcpower_bnb_nodes_total", "Minimum Slack branch-and-bound nodes expanded").Add(float64(searchNodes(tb.cons) - nodesBefore))
+	tb.metrics.Counter("vdcpower_bnb_nodes_total", "Minimum Slack branch-and-bound nodes expanded").Add(float64(nodesAfter - nodesBefore))
+	tb.obs.AddOptimizerPass(rep.Migrations, rep.Vetoed, rep.FailedMoves, rep.Unresolved, fault.IsInjected(err))
+	tb.obs.AddSearch(nodesAfter-nodesBefore, widsAfter-widsBefore)
+	if tb.obs != nil && rep.ActiveAfter != rep.ActiveBefore {
+		action, reason := "servers-off", "consolidation packed the load onto fewer servers"
+		if rep.ActiveAfter > rep.ActiveBefore {
+			action, reason = "servers-on", "consolidation spread load to relieve overload"
+		}
+		tb.obs.Audit().Record(obs.Decision{
+			Step: period, TimeSec: tb.Sim.Now(),
+			Component: tb.cons.Name(), Action: action, Reason: reason,
+			Value: float64(rep.ActiveAfter - rep.ActiveBefore), Span: "optimizer",
+		})
+	}
 	for _, mv := range rep.Moves {
 		if i, j, ok := tb.tierOf(mv.VM); ok {
 			tb.Apps[i].PauseTier(j, tb.migModel.Downtime(mv.VM.MemoryGB))
@@ -426,6 +465,7 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		tb.faults.SetStep(p)
 		tb.Sim.RunUntil(tb.Sim.Now() + tb.Cfg.Period)
 		psp := tk.Start("testbed.period").Int("period", k)
+		tb.obs.ObserveStep()
 		rec := PeriodRecord{Time: tb.Sim.Now() - t0, T90: make([]float64, len(tb.Apps))}
 		for i, ctl := range tb.Controllers {
 			res, err := ctl.Step()
@@ -440,6 +480,29 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 			}
 			mPeriods.Inc()
 			hT90[i].Observe(res.T90)
+			if tb.obs != nil {
+				tb.obs.RecordControl(res.Held, res.Dropped, res.OpenLoop, res.HeldStreak)
+				if res.HasResidual {
+					tb.obs.ObserveResidual(res.Residual)
+				}
+				// A held period carries no fresh measurement — it must not
+				// produce an SLO sample or a response observation.
+				if !res.Held {
+					tb.obs.ObserveResponse(tb.obsApps[i], res.T90)
+				}
+				if res.OpenLoop != tb.prevOpenLoop[i] {
+					action, reason := "open-loop", "hold window exhausted: frozen at the last-good allocation"
+					if !res.OpenLoop {
+						action, reason = "close-loop", "valid measurement returned: resuming MPC control"
+					}
+					tb.obs.Audit().Record(obs.Decision{
+						Step: p, TimeSec: tb.Sim.Now(),
+						Component: "controller", Action: action, Target: tb.Apps[i].Name,
+						Reason: reason, Value: float64(res.HeldStreak), Span: "mpc-" + tb.Apps[i].Name,
+					})
+					tb.prevOpenLoop[i] = res.OpenLoop
+				}
+			}
 			for j, d := range ctl.Demands() {
 				tb.vms[i][j].Demand = d
 			}
@@ -483,6 +546,14 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		rec.PowerW = tb.DC.TotalPower()
 		gPower.Set(rec.PowerW)
 		gActive.Set(float64(tb.DC.NumActive()))
+		if tb.obs != nil {
+			tb.obs.ObservePower(rec.PowerW)
+			var solve mpc.SolveStats
+			for _, ctl := range tb.Controllers {
+				solve.Add(ctl.SolveStats())
+			}
+			tb.obs.SetMPC(solve.Solves, solve.WarmAttempts, solve.ColdRetries, solve.Relaxations, solve.Fallbacks)
+		}
 		psp.Float("power_w", rec.PowerW).Int("relaxed", rec.Relaxed).End()
 		tb.attributeEnergy(tb.Cfg.Period)
 		if tb.checker != nil {
