@@ -93,3 +93,5 @@ func BenchmarkPackingMinSlack(b *testing.B) { benchScenario(b, "packing/minslack
 func BenchmarkPackingFFD(b *testing.B) { benchScenario(b, "packing/ffd") }
 
 func BenchmarkVdclint(b *testing.B) { benchScenario(b, "lint/module") }
+
+func BenchmarkGuardWedge(b *testing.B) { benchScenario(b, "guard/wedge") }

@@ -49,7 +49,7 @@ func main() {
 		series    = flag.Int("series", 0, "instead of the sweep, dump a per-step power/active/demand series for a run with this many VMs")
 		snapshot  = flag.String("snapshot", "", "with -series: write the final data-center state as JSON to this file")
 		checkRun  = flag.Bool("check", false, "run a Fig. 6 subset with every runtime invariant enabled and report violations")
-		faultsP   = flag.String("faults", "", "fault-injection profile JSON (see internal/fault); every run gets its own deterministic injector")
+		faultsP   = flag.String("faults", "", "fault-injection profile JSON (see internal/fault); every run gets its own deterministic injector; the serve and guard classes only fire in the period-driven harnesses (cmd/serve)")
 		reportP   = flag.String("report", "", "with -check: also write a machine-readable JSON verification report to this file")
 		obsOut    = flag.String("obs", "", "write a controller-health scorecard (schema vdcobs/v1) aggregated across all runs as JSON to this file")
 	)

@@ -19,6 +19,8 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"vdcpower/internal/fault"
+	"vdcpower/internal/guard"
 	"vdcpower/internal/serve"
 	"vdcpower/internal/testbed"
 )
@@ -26,12 +28,22 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
+	def := guard.DefaultStepBudget()
 	var (
 		addr = flag.String("addr", ":8080", "listen address")
 		tick = flag.Duration("tick", 250*time.Millisecond, "wall-clock time per control period")
 		apps = flag.Int("apps", 8, "number of applications")
 		srv  = flag.Int("servers", 4, "number of servers")
 		pprf = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		stepEvents = flag.Int("step-budget-events", def.MaxEvents,
+			"max kernel events one control period may drain (0 = unbounded)")
+		stepSame = flag.Int("step-budget-same-time", def.MaxSameTimeEvents,
+			"max events at one sim instant per period — the Zeno-storm bound (0 = unbounded)")
+		stepWall = flag.Duration("step-deadline", def.Wall,
+			"wall-clock watchdog deadline per control period (0 = none)")
+		faultsPath = flag.String("faults", "",
+			"JSON fault profile (fault.Profile) injected into the control loop; the guard class exhausts step budgets")
 	)
 	flag.Parse()
 
@@ -46,6 +58,19 @@ func main() {
 	fmt.Printf("identified model: %s (R²=%.2f)\n", tb.Model, tb.Fit.R2)
 
 	s := serve.New(tb)
+	s.SetGuard(guard.StepBudget{
+		MaxEvents:         *stepEvents,
+		MaxSameTimeEvents: *stepSame,
+		Wall:              *stepWall,
+	})
+	if *faultsPath != "" {
+		prof, err := fault.LoadProfile(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.AttachFaults(fault.New(prof))
+		fmt.Printf("fault profile loaded from %s\n", *faultsPath)
+	}
 	s.Start(*tick)
 	defer s.Stop()
 

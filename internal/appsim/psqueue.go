@@ -63,10 +63,28 @@ type PSQueue struct {
 // it corresponds to the tiny CPU share the hypervisor always grants.
 const minCapacity = 1e-3
 
+// maxCapacity caps the service rate a single tier may be granted. No
+// modeled host comes near it; its job is to keep +Inf (and the virtual
+// clock arithmetic downstream) out of the queue.
+const maxCapacity = 1e6
+
+// clampCapacity forces a requested capacity into [minCapacity,
+// maxCapacity]. NaN needs its own check: math.Max(NaN, min) is NaN, so
+// the old clamp let NaN straight through into the virtual clock.
+func clampCapacity(capacityGHz float64) float64 {
+	if math.IsNaN(capacityGHz) || capacityGHz < minCapacity {
+		return minCapacity
+	}
+	if capacityGHz > maxCapacity {
+		return maxCapacity
+	}
+	return capacityGHz
+}
+
 // NewPSQueue creates a PS queue with the given capacity in GHz.
 func NewPSQueue(sim *devs.Simulator, capacityGHz float64) *PSQueue {
 	q := &PSQueue{sim: sim, lastUpdate: sim.Now()}
-	q.desired = math.Max(capacityGHz, minCapacity)
+	q.desired = clampCapacity(capacityGHz)
 	q.capacity = q.desired
 	return q
 }
@@ -113,7 +131,7 @@ func (q *PSQueue) BusyCycles() float64 {
 // During a pause the new capacity takes effect when service resumes.
 func (q *PSQueue) SetCapacity(capacityGHz float64) {
 	q.advance()
-	q.desired = math.Max(capacityGHz, minCapacity)
+	q.desired = clampCapacity(capacityGHz)
 	if q.paused == 0 {
 		q.capacity = q.desired
 	}
@@ -124,7 +142,11 @@ func (q *PSQueue) SetCapacity(capacityGHz float64) {
 // calls done when it completes.
 func (q *PSQueue) Submit(demand float64, done func()) {
 	q.advance()
-	if demand <= 0 {
+	// `demand <= 0` alone is a NaN hole: every comparison with NaN is
+	// false, so a NaN demand used to poison vfinish and silently corrupt
+	// the job heap's ordering. `!(demand > 0)` catches NaN, zero, and
+	// negatives alike; +Inf needs its own check.
+	if !(demand > 0) || math.IsInf(demand, 1) {
 		demand = 1e-9
 	}
 	heap.Push(&q.jobs, &job{vfinish: q.vnow + demand, done: done})
@@ -144,21 +166,34 @@ func (q *PSQueue) advance() {
 	q.busyCycles += dt * q.capacity
 }
 
-// reschedule cancels and re-arms the next-completion event.
+// reschedule re-arms the next-completion event. A re-arm that lands at
+// the exact time already armed is coalesced into a no-op: Submit and
+// SetCapacity churn would otherwise cancel and recreate the event on
+// every call, bloating the kernel heap with dead entries and — once the
+// completion time collapses onto the current instant — feeding the
+// same-timestamp storm of ROADMAP item 6.
 func (q *PSQueue) reschedule() {
-	if q.next != nil {
-		q.next.Cancel()
-		q.next = nil
-	}
 	if len(q.jobs) == 0 {
+		if q.next != nil {
+			q.next.Cancel()
+			q.next = nil
+		}
 		return
 	}
 	remaining := q.jobs[0].vfinish - q.vnow
 	if remaining < 0 {
 		remaining = 0
 	}
-	eta := remaining * float64(len(q.jobs)) / q.capacity
-	q.next = q.sim.After(eta, q.complete)
+	at := q.sim.Now() + remaining*float64(len(q.jobs))/q.capacity
+	//lint:ignore floatcompare coalescing only the bit-identical re-arm; an epsilon would drop genuinely distinct re-arms
+	if q.next != nil && !q.next.Cancelled() && q.next.Time == at {
+		return
+	}
+	if q.next != nil {
+		q.next.Cancel()
+	}
+	q.next = q.sim.Schedule(at, q.complete)
+	q.next.Label = "psqueue.complete"
 }
 
 // complete retires every job whose virtual finish time has been reached.
@@ -169,6 +204,29 @@ func (q *PSQueue) complete() {
 	var finished []*job
 	for len(q.jobs) > 0 && q.jobs[0].vfinish <= q.vnow+eps {
 		finished = append(finished, heap.Pop(&q.jobs).(*job))
+	}
+	// Zeno guard (ROADMAP item 6). At large sim times the head job's
+	// remaining virtual work can sit above eps while its ETA is below one
+	// ulp of the clock: the completion event then re-arms at this exact
+	// instant, advance() sees dt == 0, and the loop never terminates.
+	// When the ETA cannot move the clock, the work is below the
+	// simulation's time resolution — treat it as done: snap the virtual
+	// clock forward to the head's finish (a monotone minimum advance) and
+	// retire every job that releases. Each complete pass therefore either
+	// retires a job or schedules strictly later.
+	if len(finished) == 0 && len(q.jobs) > 0 {
+		now := q.sim.Now()
+		remaining := q.jobs[0].vfinish - q.vnow
+		if remaining < 0 {
+			remaining = 0
+		}
+		//lint:ignore floatcompare detecting that the ETA underflows the clock's resolution requires the exact comparison
+		if now+remaining*float64(len(q.jobs))/q.capacity == now {
+			q.vnow = q.jobs[0].vfinish
+			for len(q.jobs) > 0 && q.jobs[0].vfinish <= q.vnow+eps {
+				finished = append(finished, heap.Pop(&q.jobs).(*job))
+			}
+		}
 	}
 	q.reschedule()
 	for _, j := range finished {

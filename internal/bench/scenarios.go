@@ -5,8 +5,11 @@ import (
 	"math"
 	"math/rand"
 
+	"vdcpower/internal/appsim"
 	"vdcpower/internal/dcsim"
+	"vdcpower/internal/devs"
 	"vdcpower/internal/fault"
+	"vdcpower/internal/guard"
 	"vdcpower/internal/lint"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/mpc"
@@ -125,6 +128,11 @@ func Default() *Registry {
 		Name: "lint/module",
 		Doc:  "vdclint: load, type-check and analyze packages from source",
 		Run:  runLintModule,
+	})
+	r.mustRegister(&Scenario{
+		Name: "guard/wedge",
+		Doc:  "bounded drains over a PS queue under submit/actuation churn (the ROADMAP item 6 shape)",
+		Run:  runGuardWedge,
 	})
 	return r
 }
@@ -504,4 +512,43 @@ func runLintModule(e *Env) (Metrics, error) {
 		return nil, fmt.Errorf("bench: module is not lint-clean: %d finding(s), first: %s", len(findings), findings[0])
 	}
 	return Metrics{"packages": float64(len(pkgs))}, nil
+}
+
+// runGuardWedge tracks the cost of the bounded-execution path: a PS
+// queue under heavy submit + SetCapacity churn (the actuation pattern
+// that fed ROADMAP item 6's wedge) drained period by period through
+// RunUntilBudget under the default step budget. The budget never trips
+// here — the scenario prices what a guarded healthy drain costs, so a
+// regression in the budget bookkeeping (or the kernel's lazy purge)
+// shows up as a latency shift.
+func runGuardWedge(e *Env) (Metrics, error) {
+	sim := devs.NewSimulator()
+	q := appsim.NewPSQueue(sim, 2.5)
+	rng := rand.New(rand.NewSource(7))
+	budget := guard.DefaultStepBudget().DevsBudget(nil)
+	completed := 0
+	events := 0
+	for burst := 0; burst < 400; burst++ {
+		for j := 0; j < 32; j++ {
+			q.Submit(0.001+0.01*rng.Float64(), func() { completed++ })
+			q.SetCapacity(0.5 + 4*rng.Float64())
+		}
+		st, err := sim.RunUntilBudget(sim.Now()+0.25, budget)
+		if err != nil {
+			return nil, err
+		}
+		events += st.Events
+	}
+	st, err := sim.RunUntilBudget(sim.Now()+1e6, budget)
+	if err != nil {
+		return nil, err
+	}
+	events += st.Events
+	if pending := sim.Pending(); pending != 0 {
+		return nil, fmt.Errorf("bench: %d events still pending after the final drain", pending)
+	}
+	return Metrics{
+		"events":    float64(events),
+		"completed": float64(completed),
+	}, nil
 }

@@ -27,6 +27,7 @@ var wantMetrics = map[string][]string{
 	"packing/minslack":        {"slack-gain-ghz"},
 	"packing/ffd":             {"bins-used", "unplaced"},
 	"lint/module":             {"packages"},
+	"guard/wedge":             {"completed", "events"},
 }
 
 // TestDefaultScenariosRunAtQuickScale executes every registered

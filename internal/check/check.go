@@ -46,6 +46,9 @@ const (
 	// EvControl fires after one response-time controller step, carrying
 	// the hold/open-loop state for the staleness law.
 	EvControl
+	// EvGuard fires after one control period's bounded event drain,
+	// carrying the budget and what the drain actually did.
+	EvGuard
 )
 
 // String names the event kind.
@@ -67,6 +70,8 @@ func (k Kind) String() string {
 		return "crash"
 	case EvControl:
 		return "control"
+	case EvGuard:
+		return "guard"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -106,6 +111,8 @@ type Event struct {
 	LostVMs []string
 	// Control carries one controller step's degradation state (EvControl).
 	Control *ControlObservation
+	// Guard carries one bounded drain's budget accounting (EvGuard).
+	Guard *GuardObservation
 }
 
 // MigrationObservation captures one two-phase migration transition.
@@ -125,6 +132,18 @@ type ControlObservation struct {
 	HeldStreak int
 	HoldWindow int // the controller's configured bound (with defaults applied)
 	OpenLoop   bool
+}
+
+// GuardObservation captures one control period's bounded event drain for
+// the step-budget law: the limits in force, what the drain consumed, and
+// whether exhaustion was converted into an aborted (failed) step.
+type GuardObservation struct {
+	MaxEvents   int  // event budget in force; 0 = unbounded
+	Events      int  // events the drain fired
+	MaxSameTime int  // same-instant budget in force; 0 = unbounded
+	SameTime    int  // longest same-instant run observed
+	Tripped     bool // a budget bound (or watchdog) cut the drain short
+	Aborted     bool // the harness failed the step in response
 }
 
 // Violation records one broken invariant.

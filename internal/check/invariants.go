@@ -63,9 +63,9 @@ func FaultInvariants() []Invariant {
 	return []Invariant{noDoublePlacement{}, holdWindowBounded{}}
 }
 
-// All returns the full registry: cluster, optimizer, power, packing, and
-// fault-degradation invariants. Add VetoesRespected(auditor) when a cost
-// policy is wrapped.
+// All returns the full registry: cluster, optimizer, power, packing,
+// fault-degradation, and bounded-execution invariants. Add
+// VetoesRespected(auditor) when a cost policy is wrapped.
 func All() []Invariant {
 	var out []Invariant
 	out = append(out, ClusterInvariants()...)
@@ -73,6 +73,7 @@ func All() []Invariant {
 	out = append(out, PowerInvariants()...)
 	out = append(out, PackingInvariants()...)
 	out = append(out, FaultInvariants()...)
+	out = append(out, GuardInvariants()...)
 	return out
 }
 

@@ -1,0 +1,156 @@
+package devs
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Budget bounds one drain of the event queue. A zero Budget imposes no
+// bound. Budgets exist because a broken model can schedule events forever
+// at one instant (a Zeno storm, ROADMAP item 6): the kernel must be able
+// to hand control back to its caller instead of spinning.
+type Budget struct {
+	// MaxEvents caps the total events fired in one drain. 0 = unbounded.
+	MaxEvents int
+	// MaxSameTimeEvents caps the number of consecutive events fired at a
+	// single virtual instant — the signature of a Zeno loop. 0 = unbounded.
+	MaxSameTimeEvents int
+	// Interrupt, when non-nil, is polled periodically during the drain;
+	// returning true aborts it. The callback must be cheap and must not
+	// touch the simulator. It is how a wall-clock watchdog reaches into
+	// the drain without the kernel ever reading a real clock.
+	Interrupt func() bool
+}
+
+// interruptEvery is how many events pass between Interrupt polls.
+const interruptEvery = 64
+
+// DrainStats summarizes one bounded drain. It is returned by value so a
+// budget check on the hot path costs no allocation.
+type DrainStats struct {
+	Events   int // events fired during the drain
+	SameTime int // longest run of events sharing one virtual instant
+}
+
+// ErrBudgetExceeded is the sentinel matched by errors.Is when a drain is
+// cut short by its Budget. The concrete error is a *BudgetError carrying
+// the stuck timestamp and a sample of pending-event provenance.
+var ErrBudgetExceeded = errors.New("devs: drain budget exceeded")
+
+// Budget trip reasons, recorded in BudgetError.Reason.
+const (
+	ReasonMaxEvents = "max-events"
+	ReasonSameTime  = "same-time-events"
+	ReasonInterrupt = "interrupt"
+)
+
+// PendingEvent is one entry of the provenance sample attached to a
+// BudgetError: what was still queued when the drain was cut short.
+type PendingEvent struct {
+	Time  float64
+	Label string
+}
+
+// BudgetError reports a drain cut short by its Budget.
+type BudgetError struct {
+	Reason   string         // which bound tripped (Reason* constants)
+	At       float64        // virtual time when the drain stopped
+	Events   int            // events fired before the trip
+	SameTime int            // longest same-instant run observed
+	Pending  int            // live events still queued
+	Sample   []PendingEvent // up to sampleSize pending events, for diagnosis
+}
+
+const sampleSize = 4
+
+func (e *BudgetError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "devs: drain budget exceeded (%s) at t=%.6g: %d events fired (longest same-instant run %d), %d pending",
+		e.Reason, e.At, e.Events, e.SameTime, e.Pending)
+	if len(e.Sample) > 0 {
+		b.WriteString("; pending sample:")
+		for _, p := range e.Sample {
+			label := p.Label
+			if label == "" {
+				label = "(unlabeled)"
+			}
+			fmt.Fprintf(&b, " %s@%.6g", label, p.Time)
+		}
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) work.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// budgetError builds the trip diagnosis. Cold path: it only runs when a
+// drain is being aborted, so its allocations never tax a healthy drain.
+func (s *Simulator) budgetError(reason string, st DrainStats) error {
+	be := &BudgetError{
+		Reason:   reason,
+		At:       s.now,
+		Events:   st.Events,
+		SameTime: st.SameTime,
+		Pending:  len(s.heap) - s.cancelled,
+	}
+	for _, e := range s.heap {
+		if e.cancelled {
+			continue
+		}
+		be.Sample = append(be.Sample, PendingEvent{Time: e.Time, Label: e.Label})
+		if len(be.Sample) == sampleSize {
+			break
+		}
+	}
+	return be
+}
+
+// RunUntilBudget fires every event with Time <= t, subject to the budget,
+// and then advances the clock to exactly t. When a bound trips it stops
+// mid-drain — the clock rests at the last fired event — and returns the
+// stats so far plus a *BudgetError. With a zero Budget it behaves exactly
+// like RunUntil and never returns an error.
+func (s *Simulator) RunUntilBudget(t float64, b Budget) (DrainStats, error) {
+	var st DrainStats
+	var runTime float64 // instant of the current same-time run
+	run := 0            // events fired at runTime so far
+	for len(s.heap) > 0 && s.heap[0].Time <= t {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.cancelled {
+			s.cancelled--
+			continue
+		}
+		s.now = e.Time
+		e.fn()
+		st.Events++
+		//lint:ignore floatcompare same-instant detection must be exact; an epsilon would mistake distinct times for a Zeno run
+		if st.Events == 1 || e.Time != runTime {
+			runTime = e.Time
+			run = 1
+		} else {
+			run++
+		}
+		if run > st.SameTime {
+			st.SameTime = run
+		}
+		// Trip only when queued work remains inside the horizon; a bound
+		// reached on the drain's final event is not an overrun.
+		more := len(s.heap) > 0 && s.heap[0].Time <= t
+		if b.MaxEvents > 0 && st.Events >= b.MaxEvents && more {
+			return st, s.budgetError(ReasonMaxEvents, st)
+		}
+		//lint:ignore floatcompare the same-time bound trips only if the next event shares this exact instant
+		if b.MaxSameTimeEvents > 0 && run >= b.MaxSameTimeEvents && more && s.heap[0].Time == runTime {
+			return st, s.budgetError(ReasonSameTime, st)
+		}
+		if b.Interrupt != nil && st.Events%interruptEvery == 0 && b.Interrupt() {
+			return st, s.budgetError(ReasonInterrupt, st)
+		}
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return st, nil
+}

@@ -1,0 +1,277 @@
+package devs
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"vdcpower/internal/race"
+)
+
+// A zero budget must be indistinguishable from RunUntil.
+func TestRunUntilBudgetZeroBudgetMatchesRunUntil(t *testing.T) {
+	runOrder := func(drain func(s *Simulator)) []float64 {
+		s := NewSimulator()
+		rng := rand.New(rand.NewSource(11))
+		var fired []float64
+		for i := 0; i < 500; i++ {
+			s.Schedule(rng.Float64()*100, func() { fired = append(fired, s.Now()) })
+		}
+		drain(s)
+		return fired
+	}
+	plain := runOrder(func(s *Simulator) { s.RunUntil(200) })
+	budgeted := runOrder(func(s *Simulator) {
+		st, err := s.RunUntilBudget(200, Budget{})
+		if err != nil {
+			t.Fatalf("zero budget tripped: %v", err)
+		}
+		if st.Events != 500 {
+			t.Fatalf("Events = %d, want 500", st.Events)
+		}
+	})
+	if len(plain) != len(budgeted) {
+		t.Fatalf("fired %d vs %d events", len(plain), len(budgeted))
+	}
+	for i := range plain {
+		if plain[i] != budgeted[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, plain[i], budgeted[i])
+		}
+	}
+}
+
+func TestRunUntilBudgetMaxEventsTrip(t *testing.T) {
+	s := NewSimulator()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		e := s.Schedule(float64(i), func() { fired++ })
+		e.Label = "tick"
+	}
+	st, err := s.RunUntilBudget(1000, Budget{MaxEvents: 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err is not *BudgetError: %v", err)
+	}
+	if be.Reason != ReasonMaxEvents {
+		t.Fatalf("Reason = %q", be.Reason)
+	}
+	if fired != 10 || st.Events != 10 || be.Events != 10 {
+		t.Fatalf("fired=%d st.Events=%d be.Events=%d, want 10", fired, st.Events, be.Events)
+	}
+	if be.At != 9 {
+		t.Fatalf("At = %v, want 9 (last fired event)", be.At)
+	}
+	if be.Pending != 90 {
+		t.Fatalf("Pending = %d, want 90", be.Pending)
+	}
+	if len(be.Sample) != sampleSize {
+		t.Fatalf("Sample size = %d, want %d", len(be.Sample), sampleSize)
+	}
+	for _, p := range be.Sample {
+		if p.Label != "tick" {
+			t.Fatalf("Sample label = %q, want tick", p.Label)
+		}
+	}
+	if !strings.Contains(be.Error(), "tick@") {
+		t.Fatalf("Error() lacks provenance: %s", be.Error())
+	}
+	// The drain is resumable: finishing without a budget fires the rest.
+	if _, err := s.RunUntilBudget(1000, Budget{}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if fired != 100 {
+		t.Fatalf("fired = %d after resume, want 100", fired)
+	}
+}
+
+// A bound reached on the drain's very last event is not an overrun.
+func TestRunUntilBudgetNoTripOnFinalEvent(t *testing.T) {
+	s := NewSimulator()
+	for i := 0; i < 10; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	st, err := s.RunUntilBudget(1000, Budget{MaxEvents: 10})
+	if err != nil {
+		t.Fatalf("tripped on final event: %v", err)
+	}
+	if st.Events != 10 {
+		t.Fatalf("Events = %d", st.Events)
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("Now = %v, want horizon 1000", s.Now())
+	}
+}
+
+// A self-rescheduling event at the current instant is the Zeno-storm
+// signature; the same-time bound must cut it off.
+func TestRunUntilBudgetSameTimeTrip(t *testing.T) {
+	s := NewSimulator()
+	fired := 0
+	var storm func()
+	storm = func() {
+		fired++
+		e := s.Schedule(s.Now(), storm)
+		e.Label = "storm"
+	}
+	s.Schedule(1, storm)
+	st, err := s.RunUntilBudget(10, Budget{MaxSameTimeEvents: 50})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != ReasonSameTime {
+		t.Fatalf("err = %v, want same-time trip", err)
+	}
+	if st.SameTime < 50 {
+		t.Fatalf("SameTime = %d, want >= 50", st.SameTime)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("Now = %v, want stuck at 1", s.Now())
+	}
+	if fired > 51 {
+		t.Fatalf("fired %d events before trip", fired)
+	}
+}
+
+// Distinct timestamps never trip the same-time bound, however many there are.
+func TestRunUntilBudgetSameTimeIgnoresAdvancingClock(t *testing.T) {
+	s := NewSimulator()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 1000 {
+			s.After(1e-9, chain)
+		}
+	}
+	s.Schedule(0, chain)
+	if _, err := s.RunUntilBudget(1, Budget{MaxSameTimeEvents: 2}); err != nil {
+		t.Fatalf("advancing chain tripped same-time bound: %v", err)
+	}
+	if n != 1000 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestRunUntilBudgetInterrupt(t *testing.T) {
+	s := NewSimulator()
+	for i := 0; i < 1000; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	polls := 0
+	st, err := s.RunUntilBudget(1e6, Budget{Interrupt: func() bool {
+		polls++
+		return polls >= 2
+	}})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Reason != ReasonInterrupt {
+		t.Fatalf("err = %v, want interrupt trip", err)
+	}
+	if st.Events != 2*interruptEvery {
+		t.Fatalf("Events = %d, want %d (two poll intervals)", st.Events, 2*interruptEvery)
+	}
+}
+
+// Satellite 1: heavy cancel churn must not bloat the heap. The lazy purge
+// keeps Pending() (and the backing heap) bounded even when most scheduled
+// events are cancelled before firing, as PSQueue re-arms do.
+func TestCancelChurnKeepsPendingBounded(t *testing.T) {
+	s := NewSimulator()
+	fired := 0
+	var prev *Event
+	const churn = 100_000
+	for i := 0; i < churn; i++ {
+		if prev != nil {
+			prev.Cancel()
+		}
+		prev = s.Schedule(float64(i+1), func() { fired++ })
+		if h := len(s.heap); h > 2*purgeThreshold+2 {
+			t.Fatalf("heap grew to %d entries after %d cancels", h, i)
+		}
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 live event", s.Pending())
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want only the survivor", fired)
+	}
+}
+
+// The purge must not disturb firing order among survivors.
+func TestPurgePreservesOrder(t *testing.T) {
+	s := NewSimulator()
+	rng := rand.New(rand.NewSource(3))
+	var events []*Event
+	var fired []float64
+	for i := 0; i < 2000; i++ {
+		at := rng.Float64() * 100
+		events = append(events, s.Schedule(at, func() { fired = append(fired, s.Now()) }))
+	}
+	// Cancel a random two-thirds to force purges mid-stream.
+	for i, e := range events {
+		if i%3 != 0 {
+			e.Cancel()
+		}
+	}
+	s.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("order regressed at %d: %v then %v", i, fired[i-1], fired[i])
+		}
+	}
+	if len(fired) == 0 {
+		t.Fatal("no survivors fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	s := NewSimulator()
+	e := s.Schedule(1, func() {})
+	e.Cancel()
+	e.Cancel() // double-cancel must not double-count toward the purge
+	if s.cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", s.cancelled)
+	}
+	s.Run()
+}
+
+// Acceptance: the budget check on the hot drain path adds no allocations.
+// testing.AllocsPerRun's warm-up call would empty the heap before the
+// measured run, so this measures one real drain via MemStats instead.
+func TestRunUntilBudgetDrainZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation gate not meaningful under -race")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	s := NewSimulator()
+	at := 0.0
+	fn := func() {}
+	budget := Budget{MaxEvents: 1 << 30, MaxSameTimeEvents: 1 << 30}
+	fill := func() {
+		for i := 0; i < 256; i++ {
+			at++
+			s.Schedule(at, fn)
+		}
+	}
+	// Warm up so the heap's backing array reaches steady-state capacity.
+	for r := 0; r < 3; r++ {
+		fill()
+		if _, err := s.RunUntilBudget(at, budget); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := s.RunUntilBudget(at, budget); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if d := after.Mallocs - before.Mallocs; d != 0 {
+		t.Fatalf("budgeted drain of 256 events allocated %d times, want 0", d)
+	}
+}

@@ -11,16 +11,32 @@ import "container/heap"
 // Event is a scheduled callback. The zero Event is not valid; obtain
 // events from Simulator.Schedule or Simulator.After.
 type Event struct {
-	Time      float64
+	Time float64
+	// Label names the event's provenance ("psqueue.complete", ...) so a
+	// budget-exceeded error can report what the stuck queue is made of.
+	// Optional; set it right after Schedule/After.
+	Label     string
 	fn        func()
+	sim       *Simulator
 	seq       uint64
-	index     int // heap index, -1 once popped or cancelled
+	index     int // heap index, -1 once popped or purged
 	cancelled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already fired or
-// cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// cancelled event is a no-op. Cancelled events are reclaimed lazily: once
+// they outnumber live ones they are purged in one pass, so cancel-heavy
+// reschedule churn cannot bloat the heap.
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.sim != nil && e.index >= 0 {
+		e.sim.cancelled++
+		e.sim.maybePurge()
+	}
+}
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
@@ -57,9 +73,10 @@ func (h *eventHeap) Pop() any {
 
 // Simulator owns a virtual clock and the pending event queue.
 type Simulator struct {
-	now  float64
-	heap eventHeap
-	seq  uint64
+	now       float64
+	heap      eventHeap
+	seq       uint64
+	cancelled int // cancelled events still occupying heap slots
 }
 
 // NewSimulator returns a simulator with the clock at zero.
@@ -68,8 +85,10 @@ func NewSimulator() *Simulator { return &Simulator{} }
 // Now returns the current virtual time in seconds.
 func (s *Simulator) Now() float64 { return s.now }
 
-// Pending returns the number of queued (possibly cancelled) events.
-func (s *Simulator) Pending() int { return len(s.heap) }
+// Pending returns the number of live queued events. Cancelled events
+// awaiting the lazy purge are not counted: cancellation is immediate in
+// effect even when the tombstone lingers in the heap.
+func (s *Simulator) Pending() int { return len(s.heap) - s.cancelled }
 
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // panics: it would silently reorder causality.
@@ -78,10 +97,38 @@ func (s *Simulator) Schedule(at float64, fn func()) *Event {
 		//lint:ignore panicpolicy simulator invariant: scheduling into the past means a broken model
 		panic("devs: scheduling event in the past")
 	}
-	e := &Event{Time: at, fn: fn, seq: s.seq}
+	e := &Event{Time: at, fn: fn, sim: s, seq: s.seq}
 	s.seq++
 	heap.Push(&s.heap, e)
 	return e
+}
+
+// purgeThreshold is the minimum number of cancelled events before a purge
+// pass is worth its O(n) cost.
+const purgeThreshold = 64
+
+// maybePurge drops cancelled events from the heap once they outnumber the
+// live ones. Heap order after Init is determined solely by (Time, seq),
+// so a purge never changes the firing order of the surviving events.
+func (s *Simulator) maybePurge() {
+	if s.cancelled < purgeThreshold || s.cancelled*2 <= len(s.heap) {
+		return
+	}
+	live := s.heap[:0]
+	for _, e := range s.heap {
+		if e.cancelled {
+			e.index = -1
+			continue
+		}
+		e.index = len(live)
+		live = append(live, e)
+	}
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = nil
+	}
+	s.heap = live
+	heap.Init(&s.heap)
+	s.cancelled = 0
 }
 
 // After queues fn to run d seconds from now.
@@ -96,6 +143,7 @@ func (s *Simulator) Step() bool {
 	for len(s.heap) > 0 {
 		e := heap.Pop(&s.heap).(*Event)
 		if e.cancelled {
+			s.cancelled--
 			continue
 		}
 		s.now = e.Time
@@ -106,16 +154,10 @@ func (s *Simulator) Step() bool {
 }
 
 // RunUntil fires every event with Time <= t and then advances the clock
-// to exactly t.
+// to exactly t. It is RunUntilBudget with no budget: the drain cannot be
+// interrupted.
 func (s *Simulator) RunUntil(t float64) {
-	for len(s.heap) > 0 && s.heap[0].Time <= t {
-		if !s.Step() {
-			break
-		}
-	}
-	if t > s.now {
-		s.now = t
-	}
+	_, _ = s.RunUntilBudget(t, Budget{})
 }
 
 // Run drains the queue completely.

@@ -53,6 +53,10 @@ const (
 	ServerCrash
 	// StepError fails one serve control step.
 	StepError
+	// BudgetExceeded exhausts a control step's execution budget: the
+	// period's event drain is cut short by the guard layer, exercising
+	// the step-abort → breaker → quarantine degradation path.
+	BudgetExceeded
 )
 
 // String names the kind for logs and metric labels.
@@ -76,6 +80,8 @@ func (k Kind) String() string {
 		return "server_crash"
 	case StepError:
 		return "step_error"
+	case BudgetExceeded:
+		return "budget_exceeded"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -501,4 +507,25 @@ func (in *Injector) StepError(step int) error {
 	}
 	in.record(Record{Kind: StepError, Step: step, Target: "serve"})
 	return &Error{Kind: StepError, Step: step, Target: "serve"}
+}
+
+// --- guard faults ------------------------------------------------------
+
+// BudgetExhausted reports whether control period number step should run
+// with an exhausted execution budget. The harness reacts by draining the
+// period under a one-event budget, so the abort travels the real kernel
+// trip path rather than a synthetic error. Injection stops after
+// Guard.UntilStep (exclusive) when set, so recovery is testable.
+func (in *Injector) BudgetExhausted(step int) bool {
+	if in == nil || in.prof.Guard.ExhaustProb <= 0 {
+		return false
+	}
+	if in.prof.Guard.UntilStep > 0 && step >= in.prof.Guard.UntilStep {
+		return false
+	}
+	if in.decide(BudgetExceeded, step, "guard", 0) >= in.prof.Guard.ExhaustProb {
+		return false
+	}
+	in.record(Record{Kind: BudgetExceeded, Step: step, Target: "guard"})
+	return true
 }

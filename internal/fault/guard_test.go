@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGuardProfileValidation(t *testing.T) {
+	bad := Profile{Guard: GuardProfile{ExhaustProb: 1.5}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "guard.exhaust_prob") {
+		t.Fatalf("Validate = %v", err)
+	}
+	good := Profile{Guard: GuardProfile{ExhaustProb: 1, UntilStep: 8}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate = %v", err)
+	}
+	if !good.Enabled() {
+		t.Fatal("guard-only profile not Enabled")
+	}
+}
+
+func TestBudgetExhaustedNilAndDisabled(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.BudgetExhausted(0) {
+		t.Fatal("nil injector exhausted a budget")
+	}
+	in := New(Profile{Seed: 1})
+	for s := 0; s < 10; s++ {
+		if in.BudgetExhausted(s) {
+			t.Fatal("zero-probability profile fired")
+		}
+	}
+}
+
+func TestBudgetExhaustedStopsAtUntilStep(t *testing.T) {
+	in := New(Profile{Seed: 5, Guard: GuardProfile{ExhaustProb: 1, UntilStep: 4}})
+	for s := 0; s < 4; s++ {
+		if !in.BudgetExhausted(s) {
+			t.Fatalf("step %d should exhaust", s)
+		}
+	}
+	for s := 4; s < 10; s++ {
+		if in.BudgetExhausted(s) {
+			t.Fatalf("injection did not stop at step %d", s)
+		}
+	}
+	if in.Injected() == 0 {
+		t.Fatal("exhaustions not recorded")
+	}
+	if n := in.InjectedByKind()[BudgetExceeded]; n != 4 {
+		t.Fatalf("InjectedByKind[BudgetExceeded] = %d, want 4", n)
+	}
+}
+
+func TestBudgetExhaustedDeterministic(t *testing.T) {
+	p := Profile{Seed: 11, Guard: GuardProfile{ExhaustProb: 0.4}}
+	a, b := New(p), New(p)
+	for s := 0; s < 50; s++ {
+		if a.BudgetExhausted(s) != b.BudgetExhausted(s) {
+			t.Fatalf("same-seed injectors diverged at step %d", s)
+		}
+	}
+}
+
+func TestBudgetExceededKindString(t *testing.T) {
+	if got := BudgetExceeded.String(); got != "budget_exceeded" {
+		t.Fatalf("String = %q", got)
+	}
+}

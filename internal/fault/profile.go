@@ -105,6 +105,16 @@ type ServeProfile struct {
 	UntilStep int `json:"until_step,omitempty"`
 }
 
+// GuardProfile exhausts control-step execution budgets.
+type GuardProfile struct {
+	// ExhaustProb is the per-period probability the step's event budget
+	// is exhausted (the drain aborts through the guard layer).
+	ExhaustProb float64 `json:"exhaust_prob,omitempty"`
+	// UntilStep stops injection at this step (exclusive) when > 0, so
+	// breaker recovery and quarantine exit are observable.
+	UntilStep int `json:"until_step,omitempty"`
+}
+
 // Profile is one fault-injection configuration, loadable from JSON
 // (cmd/dcsim -faults profile.json). The zero profile injects nothing.
 type Profile struct {
@@ -117,6 +127,7 @@ type Profile struct {
 	Optimizer OptimizerProfile `json:"optimizer,omitempty"`
 	Crash     CrashProfile     `json:"crash,omitempty"`
 	Serve     ServeProfile     `json:"serve,omitempty"`
+	Guard     GuardProfile     `json:"guard,omitempty"`
 }
 
 // probRange checks one probability field.
@@ -141,6 +152,7 @@ func (p Profile) Validate() error {
 		{"optimizer.error_prob", p.Optimizer.ErrorProb},
 		{"crash.prob", p.Crash.Prob},
 		{"serve.error_prob", p.Serve.ErrorProb},
+		{"guard.exhaust_prob", p.Guard.ExhaustProb},
 	}
 	for _, c := range checks {
 		if err := probRange(c.name, c.v); err != nil {
@@ -174,7 +186,8 @@ func (p Profile) Validate() error {
 func (p Profile) Enabled() bool {
 	return p.Sensor.DropoutProb > 0 || p.Sensor.OutlierProb > 0 || p.Sensor.StuckProb > 0 ||
 		p.DVFS.FailProb > 0 || p.Migration.AbortProb > 0 || p.Optimizer.ErrorProb > 0 ||
-		p.Crash.Prob > 0 || len(p.Crash.At) > 0 || p.Serve.ErrorProb > 0
+		p.Crash.Prob > 0 || len(p.Crash.At) > 0 || p.Serve.ErrorProb > 0 ||
+		p.Guard.ExhaustProb > 0
 }
 
 // ReadProfile parses and validates a JSON profile.

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScorecardGuardReport(t *testing.T) {
+	s := New(Config{})
+	s.RecordDrain(100, 3)
+	s.RecordDrain(250, 7)
+	s.RecordDrain(40, 1)
+	s.RecordBudgetTrip(false)
+	s.RecordBudgetTrip(true)
+	s.RecordQuarantine()
+	g := s.Report().Guard
+	if g.Drains != 3 {
+		t.Fatalf("Drains = %d", g.Drains)
+	}
+	if g.MaxDrainEvents != 250 || g.MaxSameTime != 7 {
+		t.Fatalf("max fold wrong: %+v", g)
+	}
+	if g.BudgetTrips != 2 || g.WallTrips != 1 {
+		t.Fatalf("trips wrong: %+v", g)
+	}
+	if g.Quarantines != 1 {
+		t.Fatalf("Quarantines = %d", g.Quarantines)
+	}
+}
+
+func TestScorecardGuardJSONFields(t *testing.T) {
+	s := New(Config{})
+	s.RecordDrain(5, 2)
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"guard"`, `"drains"`, `"budget_trips"`, `"wall_trips"`, `"quarantines"`, `"max_drain_events"`, `"max_same_time"`} {
+		if !strings.Contains(b.String(), key) {
+			t.Fatalf("JSON lacks %s:\n%s", key, b.String())
+		}
+	}
+}
+
+func TestScorecardGuardMerge(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	a.RecordDrain(10, 2)
+	a.RecordBudgetTrip(false)
+	b.RecordDrain(90, 5)
+	b.RecordBudgetTrip(true)
+	b.RecordQuarantine()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	g := a.Report().Guard
+	if g.Drains != 2 || g.BudgetTrips != 2 || g.WallTrips != 1 || g.Quarantines != 1 {
+		t.Fatalf("merged counts wrong: %+v", g)
+	}
+	if g.MaxDrainEvents != 90 || g.MaxSameTime != 5 {
+		t.Fatalf("merged max fold wrong: %+v", g)
+	}
+}
+
+func TestScorecardGuardNilSafe(t *testing.T) {
+	var s *Scorecard
+	s.RecordDrain(1, 1)
+	s.RecordBudgetTrip(true)
+	s.RecordQuarantine()
+}
+
+// RecordDrain runs every control period, budget or no budget — it shares
+// the zero-allocation discipline of the other scorecard hot paths.
+func TestScorecardGuardZeroAlloc(t *testing.T) {
+	s := New(Config{})
+	i := 0
+	requireZeroAllocs(t, "Scorecard guard updates", func() {
+		s.RecordDrain(100+i%50, i%9)
+		if i%17 == 0 {
+			s.RecordBudgetTrip(i%2 == 0)
+		}
+		i++
+	})
+}

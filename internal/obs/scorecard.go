@@ -128,6 +128,14 @@ type Scorecard struct {
 	vmsEvacuated int
 	vmsLost      int
 
+	// Bounded execution (guard layer).
+	drains         uint64
+	budgetTrips    uint64
+	wallTrips      uint64
+	quarantines    uint64
+	maxDrainEvents int
+	maxSameTime    int
+
 	apps  []appHealth
 	power *Sketch
 	slo   *SLO
@@ -335,6 +343,43 @@ func (s *Scorecard) RecordCrash(evacuated, lost int) {
 	s.vmsLost += lost
 }
 
+// RecordDrain folds one control period's bounded event drain: the event
+// count and the longest same-instant run. It runs every period whether or
+// not a budget is in force, so it must stay allocation-free.
+func (s *Scorecard) RecordDrain(events, sameTime int) {
+	if s == nil {
+		return
+	}
+	s.drains++
+	if events > s.maxDrainEvents {
+		s.maxDrainEvents = events
+	}
+	if sameTime > s.maxSameTime {
+		s.maxSameTime = sameTime
+	}
+}
+
+// RecordBudgetTrip counts one drain cut short by its budget; wall marks
+// the wall-clock watchdog (as opposed to an event bound) as the cause.
+func (s *Scorecard) RecordBudgetTrip(wall bool) {
+	if s == nil {
+		return
+	}
+	s.budgetTrips++
+	if wall {
+		s.wallTrips++
+	}
+}
+
+// RecordQuarantine counts one quarantine entry (repeated budget
+// exhaustion escalated past the breaker).
+func (s *Scorecard) RecordQuarantine() {
+	if s == nil {
+		return
+	}
+	s.quarantines++
+}
+
 // Audit returns the decision ring (nil on a nil scorecard; Record on a
 // nil Audit no-ops, so callers need no guard).
 func (s *Scorecard) Audit() *Audit {
@@ -417,6 +462,16 @@ func (s *Scorecard) Merge(o *Scorecard) error {
 	s.crashes += o.crashes
 	s.vmsEvacuated += o.vmsEvacuated
 	s.vmsLost += o.vmsLost
+	s.drains += o.drains
+	s.budgetTrips += o.budgetTrips
+	s.wallTrips += o.wallTrips
+	s.quarantines += o.quarantines
+	if o.maxDrainEvents > s.maxDrainEvents {
+		s.maxDrainEvents = o.maxDrainEvents
+	}
+	if o.maxSameTime > s.maxSameTime {
+		s.maxSameTime = o.maxSameTime
+	}
 	s.power.Merge(o.power)
 	s.slo.merge(o.slo)
 	s.audit.merge(o.audit)
@@ -471,6 +526,17 @@ type ClusterReport struct {
 	VMsLost      int `json:"vms_lost"`
 }
 
+// GuardReport is the bounded-execution slice: how hard the step drains
+// worked and how often the guard layer had to step in.
+type GuardReport struct {
+	Drains         uint64 `json:"drains"`
+	BudgetTrips    uint64 `json:"budget_trips"`
+	WallTrips      uint64 `json:"wall_trips"`
+	Quarantines    uint64 `json:"quarantines"`
+	MaxDrainEvents int    `json:"max_drain_events"`
+	MaxSameTime    int    `json:"max_same_time"`
+}
+
 // AppReport is one registered application's slice.
 type AppReport struct {
 	Name       string        `json:"name"`
@@ -493,6 +559,7 @@ type Report struct {
 	Breaker   BreakerReport   `json:"breaker"`
 	Optimizer OptimizerReport `json:"optimizer"`
 	Cluster   ClusterReport   `json:"cluster"`
+	Guard     GuardReport     `json:"guard"`
 	Apps      []AppReport     `json:"apps"`
 	Power     *SketchSummary  `json:"power,omitempty"`
 	Audit     AuditReport     `json:"audit"`
@@ -552,6 +619,14 @@ func (s *Scorecard) Report() Report {
 			Crashes:      s.crashes,
 			VMsEvacuated: s.vmsEvacuated,
 			VMsLost:      s.vmsLost,
+		},
+		Guard: GuardReport{
+			Drains:         s.drains,
+			BudgetTrips:    s.budgetTrips,
+			WallTrips:      s.wallTrips,
+			Quarantines:    s.quarantines,
+			MaxDrainEvents: s.maxDrainEvents,
+			MaxSameTime:    s.maxSameTime,
 		},
 		Apps:  []AppReport{},
 		Audit: s.audit.report(),

@@ -12,9 +12,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vdcpower/internal/fault"
+	"vdcpower/internal/guard"
 	"vdcpower/internal/obs"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
@@ -73,6 +75,25 @@ type Server struct {
 	gBreakState    *telemetry.Gauge
 	gBreakCooldown *telemetry.Gauge
 	cBreakTrans    *telemetry.Counter
+
+	// Bounded execution: each step's event drain runs under guardBudget
+	// with the watchdog as its wall-clock deadline, repeated budget
+	// exhaustion escalates to quarantine (stretched breaker cooldowns),
+	// and /health + /status answer from the lock-free live snapshot even
+	// while a step holds s.mu.
+	guardBudget guard.StepBudget
+	watch       guard.Watchdog
+	quar        guard.Quarantine
+	live        atomic.Pointer[liveDoc]
+}
+
+// liveDoc is the read model behind /health and /status: rebuilt under
+// s.mu at every state change, read without any lock. A wedged or merely
+// slow step can therefore never block a readiness probe — the bug that
+// motivated the guard layer (ROADMAP item 6).
+type liveDoc struct {
+	status Status
+	health Health
 }
 
 // New wraps an already-constructed testbed and attaches telemetry to it:
@@ -102,7 +123,50 @@ func New(tb *testbed.Testbed) *Server {
 		"ticks remaining before the open breaker half-opens (0 while closed)")
 	s.cBreakTrans = s.metrics.Counter("vdcpower_breaker_transitions_total",
 		"circuit breaker state transitions")
+	s.setGuard(guard.DefaultStepBudget())
+	s.refreshLive()
 	return s
+}
+
+// SetGuard bounds every control step: the event budgets lower onto the
+// testbed's kernel drain, and a positive Wall arms the watchdog around
+// each step. A zero budget removes every bound (not recommended — it
+// restores the pre-guard behavior where a Zeno storm wedges the loop).
+func (s *Server) SetGuard(b guard.StepBudget) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setGuard(b)
+	s.refreshLive()
+}
+
+// setGuard applies the budget; callers hold s.mu (or are New).
+func (s *Server) setGuard(b guard.StepBudget) {
+	s.guardBudget = b
+	var interrupt func() bool
+	if b.Wall > 0 {
+		interrupt = s.watch.Expired
+	}
+	s.tb.SetStepBudget(b.DevsBudget(interrupt))
+}
+
+// refreshLive rebuilds the lock-free /health + /status snapshot. Callers
+// hold s.mu (or are New, before any concurrency exists).
+func (s *Server) refreshLive() {
+	h := Health{
+		Status:              "ok",
+		ConsecutiveFailures: s.consecFails,
+		BreakerOpen:         s.breakerOpen,
+		Quarantined:         s.quar.Active(),
+		Steps:               s.totalSteps,
+		FaultsInjected:      s.faults.Injected(),
+	}
+	if s.lastErr != nil {
+		h.LastError = s.lastErr.Error()
+	}
+	if s.lastErr != nil || s.breakerOpen {
+		h.Status = "degraded"
+	}
+	s.live.Store(&liveDoc{status: s.snapshotStatus(), health: h})
 }
 
 // publishBreaker mirrors the breaker's state into the metrics gauges and
@@ -148,29 +212,38 @@ func (s *Server) AttachFaults(inj *fault.Injector) {
 	s.faults = inj
 	s.tb.AttachFaults(inj)
 	inj.AttachMetrics(s.metrics)
+	s.refreshLive()
 }
 
 // Step advances the control loop by one period. The fault plane is
 // consulted first: an injected step error fails the period before the
-// testbed runs, exactly like a wedged collector or actuator would.
+// testbed runs, exactly like a wedged collector or actuator would. The
+// period's drain runs under the guard budget with the watchdog armed, so
+// a runaway model surfaces as a bounded *guard.StepAbort instead of a
+// hang; the periods completed before an abort still land in the history.
 func (s *Server) Step() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.refreshLive()
 	k := s.totalSteps
 	s.totalSteps++
 	if err := s.faults.StepError(k); err != nil {
 		return err
 	}
+	if s.guardBudget.Wall > 0 {
+		s.watch.Arm(s.guardBudget.Wall)
+		defer s.watch.Disarm()
+	}
 	start := telemetry.WallClock()
 	recs, err := s.tb.Run(s.tb.Cfg.Period, nil)
-	if err != nil {
-		return err
-	}
-	s.stepWall.Observe(telemetry.WallClock() - start)
 	s.history = append(s.history, recs...)
 	if len(s.history) > s.maxHistory {
 		s.history = s.history[len(s.history)-s.maxHistory:]
 	}
+	if err != nil {
+		return err
+	}
+	s.stepWall.Observe(telemetry.WallClock() - start)
 	return nil
 }
 
@@ -192,6 +265,8 @@ func (s *Server) Start(interval time.Duration) {
 	s.lastErr = nil
 	s.consecFails = 0
 	s.breakerOpen = false
+	s.quar.RecordRecovery()
+	s.refreshLive()
 	stop := s.stop
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -216,10 +291,12 @@ func (s *Server) Start(interval time.Duration) {
 
 // allowStep decides whether this tick runs a real step or is absorbed by
 // an open circuit breaker. The last cooldown tick half-opens the breaker:
-// the step runs as a probe.
+// the step runs as a probe. While quarantined the cooldown was armed
+// longer (see recordStep), so probes are correspondingly rarer.
 func (s *Server) allowStep() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.refreshLive()
 	if !s.breakerOpen {
 		return true
 	}
@@ -233,10 +310,16 @@ func (s *Server) allowStep() bool {
 	return true // half-open probe
 }
 
-// recordStep folds one step outcome into the degraded-mode state.
+// recordStep folds one step outcome into the degraded-mode state. Budget
+// exhaustion (a *guard.StepAbort) is a wedge-class failure: when it opens
+// or re-opens the breaker repeatedly, the quarantine engages and every
+// subsequent cooldown is stretched — a runaway model burns a full budget
+// per probe, so probing it at the normal cadence is itself a cost. Any
+// successful step (the half-open probe included) lifts the quarantine.
 func (s *Server) recordStep(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.refreshLive()
 	if err == nil {
 		s.lastErr = nil
 		s.consecFails = 0
@@ -244,6 +327,15 @@ func (s *Server) recordStep(err error) {
 			s.breakerOpen = false
 			logf("serve: circuit breaker closed after successful probe")
 		}
+		if s.quar.Active() {
+			s.obs.Audit().Record(obs.Decision{
+				Step: s.totalSteps, TimeSec: s.tb.Sim.Now(),
+				Component: "serve", Action: "quarantine-exit",
+				Reason: "successful step while quarantined", Span: "serve.step",
+			})
+			logf("serve: quarantine lifted after successful step")
+		}
+		s.quar.RecordRecovery()
 		s.publishBreaker(obs.BreakerClosed)
 		return
 	}
@@ -251,19 +343,34 @@ func (s *Server) recordStep(err error) {
 	s.consecFails++
 	s.stepErrs.Inc()
 	s.degraded.Inc()
+	opened := false
 	switch {
 	case s.breakerOpen:
-		s.cooldownLeft = s.breakerCooldown
-		s.publishBreaker(obs.BreakerOpen)
+		opened = true
 		logf("serve: circuit breaker probe failed, re-opening: %v", err)
 	case s.consecFails >= s.breakerThreshold:
 		s.breakerOpen = true
-		s.cooldownLeft = s.breakerCooldown
-		s.publishBreaker(obs.BreakerOpen)
+		opened = true
 		logf("serve: circuit breaker opened after %d consecutive step failures: %v", s.consecFails, err)
 	default:
 		logf("serve: control step failed, continuing degraded: %v", err)
 	}
+	if !opened {
+		return
+	}
+	if guard.IsStepAbort(err) && s.quar.RecordWedge() {
+		s.obs.RecordQuarantine()
+		s.obs.Audit().Record(obs.Decision{
+			Step: s.totalSteps, TimeSec: s.tb.Sim.Now(),
+			Component: "serve", Action: "quarantine-enter",
+			Reason: "repeated step-budget exhaustion",
+			Value:  float64(s.quar.Entries()), Span: "serve.step",
+		})
+		logf("serve: quarantined after repeated budget exhaustion (cooldown stretched to %d ticks)",
+			s.quar.Cooldown(s.breakerCooldown))
+	}
+	s.cooldownLeft = s.quar.Cooldown(s.breakerCooldown)
+	s.publishBreaker(obs.BreakerOpen)
 }
 
 // LastErr returns the most recent step error while the loop is degraded,
@@ -423,31 +530,22 @@ type Health struct {
 	Status              string `json:"status"` // ok | degraded
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	BreakerOpen         bool   `json:"breaker_open"`
+	Quarantined         bool   `json:"quarantined,omitempty"`
 	LastError           string `json:"last_error,omitempty"`
 	Steps               int    `json:"steps"`
 	FaultsInjected      int    `json:"faults_injected"`
 }
 
+// handleHealth answers from the lock-free live snapshot: a readiness
+// probe must never wait on s.mu, which a step in flight holds for up to
+// its whole budget.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	h := Health{
-		Status:              "ok",
-		ConsecutiveFailures: s.consecFails,
-		BreakerOpen:         s.breakerOpen,
-		Steps:               s.totalSteps,
-		FaultsInjected:      s.faults.Injected(),
-	}
-	if s.lastErr != nil {
-		h.LastError = s.lastErr.Error()
-	}
-	degraded := s.lastErr != nil || s.breakerOpen
-	s.mu.Unlock()
-	if degraded {
-		h.Status = "degraded"
+	h := s.live.Load().health
+	if h.Status == "degraded" {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		if err := json.NewEncoder(w).Encode(h); err != nil {
@@ -458,15 +556,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, h)
 }
 
+// handleStatus answers from the same lock-free snapshot as /health.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	st := s.snapshotStatus()
-	s.mu.Unlock()
-	writeJSON(w, st)
+	writeJSON(w, s.live.Load().status)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -672,6 +768,7 @@ func (s *Server) handleSetpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.tb.Controllers[idx].SetSetpoint(sec)
+	s.refreshLive()
 	s.mu.Unlock()
 	writeJSON(w, map[string]any{"app": idx, "setpoint_sec": sec})
 }
@@ -692,6 +789,7 @@ func (s *Server) handleConcurrency(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.tb.Apps[idx].SetConcurrency(level)
+	s.refreshLive()
 	s.mu.Unlock()
 	writeJSON(w, map[string]any{"app": idx, "concurrency": level})
 }

@@ -8,6 +8,7 @@
 package testbed
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"vdcpower/internal/core"
 	"vdcpower/internal/devs"
 	"vdcpower/internal/fault"
+	"vdcpower/internal/guard"
 	"vdcpower/internal/mat"
 	"vdcpower/internal/mpc"
 	"vdcpower/internal/obs"
@@ -107,6 +109,11 @@ type Testbed struct {
 
 	faults      *fault.Injector
 	periodCount int // control periods executed across every Run call
+
+	// stepBudget bounds each control period's event drain (SetStepBudget).
+	// The zero budget imposes no bound, preserving the unguarded behavior
+	// byte for byte.
+	stepBudget devs.Budget
 
 	obs          *obs.Scorecard // optional health scorecard (AttachObs)
 	obsApps      []int          // scorecard app index per application
@@ -292,6 +299,15 @@ func (tb *Testbed) AttachFaults(inj *fault.Injector) {
 	inj.AttachMetrics(tb.metrics)
 }
 
+// SetStepBudget bounds every subsequent control period's event drain.
+// When a bound trips, Run returns the periods completed so far plus a
+// *guard.StepAbort instead of spinning (ROADMAP item 6's wedge becomes a
+// failed step the circuit breaker can react to). The zero budget removes
+// every bound. The budget's Interrupt callback, if any, must not touch
+// the simulation — it is the wall-clock watchdog's only way in, and the
+// testbed itself never reads a real clock.
+func (tb *Testbed) SetStepBudget(b devs.Budget) { tb.stepBudget = b }
+
 // AttachTelemetry wires span tracing and metrics into the testbed. It
 // builds a tracer on the simulator clock — spans carry logical sim-time,
 // so same-seed runs trace identically and the determinism analyzer
@@ -463,7 +479,50 @@ func (tb *Testbed) Run(duration float64, hook func(period int, now float64)) ([]
 		p := tb.periodCount
 		tb.periodCount++
 		tb.faults.SetStep(p)
-		tb.Sim.RunUntil(tb.Sim.Now() + tb.Cfg.Period)
+		budget := tb.stepBudget
+		if tb.faults.BudgetExhausted(p) {
+			// Inject exhaustion by draining under a one-event budget: the
+			// abort travels the real kernel trip path, not a synthetic error.
+			budget = devs.Budget{MaxEvents: 1}
+		}
+		stats, derr := tb.Sim.RunUntilBudget(tb.Sim.Now()+tb.Cfg.Period, budget)
+		tb.obs.RecordDrain(stats.Events, stats.SameTime)
+		if tb.checker != nil {
+			tb.checker.Observe(check.Event{
+				Kind: check.EvGuard,
+				Step: p,
+				Guard: &check.GuardObservation{
+					MaxEvents:   budget.MaxEvents,
+					Events:      stats.Events,
+					MaxSameTime: budget.MaxSameTimeEvents,
+					SameTime:    stats.SameTime,
+					Tripped:     derr != nil,
+					Aborted:     derr != nil,
+				},
+			})
+		}
+		if derr != nil {
+			// Budget exhausted: fail the step bounded instead of hanging.
+			// The records so far are the partial result; the caller's
+			// breaker reacts to the typed abort.
+			wall := false
+			var be *devs.BudgetError
+			if errors.As(derr, &be) {
+				wall = be.Reason == devs.ReasonInterrupt
+			}
+			tb.obs.RecordBudgetTrip(wall)
+			tb.obs.Audit().Record(obs.Decision{
+				Step:      p,
+				TimeSec:   tb.Sim.Now() - t0,
+				Component: "guard",
+				Action:    "step-abort",
+				Target:    "testbed",
+				Reason:    derr.Error(),
+				Value:     float64(stats.Events),
+				Span:      "testbed.period",
+			})
+			return records, &guard.StepAbort{Period: p, Wall: wall, Err: derr}
+		}
 		psp := tk.Start("testbed.period").Int("period", k)
 		tb.obs.ObserveStep()
 		rec := PeriodRecord{Time: tb.Sim.Now() - t0, T90: make([]float64, len(tb.Apps))}
