@@ -30,6 +30,7 @@ import (
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/report"
 	"vdcpower/internal/telemetry"
+	"vdcpower/internal/trace"
 	"vdcpower/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	log.SetPrefix("dcsim: ")
 	var (
 		workloadP = flag.String("workload", "", "workload trace file (.gob or .csv); generated if empty")
+		replayP   = flag.String("replay", "", "replay spec JSON (see internal/trace.ReplaySpec): build the workload by deterministically replaying a real-trace corpus, with any distortions the spec lists")
 		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON recording of the run's spans to this file (the workload input flag is -workload)")
 		sizesStr  = flag.String("sizes", "30,230,1030,2030,3030,4030,5415", "comma-separated data-center sizes (number of VMs)")
 		days      = flag.Int("days", 7, "days to generate when no trace file is given")
@@ -110,8 +112,25 @@ func main() {
 	}
 	sort.Ints(sizes)
 
-	tr, err := loadOrGenerate(*workloadP, *vms, *days, *seed)
-	if err != nil {
+	var (
+		tr   *workload.Trace
+		prov *trace.Provenance
+		err  error
+	)
+	if *replayP != "" {
+		if *workloadP != "" {
+			log.Fatal("-replay and -workload are mutually exclusive")
+		}
+		sp, err := trace.LoadSpec(*replayP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tr, prov, err = sp.Build(); err != nil {
+			log.Fatal(err)
+		}
+		scorecard.SetProvenance(obsProvenance(prov))
+		fmt.Printf("replayed %s: %d records, %d distorted\n", prov.Source, prov.Records, prov.Distorted)
+	} else if tr, err = loadOrGenerate(*workloadP, *vms, *days, *seed); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trace: %d VMs × %d steps (%.0f s/step), peak/mean load %.2f\n\n",
@@ -126,7 +145,7 @@ func main() {
 	}
 
 	if *checkRun {
-		if err := runChecked(tr, sizes, tracer, prof, *reportP, scorecard); err != nil {
+		if err := runChecked(tr, sizes, tracer, prof, *reportP, scorecard, prov); err != nil {
 			log.Fatal(err)
 		}
 		if err := writeTrace(tracer, *traceOut); err != nil {
@@ -235,10 +254,11 @@ func main() {
 // CI jobs assert on violations and, under a fault profile, on a nonzero
 // injected-fault count.
 type checkReport struct {
-	Invariants     int              `json:"invariants"`
-	Violations     int              `json:"violations"`
-	FaultsInjected int              `json:"faults_injected"`
-	Runs           []checkRunReport `json:"runs"`
+	Invariants     int               `json:"invariants"`
+	Violations     int               `json:"violations"`
+	FaultsInjected int               `json:"faults_injected"`
+	Replay         *trace.Provenance `json:"replay,omitempty"`
+	Runs           []checkRunReport  `json:"runs"`
 }
 
 type checkRunReport struct {
@@ -260,7 +280,7 @@ type checkRunReport struct {
 // chaos verification is reproducible run by run. Any violation is a fatal
 // error; reportPath, when nonempty, additionally receives the JSON
 // verdict.
-func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof *fault.Profile, reportPath string, scorecard *obs.Scorecard) error {
+func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof *fault.Profile, reportPath string, scorecard *obs.Scorecard, prov *trace.Provenance) error {
 	type checkedPolicy struct {
 		name string
 		mk   func() (optimizer.Consolidator, *check.PolicyAuditor)
@@ -279,7 +299,7 @@ func runChecked(tr *workload.Trace, sizes []int, tracer *telemetry.Tracer, prof 
 			return p, aud
 		}},
 	}
-	doc := checkReport{Invariants: len(check.All()) + 1}
+	doc := checkReport{Invariants: len(check.All()) + 1, Replay: prov}
 	for _, n := range sizes {
 		for _, pol := range policies {
 			cons, aud := pol.mk()
@@ -384,6 +404,19 @@ func writeScorecard(sc *obs.Scorecard, path string) error {
 	fmt.Fprintf(os.Stderr, "wrote controller-health scorecard to %s (SLO %s, %d/%d bad steps)\n",
 		path, rep.SLO.Verdict, rep.SLO.Bad, rep.SLO.Good+rep.SLO.Bad)
 	return nil
+}
+
+// obsProvenance converts the replay engine's provenance into the obs
+// package's import-free mirror of it.
+func obsProvenance(p *trace.Provenance) *obs.ReplayProvenance {
+	if p == nil {
+		return nil
+	}
+	out := &obs.ReplayProvenance{Source: p.Source, Seed: p.Seed, Records: p.Records, Distorted: p.Distorted}
+	for _, d := range p.Distortions {
+		out.Distortions = append(out.Distortions, obs.ReplayDistortion{Name: d.Name, Params: d.Params, Distorted: d.Distorted})
+	}
+	return out
 }
 
 // validateTraceOut guards the historical meaning of -trace (it used to

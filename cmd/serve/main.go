@@ -21,8 +21,10 @@ import (
 
 	"vdcpower/internal/fault"
 	"vdcpower/internal/guard"
+	"vdcpower/internal/obs"
 	"vdcpower/internal/serve"
 	"vdcpower/internal/testbed"
+	"vdcpower/internal/trace"
 )
 
 func main() {
@@ -44,6 +46,10 @@ func main() {
 			"wall-clock watchdog deadline per control period (0 = none)")
 		faultsPath = flag.String("faults", "",
 			"JSON fault profile (fault.Profile) injected into the control loop; the guard class exhausts step budgets")
+		replayPath = flag.String("replay", "",
+			"replay spec JSON (internal/trace.ReplaySpec): drive application concurrency from a deterministically replayed real trace")
+		replayConc = flag.Int("replay-max-conc", 0,
+			"clients per application at full replayed utilization (0 = twice the testbed baseline)")
 	)
 	flag.Parse()
 
@@ -70,6 +76,45 @@ func main() {
 		}
 		s.AttachFaults(fault.New(prof))
 		fmt.Printf("fault profile loaded from %s\n", *faultsPath)
+	}
+	if *replayPath != "" {
+		sp, err := trace.LoadSpec(*replayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, closer, err := sp.Open()
+		if err != nil {
+			log.Fatal(err)
+		}
+		//lint:ignore errcheck read-side close at process exit
+		defer closer.Close()
+		pipeline, err := sp.Pipeline()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream := trace.NewStream(src, trace.ReplayConfig{
+			StepSeconds: sp.StepSeconds(), Seed: sp.Seed, Distortions: pipeline,
+		})
+		maxConc := *replayConc
+		if maxConc <= 0 {
+			maxConc = 2 * cfg.Concurrency
+		}
+		feed, err := trace.NewFeed(stream, trace.FeedConfig{
+			StepSeconds: sp.StepSeconds(), Apps: cfg.NumApps, Seed: sp.Seed, MaxConcurrency: maxConc,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := sp.SourceLabel()
+		s.AttachReplay(feed, func(final bool) *obs.ReplayProvenance {
+			st := stream.Stats()
+			prov := &obs.ReplayProvenance{Source: label, Seed: sp.Seed, Records: st.Records, Distorted: st.Distorted}
+			for _, d := range st.Distortion {
+				prov.Distortions = append(prov.Distortions, obs.ReplayDistortion{Name: d.Name, Params: d.Params, Distorted: d.Distorted})
+			}
+			return prov
+		})
+		fmt.Printf("replaying %s into %d apps (max concurrency %d)\n", label, cfg.NumApps, maxConc)
 	}
 	s.Start(*tick)
 	defer s.Stop()

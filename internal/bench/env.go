@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
 	"vdcpower/internal/fault"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/testbed"
+	"vdcpower/internal/trace"
 	"vdcpower/internal/workload"
 )
 
@@ -54,6 +56,10 @@ type Env struct {
 
 	poolOnce sync.Once
 	pool     *packing.Pool
+
+	corpusOnce sync.Once
+	corpus     []byte
+	corpusErr  error
 }
 
 // NewEnv builds an environment at the given scale.
@@ -155,6 +161,22 @@ func (e *Env) LintPatterns() []string {
 func (e *Env) MinSlackPool() *packing.Pool {
 	e.poolOnce.Do(func() { e.pool = packing.NewPool() })
 	return e.pool
+}
+
+// ReplayCorpus returns the shared fabricated Google-usage corpus the
+// trace scenarios decode, built once per Env so fixture generation
+// never lands in a timed section. Same scale → byte-identical bytes.
+func (e *Env) ReplayCorpus() ([]byte, error) {
+	e.corpusOnce.Do(func() {
+		cfg := trace.FabConfig{VMs: 200, Steps: 96, Seed: 2010, GapProb: 0.01, EmptyProb: 0.01}
+		if e.scale == ScaleQuick {
+			cfg.VMs, cfg.Steps = 40, 24
+		}
+		var buf bytes.Buffer
+		_, e.corpusErr = trace.WriteGoogleUsage(&buf, cfg)
+		e.corpus = buf.Bytes()
+	})
+	return e.corpus, e.corpusErr
 }
 
 // ChaosProfile returns the deterministic fault profile of the chaos

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"vdcpower/internal/sysid"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
+	"vdcpower/internal/trace"
 	"vdcpower/internal/units"
 )
 
@@ -128,6 +130,18 @@ func Default() *Registry {
 		Name: "lint/module",
 		Doc:  "vdclint: load, type-check and analyze packages from source",
 		Run:  runLintModule,
+	})
+	r.mustRegister(&Scenario{
+		Name:    "trace/ingest",
+		Doc:     "stream-decode and grid-resample the fabricated Google-usage corpus",
+		Prepare: prepareReplayCorpus,
+		Run:     runTraceIngest,
+	})
+	r.mustRegister(&Scenario{
+		Name:    "trace/replay",
+		Doc:     "the same corpus replayed through a distortion pipeline into a workload trace",
+		Prepare: prepareReplayCorpus,
+		Run:     runTraceReplay,
 	})
 	r.mustRegister(&Scenario{
 		Name: "guard/wedge",
@@ -512,6 +526,84 @@ func runLintModule(e *Env) (Metrics, error) {
 		return nil, fmt.Errorf("bench: module is not lint-clean: %d finding(s), first: %s", len(findings), findings[0])
 	}
 	return Metrics{"packages": float64(len(pkgs))}, nil
+}
+
+// prepareReplayCorpus warms the shared fabricated corpus so corpus
+// generation never lands in a timed section.
+func prepareReplayCorpus(e *Env) error {
+	_, err := e.ReplayCorpus()
+	return err
+}
+
+// runTraceIngest times the raw-ingestion half of the replay engine:
+// the streaming Google-usage decoder feeding the 15-minute resampler,
+// drained to a counting sink. The corpus has gaps and empty fields, so
+// the gap policy and skip paths are priced, not just the happy path.
+func runTraceIngest(e *Env) (Metrics, error) {
+	corpus, err := e.ReplayCorpus()
+	if err != nil {
+		return nil, err
+	}
+	src, err := trace.NewGoogleUsage(bytes.NewReader(corpus))
+	if err != nil {
+		return nil, err
+	}
+	grid, err := trace.NewGrid(src, trace.GridConfig{})
+	if err != nil {
+		return nil, err
+	}
+	mass := 0.0
+	n, err := trace.Drain(grid, trace.SinkFunc(func(rec trace.Record) error {
+		mass += rec.Util
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return Metrics{
+		"records":   float64(n),
+		"grid-vms":  float64(grid.NumVMs()),
+		"grid-mass": mass,
+	}, nil
+}
+
+// runTraceReplay times the full ingest→distort→assemble path: the same
+// corpus replayed through a flash-crowd + time-warp pipeline into a
+// rectangular workload trace — the dcsim -replay shape end to end.
+func runTraceReplay(e *Env) (Metrics, error) {
+	corpus, err := e.ReplayCorpus()
+	if err != nil {
+		return nil, err
+	}
+	src, err := trace.NewGoogleUsage(bytes.NewReader(corpus))
+	if err != nil {
+		return nil, err
+	}
+	grid, err := trace.NewGrid(src, trace.GridConfig{})
+	if err != nil {
+		return nil, err
+	}
+	col := trace.NewCollector(trace.CollectConfig{StepSeconds: grid.StepSeconds(), SectorSalt: 2010})
+	st, err := trace.Replay(grid, col, trace.ReplayConfig{
+		StepSeconds: grid.StepSeconds(),
+		Seed:        2010,
+		Distortions: []trace.Distortion{
+			trace.FlashCrowd{StartStep: 8, Steps: 12, Amplify: 1.6, VMFraction: 0.3},
+			&trace.TimeWarp{MaxLagSteps: 4},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := col.Trace()
+	if err != nil {
+		return nil, err
+	}
+	return Metrics{
+		"records":   float64(st.Records),
+		"distorted": float64(st.Distorted),
+		"trace-vms": float64(len(tr.Names)),
+	}, nil
 }
 
 // runGuardWedge tracks the cost of the bounded-execution path: a PS

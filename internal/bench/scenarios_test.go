@@ -27,6 +27,8 @@ var wantMetrics = map[string][]string{
 	"packing/minslack":        {"slack-gain-ghz"},
 	"packing/ffd":             {"bins-used", "unplaced"},
 	"lint/module":             {"packages"},
+	"trace/ingest":            {"grid-mass", "grid-vms", "records"},
+	"trace/replay":            {"distorted", "records", "trace-vms"},
 	"guard/wedge":             {"completed", "events"},
 }
 

@@ -15,6 +15,7 @@ import (
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/queueing"
+	"vdcpower/internal/trace"
 	"vdcpower/internal/workload"
 )
 
@@ -77,7 +78,57 @@ func Properties() []Property {
 		{"obs/scorecard-deterministic", func(s int64) error {
 			return scorecardDeterministic(realScorecardBuild, s)
 		}, 10},
+		{"trace/replay-conserves-mass", func(s int64) error {
+			return replayConservesMass(trace.Replay, s)
+		}, 10},
 	}
+}
+
+// replayFn is the shape of the replay engine, injectable for mutation
+// tests.
+type replayFn func(trace.Source, trace.Sink, trace.ReplayConfig) (trace.ReplayStats, error)
+
+// replayConservesMass: a distortion-free replay is a faithful copy — it
+// emits exactly one record per (VM, step) of the source trace, and the
+// aggregate utilization mass it reports going in, going out, and
+// arriving at the sink all equal the trace's own mass. Any dropped,
+// duplicated, or rewritten record breaks one of the equalities.
+func replayConservesMass(replay replayFn, seed int64) error {
+	r := NewRand(seed)
+	tr, err := workload.Generate(TraceConfig(r))
+	if err != nil {
+		return err
+	}
+	var got int
+	var sunk float64
+	stats, err := replay(trace.FromTrace(tr), trace.SinkFunc(func(rec trace.Record) error {
+		got++
+		sunk += rec.Util
+		return nil
+	}), trace.ReplayConfig{StepSeconds: tr.StepSeconds, Seed: seed})
+	if err != nil {
+		return err
+	}
+	want := tr.NumVMs() * tr.NumSteps()
+	if got != want || stats.Records != want {
+		return fmt.Errorf("replay emitted %d records (stats %d), want %d", got, stats.Records, want)
+	}
+	mass := 0.0
+	for k := 0; k < tr.NumSteps(); k++ {
+		for vm := 0; vm < tr.NumVMs(); vm++ {
+			mass += tr.At(vm, k)
+		}
+	}
+	// The three accumulations visit the same values in the same order,
+	// so they must agree to the last bit; the trace-side sum visits a
+	// different order, so it gets an epsilon.
+	if math.Abs(stats.MassIn-stats.MassOut) > 0 || math.Abs(stats.MassOut-sunk) > 0 {
+		return fmt.Errorf("distortion-free replay changed mass: in %v, out %v, sunk %v", stats.MassIn, stats.MassOut, sunk)
+	}
+	if math.Abs(stats.MassIn-mass) > 1e-9*math.Max(1, mass) {
+		return fmt.Errorf("replay mass %v differs from trace mass %v", stats.MassIn, mass)
+	}
+	return nil
 }
 
 // minSlackFn is the shape of Algorithm 1, injectable for mutation tests.

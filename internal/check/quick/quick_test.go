@@ -12,6 +12,7 @@ import (
 	"vdcpower/internal/optimizer"
 	"vdcpower/internal/packing"
 	"vdcpower/internal/queueing"
+	"vdcpower/internal/trace"
 	"vdcpower/internal/workload"
 )
 
@@ -260,4 +261,39 @@ func TestMigrationConservationCatchesVMLoss(t *testing.T) {
 	if err := migrationConservation(broken, 1); err == nil {
 		t.Fatal("VM loss not caught")
 	}
+}
+
+func TestReplayConservesMassCatchesDroppedRecords(t *testing.T) {
+	// Broken engine: silently drops every seventh record — the failure
+	// mode of a replayer that loses records across buffer flushes.
+	broken := func(src trace.Source, sink trace.Sink, cfg trace.ReplayConfig) (trace.ReplayStats, error) {
+		n := 0
+		filtered := trace.SinkFunc(func(rec trace.Record) error {
+			n++
+			if n%7 == 0 {
+				return nil
+			}
+			return sink.Emit(rec)
+		})
+		return trace.Replay(src, filtered, cfg)
+	}
+	expectCaught(t, "record-dropping replay", func(s int64) error {
+		return replayConservesMass(broken, s)
+	})
+}
+
+func TestReplayConservesMassCatchesUtilRewrite(t *testing.T) {
+	// Broken engine: nudges every utilization by 1e-6 on the way
+	// through — a "harmless" precision bug a record-count check would
+	// never see.
+	broken := func(src trace.Source, sink trace.Sink, cfg trace.ReplayConfig) (trace.ReplayStats, error) {
+		skewed := trace.SinkFunc(func(rec trace.Record) error {
+			rec.Util += 1e-6
+			return sink.Emit(rec)
+		})
+		return trace.Replay(src, skewed, cfg)
+	}
+	expectCaught(t, "mass-skewing replay", func(s int64) error {
+		return replayConservesMass(broken, s)
+	})
 }

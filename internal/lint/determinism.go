@@ -8,9 +8,11 @@ import (
 // simPackages are the module-relative packages whose results must be
 // bit-for-bit reproducible from a seed: the two simulators, the testbed,
 // the optimization stack they drive, the fault-injection plane (chaos
-// runs must replay exactly from a profile seed), and the benchmark
+// runs must replay exactly from a profile seed), the benchmark
 // harness (whose statistics and compare verdicts must replay from
-// recorded samples; only its registered sampler edge may read time).
+// recorded samples; only its registered sampler edge may read time),
+// and the trace-replay engine (same-seed replays must be byte-identical;
+// only its registered pacer edge may read time).
 var simPackages = []string{
 	"internal/dcsim",
 	"internal/appsim",
@@ -20,6 +22,7 @@ var simPackages = []string{
 	"internal/queueing",
 	"internal/fault",
 	"internal/bench",
+	"internal/trace",
 }
 
 // bannedTimeFuncs read the wall clock, which differs between runs.

@@ -15,6 +15,7 @@ import (
 // per-line suppressions that rot as the file grows.
 var wallClockEdges = map[string]string{
 	"internal/bench": "sampler.go",
+	"internal/trace": "pace.go",
 }
 
 // atWallClockEdge reports whether pos sits in the registered wall-clock

@@ -52,3 +52,20 @@ func TestEdgeFileNameDoesNotLeakAcrossPackages(t *testing.T) {
 	got := analyzeFixtureFile(t, "vdcpower/internal/dcsim", "sampler.go", benchClockSrc, DeterminismAnalyzer())
 	wantFindings(t, got, "determinism", "wall clock", "wall clock")
 }
+
+const traceClockSrc = `package trace
+
+import "time"
+
+func wait(d time.Duration) { time.Sleep(time.Until(time.Now().Add(d))) }
+`
+
+func TestDeterminismTracePacerEdgeAllowed(t *testing.T) {
+	got := analyzeFixtureFile(t, "vdcpower/internal/trace", "pace.go", traceClockSrc, DeterminismAnalyzer())
+	wantFindings(t, got, "determinism")
+}
+
+func TestDeterminismTraceOtherFilesStillBanned(t *testing.T) {
+	got := analyzeFixtureFile(t, "vdcpower/internal/trace", "grid.go", traceClockSrc, DeterminismAnalyzer())
+	wantFindings(t, got, "determinism", "wall clock", "wall clock")
+}

@@ -1,0 +1,72 @@
+package obs
+
+import "fmt"
+
+// ReplayDistortion is one pipeline layer of a trace replay's
+// provenance: which distortion ran, with which parameters, and how many
+// records it touched. The types mirror internal/trace's stats without
+// importing it — obs stays a leaf package.
+type ReplayDistortion struct {
+	Name      string `json:"name"`
+	Params    string `json:"params,omitempty"`
+	Distorted int    `json:"distorted"`
+}
+
+// ReplayProvenance records where a replayed workload came from and
+// exactly how it was distorted, so a scorecard produced from a replay
+// carries enough to reproduce the input bit for bit.
+type ReplayProvenance struct {
+	Source      string             `json:"source"`
+	Seed        int64              `json:"seed"`
+	Records     int                `json:"records"`
+	Distorted   int                `json:"distorted"`
+	Distortions []ReplayDistortion `json:"distortions,omitempty"`
+}
+
+// clone deep-copies p so the scorecard owns its provenance.
+func (p *ReplayProvenance) clone() *ReplayProvenance {
+	if p == nil {
+		return nil
+	}
+	out := *p
+	out.Distortions = append([]ReplayDistortion(nil), p.Distortions...)
+	return &out
+}
+
+// SetProvenance attaches replay provenance to the scorecard (nil-safe,
+// single-writer like every other recorder; a later call overwrites).
+func (s *Scorecard) SetProvenance(p *ReplayProvenance) {
+	if s == nil {
+		return
+	}
+	s.replay = p.clone()
+}
+
+// mergeReplay folds two provenances: an empty side adopts the other;
+// same source and seed sum their record counts (per-worker shards of
+// one replay); different sources cannot be combined.
+func mergeReplay(a, b *ReplayProvenance) (*ReplayProvenance, error) {
+	if b == nil {
+		return a, nil
+	}
+	if a == nil {
+		return b.clone(), nil
+	}
+	if a.Source != b.Source || a.Seed != b.Seed {
+		return nil, fmt.Errorf("obs: merging scorecards with different replay provenance (%s seed %d vs %s seed %d)",
+			a.Source, a.Seed, b.Source, b.Seed)
+	}
+	if len(a.Distortions) != len(b.Distortions) {
+		return nil, fmt.Errorf("obs: merging replay provenances with %d vs %d distortions", len(a.Distortions), len(b.Distortions))
+	}
+	a.Records += b.Records
+	a.Distorted += b.Distorted
+	for i := range b.Distortions {
+		if a.Distortions[i].Name != b.Distortions[i].Name {
+			return nil, fmt.Errorf("obs: replay distortion %d is %q on one side, %q on the other",
+				i, a.Distortions[i].Name, b.Distortions[i].Name)
+		}
+		a.Distortions[i].Distorted += b.Distortions[i].Distorted
+	}
+	return a, nil
+}

@@ -136,10 +136,11 @@ type Scorecard struct {
 	maxDrainEvents int
 	maxSameTime    int
 
-	apps  []appHealth
-	power *Sketch
-	slo   *SLO
-	audit *Audit
+	apps   []appHealth
+	power  *Sketch
+	slo    *SLO
+	audit  *Audit
+	replay *ReplayProvenance
 }
 
 // New builds an empty scorecard with cfg's knobs (defaults applied).
@@ -475,6 +476,11 @@ func (s *Scorecard) Merge(o *Scorecard) error {
 	s.power.Merge(o.power)
 	s.slo.merge(o.slo)
 	s.audit.merge(o.audit)
+	merged, err := mergeReplay(s.replay, o.replay)
+	if err != nil {
+		return err
+	}
+	s.replay = merged
 	return nil
 }
 
@@ -550,19 +556,20 @@ type AppReport struct {
 // by the struct and apps render in registration order, so same-seed
 // runs produce byte-identical documents.
 type Report struct {
-	Schema    string          `json:"schema"`
-	Label     string          `json:"label,omitempty"`
-	Steps     uint64          `json:"steps"`
-	SLO       SLOReport       `json:"slo"`
-	MPC       MPCReport       `json:"mpc"`
-	Control   ControlReport   `json:"control"`
-	Breaker   BreakerReport   `json:"breaker"`
-	Optimizer OptimizerReport `json:"optimizer"`
-	Cluster   ClusterReport   `json:"cluster"`
-	Guard     GuardReport     `json:"guard"`
-	Apps      []AppReport     `json:"apps"`
-	Power     *SketchSummary  `json:"power,omitempty"`
-	Audit     AuditReport     `json:"audit"`
+	Schema    string            `json:"schema"`
+	Label     string            `json:"label,omitempty"`
+	Steps     uint64            `json:"steps"`
+	SLO       SLOReport         `json:"slo"`
+	MPC       MPCReport         `json:"mpc"`
+	Control   ControlReport     `json:"control"`
+	Breaker   BreakerReport     `json:"breaker"`
+	Optimizer OptimizerReport   `json:"optimizer"`
+	Cluster   ClusterReport     `json:"cluster"`
+	Guard     GuardReport       `json:"guard"`
+	Apps      []AppReport       `json:"apps"`
+	Power     *SketchSummary    `json:"power,omitempty"`
+	Replay    *ReplayProvenance `json:"replay,omitempty"`
+	Audit     AuditReport       `json:"audit"`
 }
 
 // SchemaVersion identifies the scorecard document format.
@@ -645,6 +652,7 @@ func (s *Scorecard) Report() Report {
 		sum := s.power.Summary()
 		rep.Power = &sum
 	}
+	rep.Replay = s.replay.clone()
 	return rep
 }
 

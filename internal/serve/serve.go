@@ -20,6 +20,7 @@ import (
 	"vdcpower/internal/obs"
 	"vdcpower/internal/telemetry"
 	"vdcpower/internal/testbed"
+	"vdcpower/internal/trace"
 )
 
 // Circuit-breaker defaults: after defaultBreakerThreshold consecutive step
@@ -53,6 +54,9 @@ type Server struct {
 	// half-opens it — success closes the breaker, failure re-arms the
 	// cooldown.
 	faults           *fault.Injector
+	replay           *trace.Feed
+	replayProv       func(final bool) *obs.ReplayProvenance // provenance builder, set by AttachReplay
+	replayDone       bool
 	totalSteps       int // control steps attempted (fault-plane step index)
 	consecFails      int
 	breakerOpen      bool
@@ -215,6 +219,57 @@ func (s *Server) AttachFaults(inj *fault.Injector) {
 	s.refreshLive()
 }
 
+// AttachReplay drives the applications' client concurrency from a
+// replayed trace: each control period pulls one grid step of levels
+// from the feed and actuates SetConcurrency before the testbed runs, so
+// the loop controls against real (optionally distorted) workload
+// instead of the synthetic client mix. prov, when non-nil, builds the
+// replay-provenance document the scorecard carries; it runs once at
+// attach and once when the feed is exhausted (final=true, with the
+// stream's final counters), keeping the step path allocation-free. A
+// feed level of -1 holds the app's current setting; an exhausted feed
+// holds the last applied levels.
+func (s *Server) AttachReplay(feed *trace.Feed, prov func(final bool) *obs.ReplayProvenance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replay = feed
+	s.replayProv = prov
+	s.replayDone = false
+	if prov != nil {
+		s.obs.SetProvenance(prov(false))
+	}
+	s.refreshLive()
+}
+
+// applyReplay actuates one grid step of replayed concurrency levels.
+// Called under s.mu from Step.
+func (s *Server) applyReplay() {
+	if s.replay == nil || s.replayDone {
+		return
+	}
+	levels, ok := s.replay.Step()
+	if !ok {
+		s.replayDone = true
+		if s.replayProv != nil {
+			s.obs.SetProvenance(s.replayProv(true))
+		}
+		if err := s.replay.Err(); err != nil {
+			s.obs.Audit().Record(obs.Decision{
+				Step: s.totalSteps, TimeSec: s.tb.Sim.Now(),
+				Component: "serve", Action: "replay-failed", Reason: err.Error(),
+				Span: "serve.replay",
+			})
+		}
+		return
+	}
+	for i, lvl := range levels {
+		if i >= len(s.tb.Apps) || lvl < 0 {
+			continue
+		}
+		s.tb.Apps[i].SetConcurrency(lvl)
+	}
+}
+
 // Step advances the control loop by one period. The fault plane is
 // consulted first: an injected step error fails the period before the
 // testbed runs, exactly like a wedged collector or actuator would. The
@@ -230,6 +285,7 @@ func (s *Server) Step() error {
 	if err := s.faults.StepError(k); err != nil {
 		return err
 	}
+	s.applyReplay()
 	if s.guardBudget.Wall > 0 {
 		s.watch.Arm(s.guardBudget.Wall)
 		defer s.watch.Disarm()

@@ -1,0 +1,114 @@
+package trace
+
+// Native fuzzing for the raw-corpus decoders, mirroring the workload
+// package's FuzzReadCSV: arbitrary bytes must either be rejected with
+// an error or decode into a record stream honoring the Source contract
+// — per-VM nondecreasing grid-truncated times, utilizations in [0,1],
+// and a decode that is deterministic (two reads of the same bytes yield
+// identical streams). Seeds live in testdata/fuzz/FuzzRead*.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// drainAll decodes every record, stopping at the first error.
+func drainAll(src Source) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// checkStream asserts the Source contract on an accepted prefix.
+func checkStream(t *testing.T, recs []Record) {
+	t.Helper()
+	last := map[string]float64{}
+	prev := -1.0
+	for i, r := range recs {
+		if r.VM == "" {
+			t.Fatalf("record %d: empty VM", i)
+		}
+		if r.Util < 0 || r.Util > 1 || r.Util != r.Util {
+			t.Fatalf("record %d: utilization %v out of [0,1]", i, r.Util)
+		}
+		if r.Time < prev {
+			t.Fatalf("record %d: global time went backwards (%v after %v)", i, r.Time, prev)
+		}
+		prev = r.Time
+		if lt, ok := last[r.VM]; ok && r.Time < lt {
+			t.Fatalf("record %d: VM %s time went backwards (%v after %v)", i, r.VM, r.Time, lt)
+		}
+		last[r.VM] = r.Time
+	}
+}
+
+// sameRecords asserts two decodes of the same bytes agree, errors
+// included.
+func sameRecords(t *testing.T, a, b []Record, errA, errB error) {
+	t.Helper()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("decode determinism: %v vs %v", errA, errB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("decode determinism: %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decode determinism: record %d %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func FuzzReadGoogleUsage(f *testing.F) {
+	f.Add([]byte("0,300000000,6250000000,0,m0001,0.25\n300000000,600000000,6250000000,0,m0001,0.5\n"))
+	f.Add([]byte("0,300000000,6250000000,0,m0001,\n"))    // empty usage: skipped
+	f.Add([]byte("0,300000000,6250000000,0,m0001,NaN\n")) // rejected sample
+	f.Add([]byte("600,300,6250000000,0,m0001,0.25\n"))    // end before start
+	f.Add([]byte("not,a,trace\n"))                        // short row
+	f.Add([]byte("900000000,1200000000,1,2,m1,1.75\n"))   // >100% clamps
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := NewGoogleUsage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		recs, derr := drainAll(src)
+		checkStream(t, recs)
+		src2, err := NewGoogleUsage(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second open failed: %v", err)
+		}
+		recs2, derr2 := drainAll(src2)
+		sameRecords(t, recs, recs2, derr, derr2)
+	})
+}
+
+func FuzzReadAzureVM(f *testing.F) {
+	f.Add([]byte("timestamp,vm_id,min_cpu,max_cpu,avg_cpu\n0,abc,1,9,5\n300,abc,1,9,7.5\n"))
+	f.Add([]byte("0,vm1,0,50,25\n300,vm1,0,50,\n600,vm1,0,50,30\n")) // empty avg: skipped
+	f.Add([]byte("0,vm1,0,50,-3\n"))                                 // negative: rejected
+	f.Add([]byte("600,vm1,0,50,25\n300,vm1,0,50,25\n"))              // backwards time
+	f.Add([]byte("too,short\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := NewAzureVM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		recs, derr := drainAll(src)
+		checkStream(t, recs)
+		src2, err := NewAzureVM(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second open failed: %v", err)
+		}
+		recs2, derr2 := drainAll(src2)
+		sameRecords(t, recs, recs2, derr, derr2)
+	})
+}

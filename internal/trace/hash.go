@@ -1,0 +1,37 @@
+package trace
+
+// Deterministic decision hashing, mirroring internal/fault: every
+// stochastic choice a distortion (or the sector assigner) makes is a
+// pure function of (seed, layer, vm, step), derived by FNV-64 folding
+// with a splitmix64 finalizer rather than by consuming a shared random
+// stream. Same-seed replays are byte-identical, and adding a new draw
+// site cannot perturb the draws of existing ones.
+
+// hashFold folds the tuple into a finalized 64-bit hash.
+func hashFold(seed int64, layer, vm string, step int) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211 // FNV-64 prime
+	}
+	mix(uint64(seed))
+	for i := 0; i < len(layer); i++ {
+		mix(uint64(layer[i]))
+	}
+	mix(0xff) // separator: ("ab","c") must not collide with ("a","bc")
+	for i := 0; i < len(vm); i++ {
+		mix(uint64(vm[i]))
+	}
+	mix(uint64(int64(step)))
+	// splitmix64 finalizer: FNV alone is too linear for threshold tests.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashUnit maps the tuple into [0,1).
+func hashUnit(seed int64, layer, vm string, step int) float64 {
+	return float64(hashFold(seed, layer, vm, step)>>11) / float64(1<<53)
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// DistortionStat is one pipeline layer's provenance: what ran, with
+// which parameters, and how many records it touched.
+type DistortionStat struct {
+	Name      string `json:"name"`
+	Params    string `json:"params,omitempty"`
+	Distorted int    `json:"distorted"`
+}
+
+// ReplayStats summarizes one replay for provenance and verification:
+// record counts, per-distortion touch counts, and the aggregate
+// utilization mass before and after the pipeline (the
+// replay-conserves-mass law asserts MassIn == MassOut on a
+// distortion-free replay).
+type ReplayStats struct {
+	Records    int              `json:"records"`
+	Distorted  int              `json:"distorted"`
+	Distortion []DistortionStat `json:"distortions,omitempty"`
+	MassIn     float64          `json:"mass_in"`
+	MassOut    float64          `json:"mass_out"`
+	SimSeconds float64          `json:"sim_seconds"`
+}
+
+// ReplayConfig parameterizes one replay.
+type ReplayConfig struct {
+	// StepSeconds is the grid interval used to derive each record's
+	// step index for the distortion hashes (default 900).
+	StepSeconds float64
+	// Seed drives every distortion draw. Same seed, same source, same
+	// pipeline → byte-identical emission.
+	Seed int64
+	// Distortions run in order on every record.
+	Distortions []Distortion
+	// Pacer, when non-nil, throttles emission to real time scaled by
+	// its speedup — the only wall-clock consumer in the package. Nil
+	// replays as fast as the consumer pulls (the only mode tests and
+	// simulators use; pacing cannot change what is emitted, only when).
+	Pacer *Pacer
+}
+
+// Stream is the pull side of the replay engine: a Source whose records
+// pass through the distortion pipeline as they are read. The emitted
+// stream is a deterministic function of (source, seed, pipeline); the
+// pacer affects timing only. A Stream owns its distortion instances
+// (TimeWarp holds per-VM state), so build one per replay.
+type Stream struct {
+	src   Source
+	cfg   ReplayConfig
+	stats ReplayStats
+}
+
+// NewStream wraps src in the distortion pipeline.
+func NewStream(src Source, cfg ReplayConfig) *Stream {
+	if cfg.StepSeconds <= 0 {
+		cfg.StepSeconds = DefaultStepSeconds
+	}
+	st := &Stream{src: src, cfg: cfg}
+	st.stats.Distortion = make([]DistortionStat, len(cfg.Distortions))
+	for i, d := range cfg.Distortions {
+		st.stats.Distortion[i] = DistortionStat{Name: d.Name(), Params: d.Params()}
+	}
+	return st
+}
+
+// Stats snapshots the replay counters accumulated so far.
+func (st *Stream) Stats() ReplayStats {
+	out := st.stats
+	out.Distortion = append([]DistortionStat(nil), st.stats.Distortion...)
+	return out
+}
+
+// Next implements Source.
+func (st *Stream) Next() (Record, error) {
+	rec, err := st.src.Next()
+	if err != nil {
+		return Record{}, err
+	}
+	step := int(math.Round(rec.Time / st.cfg.StepSeconds))
+	st.stats.Records++
+	st.stats.MassIn += rec.Util
+	if rec.Time > st.stats.SimSeconds {
+		st.stats.SimSeconds = rec.Time
+	}
+	touched := false
+	for i, d := range st.cfg.Distortions {
+		out, hit := d.Apply(st.cfg.Seed, step, rec)
+		if hit {
+			st.stats.Distortion[i].Distorted++
+			touched = true
+		}
+		rec = out
+	}
+	if touched {
+		st.stats.Distorted++
+	}
+	st.stats.MassOut += rec.Util
+	st.cfg.Pacer.Wait(rec.Time)
+	return rec, nil
+}
+
+// Replay drains src through the distortion pipeline into sink — the
+// push form of NewStream + Drain.
+func Replay(src Source, sink Sink, cfg ReplayConfig) (ReplayStats, error) {
+	st := NewStream(src, cfg)
+	for {
+		rec, err := st.Next()
+		if err == io.EOF {
+			return st.Stats(), nil
+		}
+		if err != nil {
+			return st.Stats(), err
+		}
+		if err := sink.Emit(rec); err != nil {
+			return st.Stats(), fmt.Errorf("trace: replay sink: %w", err)
+		}
+	}
+}
+
+// massSink accumulates aggregate utilization; used by verification.
+type massSink struct {
+	n    int
+	mass float64
+}
+
+// Emit implements Sink.
+func (m *massSink) Emit(r Record) error {
+	m.n++
+	m.mass += r.Util
+	return nil
+}

@@ -61,11 +61,17 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: bad sector for %q: %w", row[0], err)
 		}
+		if len(tr.Series) > 0 && len(row)-2 != len(tr.Series[0]) {
+			return nil, &ShapeError{VM: row[0], Got: len(row) - 2, Want: len(tr.Series[0])}
+		}
 		series := make([]float64, len(row)-2)
 		for i, f := range row[2:] {
 			u, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("workload: bad sample %d for %q: %w", i, row[0], err)
+			}
+			if err := checkSample(row[0], i, u); err != nil {
+				return nil, err
 			}
 			series[i] = u
 		}
@@ -80,19 +86,46 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 }
 
 // WriteGob stores the trace in the compact binary format used for large
-// traces (the full 5,415-VM trace is ~30 MB as CSV).
+// traces (the full 5,415-VM trace is ~30 MB as CSV). The write is
+// buffered and the flush error propagated — a full disk surfaces here,
+// not as a silently truncated file.
 func (t *Trace) WriteGob(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(t)
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(t); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
-// ReadGob parses a trace written by WriteGob.
+// ReadGob parses a trace written by WriteGob, applying the same typed
+// rejections as ReadCSV: a ragged series is a *ShapeError, an
+// out-of-range sample a *SampleError.
 func ReadGob(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	if err := gob.NewDecoder(r).Decode(tr); err != nil {
 		return nil, fmt.Errorf("workload: decoding gob: %w", err)
 	}
+	for vi, series := range tr.Series {
+		if len(series) != len(tr.Series[0]) {
+			return nil, &ShapeError{VM: name(tr, vi), Got: len(series), Want: len(tr.Series[0])}
+		}
+		for i, u := range series {
+			if err := checkSample(name(tr, vi), i, u); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// name is a bounds-tolerant Names lookup for error paths (a corrupt gob
+// may carry fewer names than series).
+func name(t *Trace, i int) string {
+	if i < len(t.Names) {
+		return t.Names[i]
+	}
+	return fmt.Sprintf("#%d", i)
 }
